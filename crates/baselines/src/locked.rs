@@ -1,0 +1,91 @@
+//! The `rand()` applications actually call: glibc's `random()` takes a
+//! process-wide lock (`__libc_lock_lock`) on **every call**, because the
+//! hidden global state must survive concurrent callers. That lock is why
+//! `rand()` is neither scalable nor cheap on a multicore host — the
+//! Table I row the paper scores "not scalable", and the Figure 6 baseline.
+
+use crate::glibc::GlibcRand;
+use rand_core::{impls, Error, RngCore};
+use std::sync::Mutex;
+
+/// glibc `rand()` with its real calling convention: one global state, one
+/// lock acquisition per call.
+#[derive(Debug)]
+pub struct LockedGlibcRand {
+    state: Mutex<GlibcRand>,
+}
+
+impl LockedGlibcRand {
+    /// Equivalent of `srand(seed)`.
+    pub fn new(seed: u32) -> Self {
+        Self {
+            state: Mutex::new(GlibcRand::new(seed)),
+        }
+    }
+
+    /// One `rand()` call: lock, draw, unlock.
+    #[inline]
+    pub fn next_rand(&self) -> u32 {
+        self.state.lock().expect("rand state poisoned").next_rand()
+    }
+}
+
+impl RngCore for LockedGlibcRand {
+    fn next_u32(&mut self) -> u32 {
+        let a = self.next_rand();
+        let b = self.next_rand();
+        ((a >> 15) << 16) | (b >> 15)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        impls::fill_bytes_via_next(self, dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locked_stream_matches_unlocked() {
+        let locked = LockedGlibcRand::new(1);
+        let mut plain = GlibcRand::new(1);
+        for _ in 0..100 {
+            assert_eq!(locked.next_rand(), plain.next_rand());
+        }
+    }
+
+    #[test]
+    fn shared_across_threads_like_libc() {
+        // The whole point of the lock: concurrent callers draw from ONE
+        // stream without tearing it.
+        let rng = std::sync::Arc::new(LockedGlibcRand::new(7));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let r = rng.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| r.next_rand() as u64).sum::<u64>()
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn rngcore_composition_matches_glibc_rand() {
+        let mut locked = LockedGlibcRand::new(3);
+        let mut plain = GlibcRand::new(3);
+        use rand_core::RngCore as _;
+        assert_eq!(locked.next_u32(), plain.next_u32());
+        assert_eq!(locked.next_u64(), plain.next_u64());
+    }
+}

@@ -1,0 +1,185 @@
+//! Philox4x32-10 — Salmon et al., *Parallel random numbers: as easy as
+//! 1, 2, 3* (SC 2011).
+//!
+//! A counter-based generator contemporary with the paper: stateless apart
+//! from a `(counter, key)` pair, so any thread can jump to any point of the
+//! stream in O(1). We use it in ablations as the "what a modern batch
+//! generator looks like" comparator — it shares CURAND's bulk-generation
+//! model but has none of the correlation worries of per-thread XORWOW.
+//!
+//! Known-answer tested against the Random123 reference vectors.
+
+use rand_core::{impls, Error, RngCore, SeedableRng};
+
+const M0: u32 = 0xD251_1F53;
+const M1: u32 = 0xCD9E_8D57;
+const W0: u32 = 0x9E37_79B9; // golden ratio
+const W1: u32 = 0xBB67_AE85; // sqrt(3) - 1
+
+/// Number of rounds in the standard variant.
+pub const ROUNDS: usize = 10;
+
+/// Applies `ROUNDS` Philox rounds to `ctr` under `key`.
+#[inline]
+pub fn philox4x32_block(mut ctr: [u32; 4], mut key: [u32; 2]) -> [u32; 4] {
+    for _ in 0..ROUNDS {
+        let p0 = (M0 as u64) * ctr[0] as u64;
+        let p1 = (M1 as u64) * ctr[2] as u64;
+        ctr = [
+            (p1 >> 32) as u32 ^ ctr[1] ^ key[0],
+            p1 as u32,
+            (p0 >> 32) as u32 ^ ctr[3] ^ key[1],
+            p0 as u32,
+        ];
+        key[0] = key[0].wrapping_add(W0);
+        key[1] = key[1].wrapping_add(W1);
+    }
+    ctr
+}
+
+/// Streaming interface over the Philox block function: increments a 128-bit
+/// counter and buffers the four output words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Philox4x32 {
+    key: [u32; 2],
+    ctr: [u32; 4],
+    buf: [u32; 4],
+    pos: usize,
+}
+
+impl Philox4x32 {
+    /// Creates a stream with the given key and a zero counter.
+    pub fn with_key(key: [u32; 2]) -> Self {
+        Self {
+            key,
+            ctr: [0; 4],
+            buf: [0; 4],
+            pos: 4,
+        }
+    }
+
+    /// Creates a stream keyed by a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self::with_key([seed as u32, (seed >> 32) as u32])
+    }
+
+    /// Jumps directly to 128-bit counter value `ctr` (O(1) skip-ahead).
+    pub fn set_counter(&mut self, ctr: [u32; 4]) {
+        self.ctr = ctr;
+        self.pos = 4;
+    }
+
+    fn bump_counter(&mut self) {
+        for limb in self.ctr.iter_mut() {
+            let (v, carry) = limb.overflowing_add(1);
+            *limb = v;
+            if !carry {
+                break;
+            }
+        }
+    }
+
+    /// The next 32-bit output.
+    #[inline]
+    pub fn next(&mut self) -> u32 {
+        if self.pos == 4 {
+            self.buf = philox4x32_block(self.ctr, self.key);
+            self.bump_counter();
+            self.pos = 0;
+        }
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+}
+
+impl RngCore for Philox4x32 {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.next()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        impls::next_u64_via_u32(self)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        impls::fill_bytes_via_next(self, dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for Philox4x32 {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self::new(u64::from_le_bytes(seed))
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        Self::new(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random123_zero_vector() {
+        // Random123 kat_vectors: philox4x32-10, ctr = 0, key = 0.
+        let out = philox4x32_block([0; 4], [0; 2]);
+        assert_eq!(out, [0x6627_e8d5, 0xe169_c58d, 0xbc57_ac4c, 0x9b00_dbd8]);
+    }
+
+    #[test]
+    fn random123_ones_vector() {
+        // ctr = key = all 0xffffffff.
+        let out = philox4x32_block([0xffff_ffff; 4], [0xffff_ffff; 2]);
+        assert_eq!(out, [0x408f_276d, 0x41c8_3b0e, 0xa20b_c7c6, 0x6d54_51fd]);
+    }
+
+    #[test]
+    fn random123_pi_vector() {
+        // ctr/key from the digits-of-pi test in Random123.
+        let out = philox4x32_block(
+            [0x243f_6a88, 0x85a3_08d3, 0x1319_8a2e, 0x0370_7344],
+            [0xa409_3822, 0x299f_31d0],
+        );
+        assert_eq!(out, [0xd16c_fe09, 0x94fd_cceb, 0x5001_e420, 0x2412_6ea1]);
+    }
+
+    #[test]
+    fn streaming_matches_block_function() {
+        let mut g = Philox4x32::with_key([7, 9]);
+        let first: Vec<u32> = (0..8).map(|_| g.next()).collect();
+        let b0 = philox4x32_block([0, 0, 0, 0], [7, 9]);
+        let b1 = philox4x32_block([1, 0, 0, 0], [7, 9]);
+        assert_eq!(&first[0..4], &b0);
+        assert_eq!(&first[4..8], &b1);
+    }
+
+    #[test]
+    fn counter_carries_across_limbs() {
+        let mut g = Philox4x32::with_key([0, 0]);
+        g.set_counter([0xffff_ffff, 0, 0, 0]);
+        g.next(); // consumes block at ctr, bumps to [0, 1, 0, 0]
+        assert_eq!(g.ctr, [0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn skip_ahead_is_consistent_with_streaming() {
+        let mut a = Philox4x32::with_key([1, 2]);
+        for _ in 0..12 {
+            a.next();
+        }
+        let mut b = Philox4x32::with_key([1, 2]);
+        b.set_counter([3, 0, 0, 0]);
+        assert_eq!(a.next(), b.next());
+    }
+}

@@ -1,0 +1,105 @@
+//! Cross-generator property tests: every baseline must honour the RngCore
+//! contract and basic determinism/divergence properties.
+
+use hprng_baselines::*;
+use proptest::prelude::*;
+use rand_core::{RngCore, SeedableRng};
+
+/// Drives the shared properties for one generator type.
+fn check_contract<R: RngCore + SeedableRng + Clone>(seed: u64) -> Result<(), TestCaseError> {
+    let mut a = R::seed_from_u64(seed);
+    let mut b = R::seed_from_u64(seed);
+
+    // Determinism: same seed, same stream.
+    for _ in 0..64 {
+        prop_assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    // Clone preserves the stream mid-flight.
+    let mut c = a.clone();
+    for _ in 0..64 {
+        prop_assert_eq!(a.next_u64(), c.next_u64());
+    }
+
+    // fill_bytes fills every byte span without panicking, including empty
+    // and non-multiple-of-8 lengths.
+    for len in [0usize, 1, 3, 7, 8, 9, 31] {
+        let mut buf = vec![0u8; len];
+        a.fill_bytes(&mut buf);
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn glibc_contract(seed in any::<u64>()) { check_contract::<GlibcRand>(seed)?; }
+
+    #[test]
+    fn lcg_contract(seed in any::<u64>()) { check_contract::<Lcg64>(seed)?; }
+
+    #[test]
+    fn mt32_contract(seed in any::<u64>()) { check_contract::<Mt19937>(seed)?; }
+
+    #[test]
+    fn mt64_contract(seed in any::<u64>()) { check_contract::<Mt19937_64>(seed)?; }
+
+    #[test]
+    fn xorwow_contract(seed in any::<u64>()) { check_contract::<Xorwow>(seed)?; }
+
+    #[test]
+    fn mwc_contract(seed in any::<u64>()) { check_contract::<Mwc64>(seed)?; }
+
+    #[test]
+    fn md5_contract(seed in any::<u64>()) { check_contract::<Md5Rand>(seed)?; }
+
+    #[test]
+    fn philox_contract(seed in any::<u64>()) { check_contract::<Philox4x32>(seed)?; }
+
+    #[test]
+    fn splitmix_contract(seed in any::<u64>()) { check_contract::<SplitMix64>(seed)?; }
+
+    /// Two different seeds should (overwhelmingly) give different streams.
+    #[test]
+    fn seeds_diverge(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let mut ra = SplitMix64::seed_from_u64(a);
+        let mut rb = SplitMix64::seed_from_u64(b);
+        let same = (0..32).filter(|_| ra.next_u64() == rb.next_u64()).count();
+        prop_assert!(same < 2);
+    }
+
+    /// MD5 digests are stable and sensitive to every byte.
+    #[test]
+    fn md5_avalanche(data in prop::collection::vec(any::<u8>(), 0..200), flip in any::<usize>()) {
+        let base = md5_digest(&data);
+        prop_assert_eq!(base, md5_digest(&data));
+        if !data.is_empty() {
+            let mut mutated = data.clone();
+            let idx = flip % mutated.len();
+            mutated[idx] ^= 1;
+            prop_assert_ne!(base, md5_digest(&mutated));
+        }
+    }
+
+    /// Philox skip-ahead: setting the counter to k blocks equals consuming
+    /// 4k outputs.
+    #[test]
+    fn philox_skip_ahead(key in any::<u64>(), blocks in 0u32..64) {
+        let mut streamed = Philox4x32::new(key);
+        for _ in 0..(blocks as usize * 4) {
+            streamed.next_u32();
+        }
+        let mut jumped = Philox4x32::new(key);
+        jumped.set_counter([blocks, 0, 0, 0]);
+        prop_assert_eq!(streamed.next_u32(), jumped.next_u32());
+    }
+
+    /// glibc outputs always fit in 31 bits (RAND_MAX).
+    #[test]
+    fn glibc_range(seed in any::<u32>()) {
+        let mut g = GlibcRand::new(seed);
+        for _ in 0..256 {
+            prop_assert!(g.next_rand() <= 0x7fff_ffff);
+        }
+    }
+}

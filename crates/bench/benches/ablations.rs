@@ -1,0 +1,63 @@
+//! Ablation micro-benchmarks: walk length and neighbour-sampling cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hprng_baselines::GlibcRand;
+use hprng_core::{ExpanderWalkRng, RngBitSource, WalkParams};
+use hprng_expander::{NeighborSampling, WalkMode};
+use rand_core::RngCore;
+
+fn bench_walk_len(c: &mut Criterion) {
+    const N: usize = 50_000;
+    let mut group = c.benchmark_group("walk_length");
+    group.throughput(Throughput::Elements(N as u64));
+    for l in [8u32, 16, 32, 64, 128] {
+        group.bench_function(BenchmarkId::from_parameter(l), |b| {
+            let params = WalkParams {
+                walk_len: l,
+                ..WalkParams::default()
+            };
+            let mut rng =
+                ExpanderWalkRng::with_params(RngBitSource::new(GlibcRand::new(1)), params);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..N {
+                    acc ^= rng.next_u64();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    const N: usize = 50_000;
+    let mut group = c.benchmark_group("neighbor_sampling");
+    group.throughput(Throughput::Elements(N as u64));
+    for (name, sampling, mode) in [
+        ("mask-directed", NeighborSampling::MaskWithSelfLoop, WalkMode::Directed),
+        ("rejection-directed", NeighborSampling::Rejection, WalkMode::Directed),
+        ("mask-bipartite", NeighborSampling::MaskWithSelfLoop, WalkMode::Bipartite),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let params = WalkParams {
+                sampling,
+                mode,
+                ..WalkParams::default()
+            };
+            let mut rng =
+                ExpanderWalkRng::with_params(RngBitSource::new(GlibcRand::new(1)), params);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..N {
+                    acc ^= rng.next_u64();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walk_len, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 7: list-ranking phases under the three randomness strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hprng_baselines::SplitMix64;
+use hprng_listrank::hybrid::{rank_list, RandomnessStrategy};
+use hprng_listrank::{helman_jaja_rank, sequential_rank, wyllie_rank, LinkedList};
+
+fn bench_strategies(c: &mut Criterion) {
+    const N: usize = 500_000;
+    let list = LinkedList::random(N, &mut SplitMix64::new(3));
+    let mut group = c.benchmark_group("listrank_strategies");
+    group.sample_size(10);
+    for strategy in [
+        RandomnessStrategy::OnDemandExpander,
+        RandomnessStrategy::BatchGlibc,
+        RandomnessStrategy::BatchMt,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(strategy.label()), |b| {
+            b.iter(|| rank_list(&list, strategy, 42).1.total_ns())
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    const N: usize = 500_000;
+    let list = LinkedList::random(N, &mut SplitMix64::new(4));
+    let mut group = c.benchmark_group("listrank_algorithms");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| b.iter(|| sequential_rank(&list)));
+    group.bench_function("wyllie", |b| b.iter(|| wyllie_rank(&list)));
+    group.bench_function("helman-jaja", |b| {
+        let mut rng = SplitMix64::new(5);
+        b.iter(|| helman_jaja_rank(&list, 0, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 8: photon migration under the two random-supply policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hprng_montecarlo::{run_simulation, RandomSupply, SimConfig, Tissue};
+
+fn bench_photon(c: &mut Criterion) {
+    const PHOTONS: u64 = 20_000;
+    let tissue = Tissue::three_layer();
+    let mut group = c.benchmark_group("photon_migration");
+    group.throughput(Throughput::Elements(PHOTONS));
+    group.sample_size(10);
+    for supply in [
+        RandomSupply::BufferedMwc { chunk: 4096 },
+        RandomSupply::InlineHybrid,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(supply.label()), |b| {
+            let cfg = SimConfig {
+                seed: 11,
+                supply,
+                chunk_size: 4096,
+                grid: None,
+            };
+            b.iter(|| run_simulation(&tissue, PHOTONS, &cfg).interactions)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_photon);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Tables II/III: battery runtimes (the scores themselves are printed by
+//! `repro table2` / `repro table3`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hprng_baselines::Mt19937_64;
+use hprng_core::ExpanderWalkRng;
+use hprng_stattests::crush::{crush_battery, CrushLevel};
+use hprng_stattests::diehard::diehard_battery;
+use rand_core::SeedableRng;
+
+fn bench_batteries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("battery_runtime");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("diehard@0.05/hybrid"), |b| {
+        let battery = diehard_battery(0.05);
+        b.iter(|| {
+            let mut rng = ExpanderWalkRng::from_seed_u64(1);
+            battery.run(&mut rng).passed
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("diehard@0.05/mt64"), |b| {
+        let battery = diehard_battery(0.05);
+        b.iter(|| {
+            let mut rng = Mt19937_64::seed_from_u64(1);
+            battery.run(&mut rng).passed
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("smallcrush@0.1/mt64"), |b| {
+        let battery = crush_battery(CrushLevel::Small, 0.1);
+        b.iter(|| {
+            let mut rng = Mt19937_64::seed_from_u64(1);
+            battery.run(&mut rng).passed
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batteries);
+criterion_main!(benches);

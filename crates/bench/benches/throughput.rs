@@ -1,0 +1,42 @@
+//! Figure 3 micro-benchmarks: per-generator stream throughput (host wall
+//! clock for the raw algorithms, simulated device time printed by `repro
+//! fig3`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hprng_baselines::{GlibcRand, Md5Rand, Mt19937_64, Mwc64, Philox4x32, SplitMix64, Xorwow};
+use hprng_core::ExpanderWalkRng;
+use rand_core::RngCore;
+
+fn bench_generators(c: &mut Criterion) {
+    const N: usize = 100_000;
+    let mut group = c.benchmark_group("stream_throughput");
+    group.throughput(Throughput::Elements(N as u64));
+
+    macro_rules! bench {
+        ($name:literal, $rng:expr) => {
+            group.bench_function(BenchmarkId::from_parameter($name), |b| {
+                let mut rng = $rng;
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for _ in 0..N {
+                        acc ^= rng.next_u64();
+                    }
+                    acc
+                })
+            });
+        };
+    }
+
+    bench!("hybrid-walk", ExpanderWalkRng::from_seed_u64(1));
+    bench!("glibc", GlibcRand::new(1));
+    bench!("mt19937-64", Mt19937_64::new(1));
+    bench!("xorwow", Xorwow::new(1));
+    bench!("mwc", Mwc64::new(1));
+    bench!("md5", Md5Rand::new(1));
+    bench!("philox", Philox4x32::new(1));
+    bench!("splitmix", SplitMix64::new(1));
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro all [--scale S] [--quick]     run everything
+//! repro table1                        property comparison (speed rank measured)
+//! repro table2 [--scale S]            DIEHARD-style battery per generator
+//! repro table3 [--scale S]            Crush-style batteries per generator
+//! repro fig3 [--sizes a,b,c]          stream generation time sweep
+//! repro fig4                          work-unit overlap chart
+//! repro fig5 [--n N]                  batch-size sweep
+//! repro fig6 [--sizes a,b,c]          CPU-only vs glibc rand()
+//! repro fig7 [--sizes a,b,c]          list-ranking Phase I
+//! repro fig8 [--photons a,b,c]        photon migration
+//! repro headline                      GNumbers/s
+//! repro ablate-walk-len | ablate-bit-source | ablate-sampling
+//! ```
+
+use hprng_bench::{ablations, figures, tables};
+
+struct Args {
+    cmd: String,
+    scale: f64,
+    sizes: Option<Vec<usize>>,
+    photons: Option<Vec<u64>>,
+    n: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cmd: "all".to_string(),
+        scale: 0.25,
+        sizes: None,
+        photons: None,
+        n: 1_000_000,
+        seed: 20120521, // the paper's IPDPSW year+month+day
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    if let Some(first) = argv.first() {
+        if !first.starts_with("--") {
+            args.cmd = first.clone();
+            i = 1;
+        }
+    }
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                args.scale = argv[i + 1].parse().expect("--scale takes a float");
+                i += 2;
+            }
+            "--quick" => {
+                args.scale = 0.05;
+                i += 1;
+            }
+            "--full" => {
+                args.scale = 1.0;
+                i += 1;
+            }
+            "--sizes" => {
+                args.sizes = Some(
+                    argv[i + 1]
+                        .split(',')
+                        .map(|s| s.parse().expect("--sizes takes integers"))
+                        .collect(),
+                );
+                i += 2;
+            }
+            "--photons" => {
+                args.photons = Some(
+                    argv[i + 1]
+                        .split(',')
+                        .map(|s| s.parse().expect("--photons takes integers"))
+                        .collect(),
+                );
+                i += 2;
+            }
+            "--n" => {
+                args.n = argv[i + 1].parse().expect("--n takes an integer");
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = argv[i + 1].parse().expect("--seed takes an integer");
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let default_sizes = vec![1_000_000usize, 2_000_000, 4_000_000, 8_000_000];
+    let list_sizes = vec![500_000usize, 1_000_000, 2_000_000, 4_000_000];
+    let photon_counts = vec![50_000u64, 100_000, 200_000, 400_000];
+
+    let run = |name: &str| args.cmd == name || args.cmd == "all";
+
+    if run("table1") {
+        tables::table1(args.seed);
+    }
+    if run("fig3") {
+        let sizes = args.sizes.clone().unwrap_or_else(|| default_sizes.clone());
+        figures::print_fig3(&figures::fig3(&sizes, args.seed));
+    }
+    if run("fig4") {
+        print!("{}", figures::fig4(args.seed));
+    }
+    if run("fig5") {
+        let batches = [1u32, 10, 50, 100, 200, 500, 1000, 2000, 5000];
+        figures::print_fig5(args.n, &figures::fig5(args.n, &batches, args.seed));
+    }
+    if run("fig6") {
+        let sizes = args
+            .sizes
+            .clone()
+            .unwrap_or_else(|| vec![1_000_000, 2_000_000, 4_000_000]);
+        figures::print_fig6(&figures::fig6(&sizes, args.seed));
+    }
+    if run("table2") {
+        let rows = tables::table2(args.scale, args.seed);
+        tables::print_table2(&rows);
+        println!("(battery scale {}; paper runs the full-size DIEHARD)", args.scale);
+    }
+    if run("table3") {
+        let rows = tables::table3(args.scale.min(0.5), args.seed);
+        tables::print_table3(&rows);
+    }
+    if run("fig7") {
+        let sizes = args.sizes.clone().unwrap_or_else(|| list_sizes.clone());
+        figures::print_fig7(&figures::fig7(&sizes, args.seed));
+    }
+    if run("fig7-device") {
+        let sizes = args
+            .sizes
+            .clone()
+            .unwrap_or_else(|| vec![100_000, 200_000, 400_000]);
+        figures::fig7_device(&sizes, args.seed);
+    }
+    if run("fig8") {
+        let photons = args.photons.clone().unwrap_or_else(|| photon_counts.clone());
+        figures::print_fig8(&figures::fig8(&photons, args.seed));
+    }
+    if run("headline") {
+        let (gn, wall) = figures::headline(args.seed);
+        println!(
+            "\n=== Headline ===\nsimulated throughput: {gn:.3} GNumbers/s (paper: 0.07)\nhost wall time for 4M numbers: {:.1} ms",
+            wall / 1e6
+        );
+    }
+    if run("ablate-walk-len") || args.cmd == "ablate" {
+        ablations::ablate_walk_len(&[8, 16, 32, 64, 128], args.scale, args.seed);
+    }
+    if run("ablate-bit-source") || args.cmd == "ablate" {
+        ablations::ablate_bit_source(args.scale, args.seed);
+    }
+    if run("ablate-sampling") || args.cmd == "ablate" {
+        ablations::ablate_sampling(args.scale, args.seed);
+    }
+}

@@ -1,0 +1,45 @@
+//! The experiment harness: one function per table/figure of the paper.
+//!
+//! Every function returns structured rows and knows how to print itself in
+//! the paper's format; the `repro` binary dispatches on experiment ids
+//! (`table1`, `fig3`, … `fig8`, `headline`, `ablate-*`). See DESIGN.md §4
+//! for the experiment ↔ module map and EXPERIMENTS.md for recorded
+//! paper-vs-measured outcomes.
+
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod figures;
+pub mod simsupport;
+pub mod tables;
+
+/// Pretty-prints a table: header plus aligned rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (w, c) in widths.iter().zip(cells) {
+            s.push_str(&format!("{c:>w$}  ", w = w));
+        }
+        s
+    };
+    println!(
+        "{}",
+        line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+/// Formats nanoseconds as milliseconds with three significant decimals.
+pub fn ms(ns: f64) -> String {
+    format!("{:.3}", ns / 1e6)
+}

@@ -1,0 +1,217 @@
+//! Distribution helpers over any [`RngCore`] — the conversions the two
+//! applications (and most Monte-Carlo consumers) need, implemented once and
+//! tested against closed-form moments.
+
+use rand_core::RngCore;
+
+/// A uniform `f64` in `[0, 1)` from the high 53 bits of one draw.
+#[inline]
+pub fn uniform_f64(rng: &mut impl RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A uniform `f64` in `(0, 1]` (safe for `ln`).
+#[inline]
+pub fn uniform_f64_open_low(rng: &mut impl RngCore) -> f64 {
+    1.0 - uniform_f64(rng)
+}
+
+/// A uniform integer in `[0, n)` by rejection (exactly unbiased).
+///
+/// # Panics
+/// Panics if `n == 0`.
+#[inline]
+pub fn uniform_below(rng: &mut impl RngCore, n: u64) -> u64 {
+    assert!(n > 0, "range must be positive");
+    if n.is_power_of_two() {
+        return rng.next_u64() & (n - 1);
+    }
+    let limit = u64::MAX - u64::MAX % n;
+    loop {
+        let v = rng.next_u64();
+        if v < limit {
+            return v % n;
+        }
+    }
+}
+
+/// An `Exp(λ)` variate by inversion.
+///
+/// # Panics
+/// Panics if `lambda <= 0`.
+#[inline]
+pub fn exponential(rng: &mut impl RngCore, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "rate must be positive");
+    -uniform_f64_open_low(rng).ln() / lambda
+}
+
+/// A standard normal variate by Box–Muller (the spare is discarded; use
+/// [`normal_pair`] when both are wanted).
+#[inline]
+pub fn standard_normal(rng: &mut impl RngCore) -> f64 {
+    normal_pair(rng).0
+}
+
+/// Two independent standard normal variates by Box–Muller.
+#[inline]
+pub fn normal_pair(rng: &mut impl RngCore) -> (f64, f64) {
+    let r = (-2.0 * uniform_f64_open_low(rng).ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * uniform_f64(rng);
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// A `Poisson(λ)` variate (Knuth's product method for small λ, normal
+/// approximation with continuity correction above 30 — adequate for
+/// simulation workloads).
+///
+/// # Panics
+/// Panics if `lambda <= 0`.
+pub fn poisson(rng: &mut impl RngCore, lambda: f64) -> u64 {
+    assert!(lambda > 0.0, "rate must be positive");
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product = uniform_f64(rng);
+        let mut count = 0u64;
+        while product > limit {
+            product *= uniform_f64(rng);
+            count += 1;
+        }
+        count
+    } else {
+        let v = lambda + lambda.sqrt() * standard_normal(rng) + 0.5;
+        if v < 0.0 {
+            0
+        } else {
+            v as u64
+        }
+    }
+}
+
+/// Shuffles a slice in place (Fisher–Yates).
+pub fn shuffle<T>(rng: &mut impl RngCore, data: &mut [T]) {
+    for k in (1..data.len()).rev() {
+        let j = uniform_below(rng, k as u64 + 1) as usize;
+        data.swap(k, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::ExpanderWalkRng;
+    use hprng_baselines::SplitMix64;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(0xD157)
+    }
+
+    #[test]
+    fn uniform_bounds_and_moments() {
+        let mut r = rng();
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let u = uniform_f64(&mut r);
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+            sum_sq += u * u;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_is_reciprocal_rate() {
+        let mut r = rng();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 2.5)).sum::<f64>() / n as f64;
+        assert!((mean - 0.4).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n / 2 {
+            let (a, b) = normal_pair(&mut r);
+            sum += a + b;
+            sum_sq += a * a + b * b;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let lambda = 3.0;
+        let mean: f64 = (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let lambda = 100.0;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let v = poisson(&mut r, lambda) as f64;
+            sum += v;
+            sum_sq += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!((mean - lambda).abs() < 0.5, "mean {mean}");
+        assert!((var - lambda).abs() < 5.0, "var {var}");
+    }
+
+    #[test]
+    fn uniform_below_is_unbiased_for_non_power_of_two() {
+        let mut r = rng();
+        let mut counts = [0u64; 6];
+        for _ in 0..60_000 {
+            counts[uniform_below(&mut r, 6) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_300..10_700).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn shuffle_produces_permutations() {
+        let mut r = rng();
+        let mut data: Vec<u32> = (0..100).collect();
+        shuffle(&mut r, &mut data);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(data, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn works_over_the_expander_generator() {
+        // The helpers are generic over RngCore: drive them with the paper's
+        // generator and sanity-check a moment.
+        let mut r = ExpanderWalkRng::from_seed_u64(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| uniform_f64(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn uniform_below_zero_panics() {
+        let mut r = rng();
+        let _ = uniform_below(&mut r, 0);
+    }
+}

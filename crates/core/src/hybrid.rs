@@ -1,0 +1,421 @@
+//! The full hybrid pipeline: Algorithms 1 and 2 on the simulated device.
+//!
+//! Work-unit mapping (§IV-A): FEED (raw-bit production with glibc `rand()`)
+//! runs on the CPU, GENERATE (walk advancement) runs on the GPU, and
+//! TRANSFER ships bit batches over PCIe. The CPU produces the bits for
+//! iteration `k+1` while the GPU walks iteration `k`; transfers ride the
+//! copy engine underneath kernel execution on ping-pong streams. The
+//! [`PipelineStats`] and the device timeline reproduce Figure 4 (overlap and
+//! idle fractions) and Figure 5 (batch-size sweep).
+
+use crate::params::HybridParams;
+use hprng_baselines::GlibcRand;
+use hprng_expander::bits::{SliceBitSource, TriBitReader};
+use hprng_expander::{Vertex, Walk};
+use hprng_gpu_sim::{Device, DeviceBuffer, DeviceConfig, Op, Resource, Stream, Timeline, WorkUnit};
+use std::time::Instant;
+
+/// Words of raw bits a thread consumes at initialization: one 64-bit word
+/// for the start vertex ("we need 64 random bits for each thread", §III-B)
+/// plus the warm-up walk's chunks.
+fn init_words_per_thread(params: &HybridParams) -> usize {
+    1 + (params.walk.warmup_len as usize).div_ceil(hprng_expander::bits::CHUNKS_PER_WORD)
+}
+
+/// Summary of one pipeline run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineStats {
+    /// Numbers produced.
+    pub numbers: usize,
+    /// Simulated makespan in nanoseconds.
+    pub sim_ns: f64,
+    /// Host wall-clock time in nanoseconds.
+    pub wall_ns: f64,
+    /// Raw 64-bit words the FEED stage produced.
+    pub feed_words: u64,
+    /// GENERATE kernel launches (pipeline iterations, init included).
+    pub iterations: usize,
+    /// Fraction of the simulated makespan the CPU was busy feeding.
+    pub cpu_busy: f64,
+    /// Fraction of the simulated makespan the GPU was busy walking.
+    pub gpu_busy: f64,
+    /// Simulated throughput in giganumbers per second.
+    pub gnumbers_per_s: f64,
+}
+
+/// The hybrid generator. Owns a simulated device; create one per
+/// experiment.
+pub struct HybridPrng {
+    device: Device,
+    params: HybridParams,
+    seed: u64,
+}
+
+impl HybridPrng {
+    /// Brings up the generator on a device of the given configuration.
+    pub fn new(config: DeviceConfig, params: HybridParams, seed: u64) -> Self {
+        Self {
+            device: Device::new(config),
+            params,
+            seed,
+        }
+    }
+
+    /// The paper's platform: a simulated Tesla C1060 with default
+    /// parameters.
+    pub fn tesla(seed: u64) -> Self {
+        Self::new(DeviceConfig::tesla_c1060(), HybridParams::default(), seed)
+    }
+
+    /// The device (for timeline inspection).
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The pipeline parameters.
+    pub fn params(&self) -> &HybridParams {
+        &self.params
+    }
+
+    /// Opens an on-demand session with `threads` device-resident walks
+    /// (Algorithm 1 runs here). The session then serves any number of
+    /// [`HybridSession::next_batch`] calls — the quantity of randomness
+    /// never has to be declared up front.
+    pub fn session(&mut self, threads: usize) -> HybridSession<'_> {
+        assert!(threads > 0, "a session needs at least one walk");
+        self.device.reset_timeline();
+        let mut session = HybridSession {
+            device: &self.device,
+            params: self.params,
+            states: DeviceBuffer::zeroed(threads),
+            feed_rng: GlibcRand::new(SplitSeed::mix(self.seed)),
+            cpu_cursor_ns: 0.0,
+            pending_feed_end_ns: 0.0,
+            iterations: 0,
+            feed_words: 0,
+            numbers: 0,
+            wall_start: Instant::now(),
+        };
+        session.initialize();
+        session
+    }
+
+    /// Bulk generation (Figure 3's workload): produces exactly `n` numbers
+    /// using `ceil(n / S)` threads generating `S` numbers each.
+    pub fn generate(&mut self, n: usize) -> (Vec<u64>, PipelineStats) {
+        assert!(n > 0, "cannot generate zero numbers");
+        let s = self.params.batch_size as usize;
+        let threads = n.div_ceil(s);
+        let mut session = self.session(threads);
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let take = (n - out.len()).min(threads);
+            out.extend_from_slice(&session.next_batch(take));
+        }
+        let stats = session.stats();
+        (out, stats)
+    }
+}
+
+/// Seed scrambling helper (keeps `hprng-baselines::SplitMix64` out of the
+/// public signature).
+struct SplitSeed;
+
+impl SplitSeed {
+    fn mix(seed: u64) -> u32 {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as u32
+    }
+}
+
+/// An initialized on-demand generation session (the expander graph `G` of
+/// Algorithms 2 and 3, with one walk per device thread).
+pub struct HybridSession<'a> {
+    device: &'a Device,
+    params: HybridParams,
+    /// Per-thread walk positions (packed vertex labels), device-resident.
+    states: DeviceBuffer<u64>,
+    feed_rng: GlibcRand,
+    /// Simulated time at which the CPU finishes its current FEED batch.
+    cpu_cursor_ns: f64,
+    /// FEED completion time of the bits the *next* kernel will consume.
+    pending_feed_end_ns: f64,
+    iterations: usize,
+    feed_words: u64,
+    numbers: usize,
+    wall_start: Instant,
+}
+
+impl HybridSession<'_> {
+    /// Number of device-resident walks.
+    pub fn threads(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The device the session runs on — applications launch their own
+    /// kernels here so that their work shares the session's timeline
+    /// (Algorithm 3 interleaves ranking kernels with GetNextRand batches).
+    pub fn device(&self) -> &Device {
+        self.device
+    }
+
+    /// CPU-side production of `words` raw 64-bit words. Returns the bit
+    /// buffer and records the FEED interval ending at the returned
+    /// simulated time.
+    fn feed(&mut self, words: usize) -> Vec<u64> {
+        let mut buf = vec![0u64; words];
+        for slot in buf.iter_mut() {
+            // Two 31-bit rand() values and a parity draw give 64 bits; this
+            // is the real data path (quality matters downstream), while the
+            // simulated cost is the calibrated per-word constant.
+            let hi = self.feed_rng.next_rand() as u64;
+            let lo = self.feed_rng.next_rand() as u64;
+            let top = self.feed_rng.next_rand() as u64;
+            *slot = (top & 0b11) << 62 | hi << 31 | lo;
+        }
+        let cost = &self.params.cost;
+        let dur = words as f64 * cost.cpu_ns_per_word / cost.feed_workers.max(1) as f64;
+        let start = self.cpu_cursor_ns;
+        let end = start + dur;
+        self.device.record(Resource::Cpu, WorkUnit::Feed, start, end);
+        self.cpu_cursor_ns = end;
+        self.pending_feed_end_ns = end;
+        self.feed_words += words as u64;
+        buf
+    }
+
+    /// Algorithm 1: drop every walk on a random start vertex and warm it
+    /// up.
+    fn initialize(&mut self) {
+        let threads = self.states.len();
+        let words_per_thread = init_words_per_thread(&self.params);
+        let bits_host = self.feed(threads * words_per_thread);
+
+        let mut stream = Stream::new(self.device);
+        let mut bits_dev = DeviceBuffer::zeroed(bits_host.len());
+        stream.wait_until(self.pending_feed_end_ns);
+        stream.h2d(&bits_host, &mut bits_dev);
+        stream.wait_until(stream.cursor_ns() + self.params.cost.kernel_launch_ns);
+
+        let params = self.params;
+        let bits = bits_dev.as_slice().to_vec();
+        stream.launch_map(WorkUnit::Generate, self.states.as_mut_slice(), |ctx, state| {
+            let t = ctx.global_id();
+            let span = &bits[t * words_per_thread..(t + 1) * words_per_thread];
+            // First word = the 64-bit start label.
+            let mut walk = Walk::new(
+                Vertex::unpack(span[0]),
+                params.walk.sampling,
+                params.walk.mode,
+            );
+            let mut reader =
+                TriBitReader::with_buffer(SliceBitSource::new(&span[1..]), words_per_thread - 1);
+            walk.advance(params.walk.warmup_len, &mut reader);
+            *state = walk.position().pack();
+            ctx.charge(
+                Op::Alu,
+                params.cost.walk_cycles_per_step * params.walk.warmup_len as u64,
+            );
+            ctx.charge(Op::Mem, words_per_thread as u64);
+        });
+        self.iterations += 1;
+    }
+
+    /// Algorithm 2, vectorized: the first `count` walks each produce one
+    /// number. `count` may vary per call — this is the on-demand interface.
+    ///
+    /// # Panics
+    /// Panics if `count` is zero or exceeds the session's thread count.
+    pub fn next_batch(&mut self, count: usize) -> Vec<u64> {
+        assert!(count > 0, "batch must be positive");
+        assert!(
+            count <= self.states.len(),
+            "batch of {count} exceeds the session's {} walks",
+            self.states.len()
+        );
+        let words_per_thread = self.params.walk.words_per_number();
+        let bits_host = self.feed(count * words_per_thread);
+
+        let mut stream = Stream::new(self.device);
+        let mut bits_dev = DeviceBuffer::zeroed(bits_host.len());
+        stream.wait_until(self.pending_feed_end_ns);
+        stream.h2d(&bits_host, &mut bits_dev);
+        stream.wait_until(stream.cursor_ns() + self.params.cost.kernel_launch_ns);
+
+        let params = self.params;
+        let bits = bits_dev.into_host();
+        let mut out = vec![0u64; count];
+        stream.launch_zip(
+            WorkUnit::Generate,
+            &mut self.states.as_mut_slice()[..count],
+            &mut out,
+            1,
+            |ctx, state, span| {
+                let t = ctx.global_id();
+                let word_span = &bits[t * words_per_thread..(t + 1) * words_per_thread];
+                let mut walk = Walk::new(
+                    Vertex::unpack(*state),
+                    params.walk.sampling,
+                    params.walk.mode,
+                );
+                let mut reader =
+                    TriBitReader::with_buffer(SliceBitSource::new(word_span), words_per_thread);
+                let dest = walk.advance(params.walk.walk_len, &mut reader);
+                *state = dest.pack();
+                span[0] = dest.pack();
+                ctx.charge(
+                    Op::Alu,
+                    params.cost.walk_cycles_per_step * params.walk.walk_len as u64,
+                );
+                ctx.charge(Op::Mem, words_per_thread as u64 + 1);
+            },
+        );
+        if self.params.copy_back {
+            let dev_out = DeviceBuffer::from_host(out.clone());
+            let mut host_out = vec![0u64; count];
+            stream.d2h(&dev_out, &mut host_out);
+        }
+        self.iterations += 1;
+        self.numbers += count;
+        out
+    }
+
+    /// The session's statistics so far.
+    pub fn stats(&self) -> PipelineStats {
+        let timeline = self.device.timeline();
+        let sim_ns = timeline.makespan_ns();
+        PipelineStats {
+            numbers: self.numbers,
+            sim_ns,
+            wall_ns: self.wall_start.elapsed().as_nanos() as f64,
+            feed_words: self.feed_words,
+            iterations: self.iterations,
+            cpu_busy: timeline.busy_fraction(Resource::Cpu),
+            gpu_busy: timeline.busy_fraction(Resource::Gpu),
+            gnumbers_per_s: if sim_ns > 0.0 {
+                self.numbers as f64 / sim_ns
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// The device timeline (Figure 4's raw material).
+    pub fn timeline(&self) -> Timeline {
+        self.device.timeline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprng_gpu_sim::DeviceConfig;
+
+    fn tiny_prng(seed: u64) -> HybridPrng {
+        HybridPrng::new(DeviceConfig::test_tiny(), HybridParams::default(), seed)
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let mut prng = tiny_prng(1);
+        let (nums, stats) = prng.generate(1234);
+        assert_eq!(nums.len(), 1234);
+        assert_eq!(stats.numbers, 1234);
+        assert!(stats.sim_ns > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, _) = tiny_prng(42).generate(500);
+        let (b, _) = tiny_prng(42).generate(500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, _) = tiny_prng(1).generate(500);
+        let (b, _) = tiny_prng(2).generate(500);
+        let same = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn sim_time_is_deterministic() {
+        let (_, s1) = tiny_prng(7).generate(1000);
+        let (_, s2) = tiny_prng(7).generate(1000);
+        assert_eq!(s1.sim_ns, s2.sim_ns);
+        assert_eq!(s1.feed_words, s2.feed_words);
+        assert_eq!(s1.iterations, s2.iterations);
+    }
+
+    #[test]
+    fn on_demand_batches_can_vary() {
+        let mut prng = tiny_prng(3);
+        let mut session = prng.session(64);
+        let a = session.next_batch(64);
+        let b = session.next_batch(10); // demand not known a priori
+        let c = session.next_batch(33);
+        assert_eq!(a.len(), 64);
+        assert_eq!(b.len(), 10);
+        assert_eq!(c.len(), 33);
+        assert_eq!(session.stats().numbers, 107);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the session")]
+    fn oversized_batch_panics() {
+        let mut prng = tiny_prng(3);
+        let mut session = prng.session(8);
+        session.next_batch(9);
+    }
+
+    #[test]
+    fn feed_volume_matches_demand() {
+        // 64 threads × (1 start word + 4 warm-up words) init, plus one
+        // batch of 64 numbers × 4 words each.
+        let mut prng = tiny_prng(5);
+        let mut session = prng.session(64);
+        session.next_batch(64);
+        let stats = session.stats();
+        assert_eq!(stats.feed_words, 64 * 5 + 64 * 4);
+    }
+
+    #[test]
+    fn pipeline_iterations_counted() {
+        let mut prng = tiny_prng(5);
+        let mut session = prng.session(16);
+        session.next_batch(16);
+        session.next_batch(16);
+        assert_eq!(session.stats().iterations, 3); // init + 2 batches
+    }
+
+    #[test]
+    fn timeline_contains_all_three_work_units() {
+        let mut prng = tiny_prng(5);
+        let mut session = prng.session(32);
+        session.next_batch(32);
+        let tl = session.timeline();
+        assert!(tl.unit_total_ns(WorkUnit::Feed) > 0.0);
+        assert!(tl.unit_total_ns(WorkUnit::Transfer) > 0.0);
+        assert!(tl.unit_total_ns(WorkUnit::Generate) > 0.0);
+    }
+
+    #[test]
+    fn walk_states_advance_between_batches() {
+        let mut prng = tiny_prng(5);
+        let mut session = prng.session(8);
+        let a = session.next_batch(8);
+        let b = session.next_batch(8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn busy_fractions_are_sane() {
+        let mut prng = tiny_prng(9);
+        let (_, stats) = prng.generate(2000);
+        assert!(stats.cpu_busy > 0.0 && stats.cpu_busy <= 1.0);
+        assert!(stats.gpu_busy > 0.0 && stats.gpu_busy <= 1.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Tunable parameters of the generator and of the simulated pipeline.
+
+use hprng_expander::{NeighborSampling, WalkMode};
+
+/// Parameters of the random walk itself (Algorithms 1 and 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkParams {
+    /// Warm-up walk length performed at initialization (Algorithm 1; the
+    /// paper uses 64).
+    pub warmup_len: u32,
+    /// Walk length per generated number (Algorithm 2's `l`; the paper
+    /// uses 64). Shorter walks are faster but mix less — see the
+    /// walk-length ablation bench.
+    pub walk_len: u32,
+    /// How 3-bit values map onto the 7 neighbours.
+    pub sampling: NeighborSampling,
+    /// Directed (paper pseudocode) or bipartite walking.
+    pub mode: WalkMode,
+}
+
+impl Default for WalkParams {
+    fn default() -> Self {
+        Self {
+            warmup_len: 64,
+            walk_len: 64,
+            sampling: NeighborSampling::default(),
+            mode: WalkMode::default(),
+        }
+    }
+}
+
+impl WalkParams {
+    /// Raw 3-bit chunks needed per generated number.
+    ///
+    /// Exact for the mask-with-self-loop policy; an expected lower bound for
+    /// rejection sampling.
+    #[inline]
+    pub fn chunks_per_number(&self) -> u64 {
+        self.walk_len as u64
+    }
+
+    /// 64-bit words of raw bits a thread needs to produce one number
+    /// (21 three-bit chunks fit in a word).
+    #[inline]
+    pub fn words_per_number(&self) -> usize {
+        (self.walk_len as usize).div_ceil(hprng_expander::bits::CHUNKS_PER_WORD)
+    }
+}
+
+/// The calibrated instruction-cost constants of the simulated comparison.
+///
+/// **Calibration note.** The structural behaviour of the pipeline (what
+/// overlaps what, when the GPU stalls on the CPU, how batch size shifts the
+/// balance) is *simulated* from first principles. The per-output instruction
+/// charges below, however, are *fitted* to the throughput ratios the paper
+/// measured on its 2012 hardware/software stack (Figure 3: hybrid ≈ 2×
+/// faster than the SDK Mersenne-Twister sample and CURAND's device API),
+/// because the absolute microarchitectural cost of that library code is not
+/// recoverable from the paper. The repro harness prints these constants next
+/// to every derived figure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Simulated cycles charged per expander-walk step. The walk is a
+    /// serial dependency chain (each step's address depends on the
+    /// previous), so on the C1060's in-order 4-stage pipeline a step costs
+    /// far more than its 2–3 wrapping adds; 24 cycles/step folds in the
+    /// dependent-issue stalls and the amortized raw-bit fetch.
+    pub walk_cycles_per_step: u64,
+    /// Cycles per output of the SDK Mersenne-Twister sample. Dominated by
+    /// dependent global-memory round-trips on the per-thread state array at
+    /// the sample's fixed 4096-thread geometry — far too few warps per SM
+    /// to hide the ~550-cycle memory latency.
+    pub mt_cycles_per_output: u64,
+    /// Cycles per output of CURAND's device-API XORWOW: per-call state
+    /// load/store from local (off-chip on the C1060) memory plus API
+    /// overhead.
+    pub curand_cycles_per_output: u64,
+    /// Fixed kernel-launch overhead in nanoseconds (CUDA-era launches cost
+    /// 5–10 µs; this drives the large-batch side of Figure 5's U-shape).
+    pub kernel_launch_ns: f64,
+    /// Host nanoseconds to produce one 64-bit word of raw bits with glibc
+    /// `rand()` (two-plus calls plus packing) on one FEED worker.
+    pub cpu_ns_per_word: f64,
+    /// Number of CPU FEED workers (the paper's i7 has 4 cores + SMT).
+    pub feed_workers: usize,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            walk_cycles_per_step: 24,
+            mt_cycles_per_output: 3_200,
+            curand_cycles_per_output: 3_800,
+            kernel_launch_ns: 7_000.0,
+            cpu_ns_per_word: 6.0,
+            feed_workers: 4,
+        }
+    }
+}
+
+/// Parameters of the full hybrid pipeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HybridParams {
+    /// Walk configuration.
+    pub walk: WalkParams,
+    /// Batch size `S`: numbers generated per thread (Figure 5 sweeps this;
+    /// the paper's optimum is ≈ 100).
+    pub batch_size: u32,
+    /// Cost-model calibration.
+    pub cost: CostModel,
+    /// Whether `generate` copies the results back to the host (off by
+    /// default: the paper's applications consume the numbers on the device).
+    pub copy_back: bool,
+}
+
+impl Default for HybridParams {
+    fn default() -> Self {
+        Self {
+            walk: WalkParams::default(),
+            batch_size: 100,
+            cost: CostModel::default(),
+            copy_back: false,
+        }
+    }
+}
+
+impl HybridParams {
+    /// Convenience: default parameters with a specific batch size.
+    pub fn with_batch_size(batch_size: u32) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self {
+            batch_size,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let w = WalkParams::default();
+        assert_eq!(w.warmup_len, 64);
+        assert_eq!(w.walk_len, 64);
+        let h = HybridParams::default();
+        assert_eq!(h.batch_size, 100);
+    }
+
+    #[test]
+    fn words_per_number_rounds_up() {
+        let w = WalkParams::default();
+        // 64 chunks at 21 per word → 4 words.
+        assert_eq!(w.words_per_number(), 4);
+        let short = WalkParams {
+            walk_len: 21,
+            ..WalkParams::default()
+        };
+        assert_eq!(short.words_per_number(), 1);
+        let shorter = WalkParams {
+            walk_len: 22,
+            ..WalkParams::default()
+        };
+        assert_eq!(shorter.words_per_number(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_rejected() {
+        let _ = HybridParams::with_batch_size(0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Exact edge expansion of small Gabber–Galil instances.
+//!
+//! The edge expansion of an undirected graph `G(V, E)` is
+//!
+//! ```text
+//! α(G) = min_{U ⊆ V, |U| ≤ |V|/2}  |∂U| / |U|
+//! ```
+//!
+//! where `∂U` is the set of edges with exactly one endpoint in `U`
+//! (§III-A of the paper). We build the undirected bipartite double cover of
+//! the construction — side `X` and side `Y` each carry `m²` vertices, and
+//! `X`-vertex `v` is adjacent to the seven `Y`-vertices `f_k(v)` — and
+//! enumerate all subsets. This is exponential and only usable for
+//! `2 m² ≤ ~20` vertices, which is exactly what the validation tests need.
+
+use crate::graph::{GabberGalilGeneric, DEGREE};
+use crate::zm::GenVertex;
+
+/// Adjacency lists of the undirected bipartite Gabber–Galil graph on
+/// `2 m²` vertices.
+///
+/// Vertices `0 .. m²` are side `X` (indexed by [`GenVertex::index`]);
+/// vertices `m² .. 2 m²` are side `Y`. Parallel edges are preserved (the
+/// maps can collide for small `m`), so every vertex has degree exactly 7
+/// counting multiplicity.
+pub fn undirected_bipartite_adjacency(g: GabberGalilGeneric) -> Vec<Vec<usize>> {
+    let m = g.modulus();
+    let side = g.side_len();
+    let mut adj = vec![Vec::with_capacity(DEGREE as usize); 2 * side];
+    for idx in 0..side {
+        let v = GenVertex::from_index(idx, m);
+        for k in 0..DEGREE {
+            let w = g.neighbor(v, k).index(m) + side;
+            adj[idx].push(w);
+            adj[w].push(idx);
+        }
+    }
+    adj
+}
+
+/// Exact edge expansion `α(G)` of the undirected bipartite graph, by
+/// enumerating every subset of at most half the vertices.
+///
+/// Returns the minimizing ratio. The total vertex count `2 m²` must be at
+/// most 24 or the enumeration would be astronomically slow.
+///
+/// # Panics
+/// Panics if `2 m² > 24`.
+pub fn exact_edge_expansion(g: GabberGalilGeneric) -> f64 {
+    let side = g.side_len();
+    let n = 2 * side;
+    assert!(n <= 24, "exact expansion is only feasible for tiny graphs (2m² ≤ 24)");
+    let adj = undirected_bipartite_adjacency(g);
+
+    let mut best = f64::INFINITY;
+    // Subsets are bitmasks over the n vertices. Skip the empty set.
+    for mask in 1u32..(1u32 << n) {
+        let size = mask.count_ones() as usize;
+        if size > n / 2 {
+            continue;
+        }
+        let mut boundary = 0usize;
+        let mut bits = mask;
+        while bits != 0 {
+            let v = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            for &w in &adj[v] {
+                if mask & (1 << w) == 0 {
+                    boundary += 1;
+                }
+            }
+        }
+        let ratio = boundary as f64 / size as f64;
+        if ratio < best {
+            best = ratio;
+        }
+    }
+    best
+}
+
+/// Counts the edges leaving `subset` (given as vertex indices into the
+/// adjacency built by [`undirected_bipartite_adjacency`]), counting
+/// multiplicity.
+pub fn edge_boundary(adj: &[Vec<usize>], subset: &[usize]) -> usize {
+    let mut inside = vec![false; adj.len()];
+    for &v in subset {
+        inside[v] = true;
+    }
+    let mut boundary = 0;
+    for &v in subset {
+        for &w in &adj[v] {
+            if !inside[w] {
+                boundary += 1;
+            }
+        }
+    }
+    boundary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::GABBER_GALIL_ALPHA;
+
+    #[test]
+    fn adjacency_is_seven_regular_with_multiplicity() {
+        let g = GabberGalilGeneric::new(3);
+        let adj = undirected_bipartite_adjacency(g);
+        assert_eq!(adj.len(), 18);
+        for lists in &adj {
+            assert_eq!(lists.len(), 7);
+        }
+    }
+
+    #[test]
+    fn adjacency_is_bipartite() {
+        let g = GabberGalilGeneric::new(3);
+        let side = g.side_len();
+        let adj = undirected_bipartite_adjacency(g);
+        for (v, lists) in adj.iter().enumerate() {
+            for &w in lists {
+                assert_ne!(v < side, w < side, "edge within one side: {v} - {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_boundary_of_everything_is_zero() {
+        let g = GabberGalilGeneric::new(2);
+        let adj = undirected_bipartite_adjacency(g);
+        let all: Vec<usize> = (0..adj.len()).collect();
+        assert_eq!(edge_boundary(&adj, &all), 0);
+    }
+
+    #[test]
+    fn edge_boundary_of_single_vertex_is_its_degree() {
+        let g = GabberGalilGeneric::new(3);
+        let adj = undirected_bipartite_adjacency(g);
+        assert_eq!(edge_boundary(&adj, &[0]), 7);
+    }
+
+    #[test]
+    fn tiny_graphs_expand() {
+        // m = 2 and m = 3 give 8- and 18-vertex graphs. Their exact
+        // expansion must be strictly positive (connectivity) and — being
+        // tiny, dense instances — comfortably above the asymptotic
+        // Gabber-Galil constant.
+        for m in [2u64, 3] {
+            let alpha = exact_edge_expansion(GabberGalilGeneric::new(m));
+            assert!(alpha > 0.0, "m={m}: graph not connected (α={alpha})");
+            assert!(
+                alpha >= GABBER_GALIL_ALPHA,
+                "m={m}: α={alpha} below the Gabber-Galil constant"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tiny graphs")]
+    fn exact_expansion_rejects_large_graphs() {
+        let _ = exact_edge_expansion(GabberGalilGeneric::new(4));
+    }
+}

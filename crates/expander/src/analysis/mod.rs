@@ -1,0 +1,28 @@
+//! Validation machinery for the expander construction.
+//!
+//! The PRNG's quality argument rests on two properties of the Gabber–Galil
+//! graph that this module makes empirically checkable on small instances:
+//!
+//! * **Edge expansion** — the paper quotes `α(G) = (2 − √3)/2 ≈ 0.134`
+//!   (Gabber & Galil, FOCS 1979). [`expansion`] computes the exact edge
+//!   expansion of small instances by subset enumeration.
+//! * **Rapid mixing** — random walks approach the uniform distribution
+//!   quickly (Hoory–Linial–Wigderson). [`spectral`] estimates the spectral
+//!   gap of the lazy walk operator and [`mixing`] traces total-variation
+//!   distance to uniform step by step.
+//!
+//! Everything here operates on [`crate::GabberGalilGeneric`] instances small
+//! enough to enumerate; the production graph (`m = 2^32`) inherits the
+//! theory.
+
+pub mod expansion;
+pub mod mixing;
+pub mod spectral;
+
+pub use expansion::{exact_edge_expansion, undirected_bipartite_adjacency};
+pub use mixing::{mixing_curve, tv_distance};
+pub use spectral::{lazy_walk_second_eigenvalue, spectral_gap};
+
+/// The edge-expansion constant proved by Gabber and Galil for this family:
+/// `(2 − √3)/2`.
+pub const GABBER_GALIL_ALPHA: f64 = 0.133_974_596_215_561_4;

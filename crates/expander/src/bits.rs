@@ -1,0 +1,254 @@
+//! Raw-bit plumbing: sources of random bits and the 3-bit chunk reader that
+//! drives walk steps.
+//!
+//! In the paper the CPU produces a stream of raw random bits (`bin`) with
+//! `glibc rand()` and ships it to the GPU; each walk step consumes three of
+//! those bits to pick one of the seven neighbours (`b(u) = bin(t) & 0b111`).
+//! This module provides the equivalent machinery:
+//!
+//! * [`BitSource`] — anything that can refill a buffer of raw 64-bit words.
+//! * [`TriBitReader`] — slices a `BitSource` into consecutive 3-bit chunks.
+//! * [`SliceBitSource`] — a source backed by a fixed slice (cycling), used in
+//!   tests and for replaying recorded bit streams.
+
+/// A producer of raw random 64-bit words.
+///
+/// Implementations are expected to be cheap: the hybrid pipeline calls
+/// [`BitSource::fill`] from the FEED stage on dedicated CPU workers.
+pub trait BitSource {
+    /// Fills `buf` entirely with raw random words.
+    fn fill(&mut self, buf: &mut [u64]);
+}
+
+impl<T: BitSource + ?Sized> BitSource for &mut T {
+    fn fill(&mut self, buf: &mut [u64]) {
+        (**self).fill(buf)
+    }
+}
+
+impl<T: BitSource + ?Sized> BitSource for Box<T> {
+    fn fill(&mut self, buf: &mut [u64]) {
+        (**self).fill(buf)
+    }
+}
+
+/// A [`BitSource`] that replays a fixed slice of words, cycling when it runs
+/// out.
+///
+/// # Panics
+/// Constructing it from an empty slice panics: a cycling source needs at
+/// least one word.
+#[derive(Clone, Debug)]
+pub struct SliceBitSource<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> SliceBitSource<'a> {
+    /// Creates a cycling source over `words`.
+    pub fn new(words: &'a [u64]) -> Self {
+        assert!(!words.is_empty(), "SliceBitSource needs at least one word");
+        Self { words, pos: 0 }
+    }
+}
+
+impl BitSource for SliceBitSource<'_> {
+    fn fill(&mut self, buf: &mut [u64]) {
+        for slot in buf {
+            *slot = self.words[self.pos];
+            self.pos = (self.pos + 1) % self.words.len();
+        }
+    }
+}
+
+/// A [`BitSource`] driven by a closure. Handy for tests and for adapting
+/// foreign generators without a newtype.
+pub struct FnBitSource<F: FnMut() -> u64>(pub F);
+
+impl<F: FnMut() -> u64> BitSource for FnBitSource<F> {
+    fn fill(&mut self, buf: &mut [u64]) {
+        for slot in buf {
+            *slot = (self.0)();
+        }
+    }
+}
+
+/// Number of whole 3-bit chunks extracted from one 64-bit word.
+///
+/// `64 = 21 * 3 + 1`; the leftover top bit is discarded, exactly like the
+/// paper's index arithmetic `bin(t) & (0b111 << 3i)` discards whatever does
+/// not fit.
+pub const CHUNKS_PER_WORD: usize = 21;
+
+/// Reads consecutive 3-bit chunks out of a [`BitSource`].
+///
+/// The reader owns a small refill buffer so that sources are polled in
+/// batches rather than per chunk.
+#[derive(Debug)]
+pub struct TriBitReader<S: BitSource> {
+    source: S,
+    buf: Vec<u64>,
+    /// Index of the word currently being consumed.
+    word_idx: usize,
+    /// Shift register holding the not-yet-consumed chunks of the current
+    /// word (low 3 bits are the next chunk).
+    current: u64,
+    /// Chunks left in `current`.
+    chunks_left: u32,
+    /// Total chunks handed out, for accounting (the FEED/TRANSFER budget in
+    /// the pipeline is expressed in raw bits).
+    consumed: u64,
+}
+
+/// Default refill batch, in words. 256 words = 16 KiB of raw bits, matching
+/// the batch granularity the hybrid pipeline uses for PCIe transfers.
+const DEFAULT_BUF_WORDS: usize = 256;
+
+impl<S: BitSource> TriBitReader<S> {
+    /// Creates a reader with the default refill batch size.
+    pub fn new(source: S) -> Self {
+        Self::with_buffer(source, DEFAULT_BUF_WORDS)
+    }
+
+    /// Creates a reader refilling `buf_words` words at a time.
+    ///
+    /// # Panics
+    /// Panics if `buf_words == 0`.
+    pub fn with_buffer(source: S, buf_words: usize) -> Self {
+        assert!(buf_words > 0, "buffer must hold at least one word");
+        Self {
+            source,
+            buf: vec![0; buf_words],
+            // Positioned at the end so the first `next3` triggers a refill.
+            word_idx: buf_words,
+            current: 0,
+            chunks_left: 0,
+            consumed: 0,
+        }
+    }
+
+    /// Returns the next 3-bit chunk, in `0..8`.
+    #[inline]
+    pub fn next3(&mut self) -> u8 {
+        if self.chunks_left == 0 {
+            self.reload();
+        }
+        let chunk = (self.current & 0b111) as u8;
+        self.current >>= 3;
+        self.chunks_left -= 1;
+        self.consumed += 1;
+        chunk
+    }
+
+    /// Loads the next word into the shift register, refilling the buffer
+    /// from the source when it is exhausted (outlined: runs once per 21
+    /// chunks).
+    #[cold]
+    fn reload(&mut self) {
+        if self.word_idx == self.buf.len() {
+            self.source.fill(&mut self.buf);
+            self.word_idx = 0;
+        }
+        self.current = self.buf[self.word_idx];
+        self.word_idx += 1;
+        self.chunks_left = CHUNKS_PER_WORD as u32;
+    }
+
+    /// Total number of 3-bit chunks handed out so far.
+    #[inline]
+    pub fn chunks_consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Total raw bits consumed so far (3 per chunk, plus the discarded top
+    /// bit of every exhausted word is *not* counted — this reports useful
+    /// bits).
+    #[inline]
+    pub fn bits_consumed(&self) -> u64 {
+        self.consumed * 3
+    }
+
+    /// Consumes the reader and returns the underlying source.
+    pub fn into_source(self) -> S {
+        self.source
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_source_cycles() {
+        let words = [1u64, 2, 3];
+        let mut s = SliceBitSource::new(&words);
+        let mut buf = [0u64; 7];
+        s.fill(&mut buf);
+        assert_eq!(buf, [1, 2, 3, 1, 2, 3, 1]);
+        let mut buf2 = [0u64; 2];
+        s.fill(&mut buf2);
+        assert_eq!(buf2, [2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn slice_source_rejects_empty() {
+        let _ = SliceBitSource::new(&[]);
+    }
+
+    #[test]
+    fn tribit_reader_extracts_low_chunks_first() {
+        // Word = 0b..._110_101_100_011_010_001 → chunks 1,2,3,4,5,6 from the
+        // low end.
+        let word = 0b110_101_100_011_010_001u64;
+        let words = [word];
+        let mut r = TriBitReader::new(SliceBitSource::new(&words));
+        let got: Vec<u8> = (0..6).map(|_| r.next3()).collect();
+        assert_eq!(got, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn tribit_reader_consumes_21_chunks_per_word() {
+        // Two distinct words; chunk 22 must come from the second word.
+        let words = [0u64, 0b111u64];
+        let mut r = TriBitReader::new(SliceBitSource::new(&words));
+        for _ in 0..CHUNKS_PER_WORD {
+            assert_eq!(r.next3(), 0);
+        }
+        assert_eq!(r.next3(), 0b111);
+        assert_eq!(r.chunks_consumed(), 22);
+        assert_eq!(r.bits_consumed(), 66);
+    }
+
+    #[test]
+    fn tribit_reader_discards_top_bit() {
+        // Only the single top bit set: all 21 chunks must be zero (bit 63 is
+        // the leftover).
+        let words = [1u64 << 63];
+        let mut r = TriBitReader::new(SliceBitSource::new(&words));
+        for _ in 0..CHUNKS_PER_WORD {
+            assert_eq!(r.next3(), 0);
+        }
+    }
+
+    #[test]
+    fn fn_source_works() {
+        let mut counter = 0u64;
+        let mut src = FnBitSource(move || {
+            counter += 1;
+            counter
+        });
+        let mut buf = [0u64; 3];
+        src.fill(&mut buf);
+        assert_eq!(buf, [1, 2, 3]);
+    }
+
+    #[test]
+    fn small_refill_buffer_is_supported() {
+        let words = [0xffff_ffff_ffff_ffffu64];
+        let mut r = TriBitReader::with_buffer(SliceBitSource::new(&words), 1);
+        for _ in 0..100 {
+            assert_eq!(r.next3(), 0b111);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Random-walk cursors over the production Gabber–Galil graph.
+//!
+//! A [`Walk`] holds the current vertex and advances one edge per 3-bit
+//! neighbour choice. Two policy knobs reflect choices the paper leaves
+//! implicit:
+//!
+//! * **Neighbour sampling** ([`NeighborSampling`]) — three raw bits yield a
+//!   value in `0..8`, but the graph has only seven neighbours. The paper's
+//!   pseudocode masks with `0b111` and calls `f(u, b(u))` directly, which is
+//!   only well defined if index 7 means *something*. We support both
+//!   readings: [`NeighborSampling::MaskWithSelfLoop`] treats 7 as "stay put"
+//!   (an eighth self-loop, making the walk lazy — laziness is in fact
+//!   *required* for convergence on the bipartite double cover), and
+//!   [`NeighborSampling::Rejection`] redraws until the value is `< 7`,
+//!   giving exactly uniform neighbour choices at the cost of a variable
+//!   number of bits.
+//! * **Walk mode** ([`WalkMode`]) — the paper's pseudocode applies the
+//!   forward neighbour map at every step (`Directed`), which walks the
+//!   7-out-regular functional graph. `Bipartite` alternates forward and
+//!   inverse maps, which is the walk on the undirected bipartite
+//!   Gabber–Galil graph the expansion theorem is actually stated for. Both
+//!   mix rapidly; `Directed` matches the published implementation and is the
+//!   default.
+
+use crate::bits::{BitSource, TriBitReader};
+use crate::graph::{GabberGalil, DEGREE};
+use crate::zm::Vertex;
+
+/// How a 3-bit value in `0..8` is mapped onto the seven neighbours.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum NeighborSampling {
+    /// Value 7 is interpreted as a self-loop (lazy walk). Constant one chunk
+    /// per step — this is what the paper's `& 0b111` mask does in practice.
+    #[default]
+    MaskWithSelfLoop,
+    /// Values ≥ 7 are rejected and a fresh chunk is drawn, so each of the
+    /// seven neighbours is chosen with probability exactly 1/7.
+    Rejection,
+}
+
+/// Which edge relation each step uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WalkMode {
+    /// Apply the forward neighbour map at every step (the paper's
+    /// pseudocode).
+    #[default]
+    Directed,
+    /// Alternate forward and inverse maps, walking the undirected bipartite
+    /// graph: even steps go left→right, odd steps right→left.
+    Bipartite,
+}
+
+/// A stateful random-walk cursor.
+#[derive(Clone, Debug)]
+pub struct Walk {
+    graph: GabberGalil,
+    pos: Vertex,
+    sampling: NeighborSampling,
+    mode: WalkMode,
+    /// Parity of the number of steps taken; selects the edge direction in
+    /// `Bipartite` mode.
+    steps: u64,
+}
+
+impl Walk {
+    /// Creates a walk standing on `start`.
+    pub fn new(start: Vertex, sampling: NeighborSampling, mode: WalkMode) -> Self {
+        Self {
+            graph: GabberGalil,
+            pos: start,
+            sampling,
+            mode,
+            steps: 0,
+        }
+    }
+
+    /// Creates a walk with the paper's default policies
+    /// (mask-with-self-loop, directed).
+    pub fn paper_default(start: Vertex) -> Self {
+        Self::new(start, NeighborSampling::default(), WalkMode::default())
+    }
+
+    /// The vertex the walk currently stands on.
+    #[inline]
+    pub fn position(&self) -> Vertex {
+        self.pos
+    }
+
+    /// Number of steps taken since construction (self-loops count).
+    #[inline]
+    pub fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    /// Repositions the walk (used when re-seeding a thread slot).
+    pub fn teleport(&mut self, v: Vertex) {
+        self.pos = v;
+        self.steps = 0;
+    }
+
+    /// Advances one step using an explicit neighbour choice in `0..8`.
+    ///
+    /// Returns the new position. Choice 7 behaves according to the sampling
+    /// policy: self-loop under `MaskWithSelfLoop`; under `Rejection` it is
+    /// ignored (no step is taken) and the caller is expected to redraw —
+    /// [`Walk::step_with`] does this automatically.
+    #[inline]
+    pub fn step_choice(&mut self, choice: u8) -> Vertex {
+        debug_assert!(choice < 8, "choice must be a 3-bit value");
+        if choice >= DEGREE {
+            match self.sampling {
+                NeighborSampling::MaskWithSelfLoop => {
+                    // Lazy step: stay put but count the step.
+                    self.steps += 1;
+                }
+                NeighborSampling::Rejection => {
+                    // Rejected draw: position and step count are unchanged.
+                }
+            }
+            return self.pos;
+        }
+        self.pos = match self.mode {
+            WalkMode::Directed => self.graph.neighbor(self.pos, choice),
+            WalkMode::Bipartite => {
+                if self.steps % 2 == 0 {
+                    self.graph.neighbor(self.pos, choice)
+                } else {
+                    self.graph.inv_neighbor(self.pos, choice)
+                }
+            }
+        };
+        self.steps += 1;
+        self.pos
+    }
+
+    /// Advances exactly one step, drawing 3-bit chunks from `bits`
+    /// (redrawing on rejection when the policy demands it).
+    #[inline]
+    pub fn step_with<S: BitSource>(&mut self, bits: &mut TriBitReader<S>) -> Vertex {
+        loop {
+            let before = self.steps;
+            let pos = self.step_choice(bits.next3());
+            if self.steps != before {
+                return pos;
+            }
+            // Only the Rejection policy leaves the step count unchanged.
+        }
+    }
+
+    /// Advances `len` steps and returns the destination (the paper's inner
+    /// loop of Algorithms 1 and 2).
+    ///
+    /// The default policy pair (mask-with-self-loop, directed) takes a
+    /// branch-lean fast path — this is the innermost loop of the entire
+    /// generator.
+    pub fn advance<S: BitSource>(&mut self, len: u32, bits: &mut TriBitReader<S>) -> Vertex {
+        if self.sampling == NeighborSampling::MaskWithSelfLoop && self.mode == WalkMode::Directed {
+            let g = self.graph;
+            let mut pos = self.pos;
+            for _ in 0..len {
+                pos = g.step_masked(pos, bits.next3());
+            }
+            self.pos = pos;
+            self.steps += len as u64;
+            return pos;
+        }
+        for _ in 0..len {
+            self.step_with(bits);
+        }
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::SliceBitSource;
+
+    fn reader(words: &[u64]) -> TriBitReader<SliceBitSource<'_>> {
+        TriBitReader::new(SliceBitSource::new(words))
+    }
+
+    #[test]
+    fn walk_is_deterministic_given_bits() {
+        let words = [0xdead_beef_cafe_f00du64, 0x1234_5678_9abc_def0];
+        let mut a = Walk::paper_default(Vertex::new(7, 9));
+        let mut b = Walk::paper_default(Vertex::new(7, 9));
+        let mut ra = reader(&words);
+        let mut rb = reader(&words);
+        for _ in 0..200 {
+            assert_eq!(a.step_with(&mut ra), b.step_with(&mut rb));
+        }
+    }
+
+    #[test]
+    fn self_loop_choice_keeps_position_but_counts_step() {
+        let mut w = Walk::new(
+            Vertex::new(1, 1),
+            NeighborSampling::MaskWithSelfLoop,
+            WalkMode::Directed,
+        );
+        let p = w.step_choice(7);
+        assert_eq!(p, Vertex::new(1, 1));
+        assert_eq!(w.steps_taken(), 1);
+    }
+
+    #[test]
+    fn rejection_redraws_on_seven() {
+        // All-ones words always produce chunk 7; a walk with rejection would
+        // spin forever, so feed one word of sevens followed by a word whose
+        // first chunk is 1.
+        let words = [0xffff_ffff_ffff_ffffu64, 0x1u64];
+        let mut w = Walk::new(
+            Vertex::new(2, 3),
+            NeighborSampling::Rejection,
+            WalkMode::Directed,
+        );
+        let mut r = reader(&words);
+        let p = w.step_with(&mut r);
+        // Chunk 1 → neighbour 1 = (x, 2x+y) = (2, 7).
+        assert_eq!(p, Vertex::new(2, 7));
+        assert_eq!(w.steps_taken(), 1);
+        // 21 rejected chunks + 1 accepted.
+        assert_eq!(r.chunks_consumed(), 22);
+    }
+
+    #[test]
+    fn bipartite_mode_alternates_direction() {
+        let mut w = Walk::new(
+            Vertex::new(5, 6),
+            NeighborSampling::MaskWithSelfLoop,
+            WalkMode::Bipartite,
+        );
+        // Forward step with k=1: (5, 16).
+        assert_eq!(w.step_choice(1), Vertex::new(5, 16));
+        // Backward step with k=1 must invert a forward-1 edge: the vertex u
+        // with neighbor(u,1) = (5,16) is (5, 6).
+        assert_eq!(w.step_choice(1), Vertex::new(5, 6));
+    }
+
+    #[test]
+    fn directed_mode_never_inverts() {
+        let mut w = Walk::new(
+            Vertex::new(5, 6),
+            NeighborSampling::MaskWithSelfLoop,
+            WalkMode::Directed,
+        );
+        assert_eq!(w.step_choice(1), Vertex::new(5, 16));
+        assert_eq!(w.step_choice(1), Vertex::new(5, 26));
+    }
+
+    #[test]
+    fn advance_takes_requested_number_of_steps() {
+        let words = [0x0123_4567_89ab_cdefu64];
+        let mut w = Walk::paper_default(Vertex::new(0, 0));
+        let mut r = reader(&words);
+        w.advance(64, &mut r);
+        assert_eq!(w.steps_taken(), 64);
+    }
+
+    #[test]
+    fn teleport_resets_state() {
+        let mut w = Walk::paper_default(Vertex::new(0, 0));
+        w.step_choice(1);
+        w.teleport(Vertex::new(9, 9));
+        assert_eq!(w.position(), Vertex::new(9, 9));
+        assert_eq!(w.steps_taken(), 0);
+    }
+
+    #[test]
+    fn walks_from_different_starts_diverge() {
+        // Same bit stream, different start: positions should differ (the
+        // neighbour maps are bijections, so equal positions would imply equal
+        // starts).
+        let words = [0x5555_aaaa_5555_aaaau64];
+        let mut a = Walk::paper_default(Vertex::new(0, 1));
+        let mut b = Walk::paper_default(Vertex::new(1, 0));
+        let mut ra = reader(&words);
+        let mut rb = reader(&words);
+        for _ in 0..50 {
+            a.step_with(&mut ra);
+            b.step_with(&mut rb);
+            assert_ne!(a.position(), b.position());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Vertex labels over `Z_m × Z_m`.
+//!
+//! The production graph uses `m = 2^32`, which makes every coordinate a `u32`
+//! and lets all modular arithmetic compile down to wrapping machine
+//! operations. [`GenVertex`] supports arbitrary moduli for the analysis
+//! module, where we build small graphs whose expansion we can compute
+//! exactly.
+
+/// A vertex of the production Gabber–Galil graph (`m = 2^32`).
+///
+/// The 64-bit label returned by [`Vertex::pack`] is exactly the pseudo random
+/// number emitted by the hybrid generator: the paper's construction returns
+/// "the destination node as a random number" and labels vertices with
+/// `(x, y)` pairs of 32-bit words.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Vertex {
+    /// First coordinate in `Z_{2^32}`.
+    pub x: u32,
+    /// Second coordinate in `Z_{2^32}`.
+    pub y: u32,
+}
+
+impl Vertex {
+    /// Creates a vertex from its two coordinates.
+    #[inline]
+    pub const fn new(x: u32, y: u32) -> Self {
+        Self { x, y }
+    }
+
+    /// Packs the vertex into its canonical 64-bit label: `x` in the high
+    /// word, `y` in the low word.
+    #[inline]
+    pub const fn pack(self) -> u64 {
+        ((self.x as u64) << 32) | self.y as u64
+    }
+
+    /// Inverse of [`Vertex::pack`].
+    #[inline]
+    pub const fn unpack(label: u64) -> Self {
+        Self {
+            x: (label >> 32) as u32,
+            y: label as u32,
+        }
+    }
+}
+
+impl From<u64> for Vertex {
+    #[inline]
+    fn from(label: u64) -> Self {
+        Self::unpack(label)
+    }
+}
+
+impl From<Vertex> for u64 {
+    #[inline]
+    fn from(v: Vertex) -> u64 {
+        v.pack()
+    }
+}
+
+/// A vertex of a Gabber–Galil graph with an arbitrary modulus `m`.
+///
+/// Used by [`crate::analysis`] to instantiate graphs small enough for exact
+/// expansion and spectral computations. Coordinates are always kept reduced
+/// modulo `m`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GenVertex {
+    /// First coordinate, `0 <= x < m`.
+    pub x: u64,
+    /// Second coordinate, `0 <= y < m`.
+    pub y: u64,
+}
+
+impl GenVertex {
+    /// Creates a vertex, reducing both coordinates modulo `m`.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    #[inline]
+    pub fn new(x: u64, y: u64, m: u64) -> Self {
+        assert!(m > 0, "modulus must be positive");
+        Self { x: x % m, y: y % m }
+    }
+
+    /// Flat index of the vertex in row-major order: `x * m + y`.
+    ///
+    /// Useful for indexing dense vectors over the vertex set in analysis
+    /// code.
+    #[inline]
+    pub fn index(self, m: u64) -> usize {
+        (self.x * m + self.y) as usize
+    }
+
+    /// Inverse of [`GenVertex::index`].
+    #[inline]
+    pub fn from_index(idx: usize, m: u64) -> Self {
+        let idx = idx as u64;
+        Self {
+            x: idx / m,
+            y: idx % m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let v = Vertex::new(0xdead_beef, 0x0123_4567);
+        assert_eq!(Vertex::unpack(v.pack()), v);
+        assert_eq!(v.pack(), 0xdead_beef_0123_4567);
+    }
+
+    #[test]
+    fn pack_places_x_high() {
+        assert_eq!(Vertex::new(1, 0).pack(), 1u64 << 32);
+        assert_eq!(Vertex::new(0, 1).pack(), 1);
+    }
+
+    #[test]
+    fn conversions_match_pack() {
+        let v = Vertex::new(42, 7);
+        let as_u64: u64 = v.into();
+        assert_eq!(as_u64, v.pack());
+        assert_eq!(Vertex::from(as_u64), v);
+    }
+
+    #[test]
+    fn gen_vertex_reduces_mod_m() {
+        let v = GenVertex::new(10, 14, 5);
+        assert_eq!(v, GenVertex { x: 0, y: 4 });
+    }
+
+    #[test]
+    fn gen_vertex_index_roundtrip() {
+        let m = 7;
+        for idx in 0..(m * m) as usize {
+            let v = GenVertex::from_index(idx, m);
+            assert_eq!(v.index(m), idx);
+            assert!(v.x < m && v.y < m);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be positive")]
+    fn gen_vertex_zero_modulus_panics() {
+        let _ = GenVertex::new(0, 0, 0);
+    }
+}

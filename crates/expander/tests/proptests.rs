@@ -1,0 +1,116 @@
+//! Property-based tests for the expander substrate.
+
+use hprng_expander::bits::{SliceBitSource, TriBitReader, CHUNKS_PER_WORD};
+use hprng_expander::{
+    GabberGalil, GabberGalilGeneric, GenVertex, NeighborSampling, Vertex, Walk, WalkMode, DEGREE,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// pack/unpack is a bijection on all 64-bit labels.
+    #[test]
+    fn pack_unpack_bijection(label in any::<u64>()) {
+        prop_assert_eq!(Vertex::unpack(label).pack(), label);
+    }
+
+    /// Every neighbour map of the production graph is inverted exactly by
+    /// `inv_neighbor` on arbitrary vertices.
+    #[test]
+    fn production_maps_invert(x in any::<u32>(), y in any::<u32>(), k in 0u8..7) {
+        let g = GabberGalil;
+        let v = Vertex::new(x, y);
+        prop_assert_eq!(g.inv_neighbor(g.neighbor(v, k), k), v);
+        prop_assert_eq!(g.neighbor(g.inv_neighbor(v, k), k), v);
+    }
+
+    /// Distinct vertices stay distinct under every neighbour map
+    /// (injectivity, hence bijectivity on the finite set).
+    #[test]
+    fn production_maps_injective(a in any::<u64>(), b in any::<u64>(), k in 0u8..7) {
+        prop_assume!(a != b);
+        let g = GabberGalil;
+        let va = Vertex::unpack(a);
+        let vb = Vertex::unpack(b);
+        prop_assert_ne!(g.neighbor(va, k), g.neighbor(vb, k));
+    }
+
+    /// Generic maps are bijections for arbitrary small moduli.
+    #[test]
+    fn generic_maps_bijective(m in 1u64..12, k in 0u8..7) {
+        let g = GabberGalilGeneric::new(m);
+        let mut seen = vec![false; g.side_len()];
+        for idx in 0..g.side_len() {
+            let v = GenVertex::from_index(idx, m);
+            let w = g.neighbor(v, k).index(m);
+            prop_assert!(!seen[w]);
+            seen[w] = true;
+        }
+    }
+
+    /// A walk is a pure function of (start, bits, policies): replaying the
+    /// same inputs gives the same trajectory.
+    #[test]
+    fn walk_replay_deterministic(
+        start in any::<u64>(),
+        words in prop::collection::vec(any::<u64>(), 1..8),
+        steps in 1usize..200,
+        lazy in any::<bool>(),
+        bipartite in any::<bool>(),
+    ) {
+        let sampling = if lazy { NeighborSampling::MaskWithSelfLoop } else { NeighborSampling::Rejection };
+        let mode = if bipartite { WalkMode::Bipartite } else { WalkMode::Directed };
+        // A rejection walk over an all-sevens stream would not terminate.
+        prop_assume!(!(sampling == NeighborSampling::Rejection
+            && words.iter().all(|&w| {
+                (0..CHUNKS_PER_WORD).all(|c| (w >> (3 * c)) & 0b111 == 0b111)
+            })));
+        let run = |_: ()| {
+            let mut w = Walk::new(Vertex::unpack(start), sampling, mode);
+            let mut r = TriBitReader::new(SliceBitSource::new(&words));
+            let mut traj = Vec::with_capacity(steps);
+            for _ in 0..steps {
+                traj.push(w.step_with(&mut r).pack());
+            }
+            traj
+        };
+        prop_assert_eq!(run(()), run(()));
+    }
+
+    /// Reversing a directed walk with the inverse maps returns to the start.
+    #[test]
+    fn directed_walk_is_reversible(
+        start in any::<u64>(),
+        choices in prop::collection::vec(0u8..7, 1..64),
+    ) {
+        let g = GabberGalil;
+        let mut v = Vertex::unpack(start);
+        for &k in &choices {
+            v = g.neighbor(v, k);
+        }
+        for &k in choices.iter().rev() {
+            v = g.inv_neighbor(v, k);
+        }
+        prop_assert_eq!(v, Vertex::unpack(start));
+    }
+
+    /// The branch-free fast-path step agrees with the reference neighbour
+    /// map on every vertex and chunk.
+    #[test]
+    fn step_masked_equals_neighbor(label in any::<u64>(), chunk in 0u8..8) {
+        let g = GabberGalil;
+        let v = Vertex::unpack(label);
+        let expect = if chunk < 7 { g.neighbor(v, chunk) } else { v };
+        prop_assert_eq!(g.step_masked(v, chunk), expect);
+    }
+
+    /// `step_choice` only ever moves to one of the 7 neighbours or stays.
+    #[test]
+    fn step_lands_on_a_neighbor(start in any::<u64>(), choice in 0u8..8) {
+        let g = GabberGalil;
+        let v = Vertex::unpack(start);
+        let mut w = Walk::paper_default(v);
+        let dest = w.step_choice(choice);
+        let neighbors: Vec<Vertex> = (0..DEGREE).map(|k| g.neighbor(v, k)).collect();
+        prop_assert!(dest == v || neighbors.contains(&dest));
+    }
+}

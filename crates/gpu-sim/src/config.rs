@@ -1,0 +1,162 @@
+//! Machine descriptions for the simulated platform.
+
+/// PCI-Express link model: a fixed per-transfer latency plus a bandwidth
+/// term.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PcieConfig {
+    /// Sustained bandwidth in gigabytes per second.
+    pub bandwidth_gb_s: f64,
+    /// Per-transfer setup latency in microseconds (driver + DMA setup).
+    pub latency_us: f64,
+}
+
+impl PcieConfig {
+    /// Simulated duration of transferring `bytes` bytes, in nanoseconds.
+    #[inline]
+    pub fn transfer_ns(&self, bytes: usize) -> f64 {
+        self.latency_us * 1_000.0 + bytes as f64 / self.bandwidth_gb_s
+    }
+}
+
+/// Description of the simulated GPU and its host link.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceConfig {
+    /// Human-readable device name (appears in reports).
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Scalar cores per SM.
+    pub cores_per_sm: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Core clock in GHz (cycles per nanosecond).
+    pub core_clock_ghz: f64,
+    /// Simulated cycles charged per arithmetic/logic instruction.
+    pub alu_cycles: u64,
+    /// Simulated cycles charged per (amortized, coalesced) global memory
+    /// access.
+    pub mem_cycles: u64,
+    /// Simulated cycles charged per special-function op (transcendentals).
+    pub sfu_cycles: u64,
+    /// The host link.
+    pub pcie: PcieConfig,
+}
+
+impl DeviceConfig {
+    /// The paper's GPU: NVIDIA Tesla C1060 — 30 SMs × 8 SPs (240 cores),
+    /// warps of 32 on four-stage quad-pumped pipelines, 1.296 GHz, PCIe 2.0
+    /// ×16 at 8 GB/s (§II).
+    pub fn tesla_c1060() -> Self {
+        Self {
+            name: "Tesla C1060 (simulated)",
+            num_sms: 30,
+            cores_per_sm: 8,
+            warp_size: 32,
+            core_clock_ghz: 1.296,
+            alu_cycles: 1,
+            mem_cycles: 4,
+            sfu_cycles: 8,
+            pcie: PcieConfig {
+                bandwidth_gb_s: 8.0,
+                latency_us: 10.0,
+            },
+        }
+    }
+
+    /// The next GPU generation (NVIDIA Tesla C2050, "Fermi"): 14 SMs × 32
+    /// cores, 1.15 GHz, PCIe 2.0. Used in sensitivity checks: the paper's
+    /// conclusions should not hinge on one device's shape.
+    pub fn fermi_c2050() -> Self {
+        Self {
+            name: "Tesla C2050 (simulated)",
+            num_sms: 14,
+            cores_per_sm: 32,
+            warp_size: 32,
+            core_clock_ghz: 1.15,
+            alu_cycles: 1,
+            mem_cycles: 3,
+            sfu_cycles: 6,
+            pcie: PcieConfig {
+                bandwidth_gb_s: 8.0,
+                latency_us: 10.0,
+            },
+        }
+    }
+
+    /// A small device for fast, deterministic unit tests: 2 SMs × 4 cores,
+    /// warps of 8.
+    pub fn test_tiny() -> Self {
+        Self {
+            name: "tiny test device",
+            num_sms: 2,
+            cores_per_sm: 4,
+            warp_size: 8,
+            core_clock_ghz: 1.0,
+            alu_cycles: 1,
+            mem_cycles: 4,
+            sfu_cycles: 8,
+            pcie: PcieConfig {
+                bandwidth_gb_s: 1.0,
+                latency_us: 1.0,
+            },
+        }
+    }
+
+    /// Cycles a warp occupies an SM's issue logic per charged cycle of
+    /// per-lane work: `warp_size / cores_per_sm` (4 on the C1060 — the
+    /// "four stage pipelines" of §II).
+    #[inline]
+    pub fn issue_factor(&self) -> u64 {
+        (self.warp_size / self.cores_per_sm).max(1) as u64
+    }
+
+    /// Converts simulated cycles to nanoseconds at the core clock.
+    #[inline]
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.core_clock_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcie_transfer_time_has_latency_floor() {
+        let p = PcieConfig {
+            bandwidth_gb_s: 8.0,
+            latency_us: 10.0,
+        };
+        // Zero bytes still costs the setup latency.
+        assert_eq!(p.transfer_ns(0), 10_000.0);
+        // 8 GB at 8 GB/s = 1 s.
+        let one_gb = 1usize << 30;
+        let t = p.transfer_ns(8 * one_gb);
+        assert!((t - (10_000.0 + 8.0 * one_gb as f64 / 8.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn c1060_preset_matches_paper() {
+        let c = DeviceConfig::tesla_c1060();
+        assert_eq!(c.num_sms, 30);
+        assert_eq!(c.num_sms * c.cores_per_sm, 240);
+        assert_eq!(c.warp_size, 32);
+        assert_eq!(c.issue_factor(), 4);
+        assert_eq!(c.pcie.bandwidth_gb_s, 8.0);
+    }
+
+    #[test]
+    fn fermi_preset_has_unit_issue_factor() {
+        let c = DeviceConfig::fermi_c2050();
+        assert_eq!(c.num_sms * c.cores_per_sm, 448);
+        assert_eq!(c.issue_factor(), 1); // 32 cores per SM issue a full warp
+    }
+
+    #[test]
+    fn cycles_to_ns_uses_clock() {
+        let c = DeviceConfig::test_tiny();
+        assert_eq!(c.cycles_to_ns(1000), 1000.0);
+        let c2 = DeviceConfig::tesla_c1060();
+        assert!((c2.cycles_to_ns(1296) - 1000.0).abs() < 1.0);
+    }
+}

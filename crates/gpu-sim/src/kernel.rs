@@ -1,0 +1,181 @@
+//! Kernel launch geometry and the per-thread execution context.
+
+use crate::config::DeviceConfig;
+use std::cell::Cell;
+
+/// CUDA-style launch geometry: `blocks × threads_per_block` logical threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grid {
+    /// Number of thread blocks.
+    pub blocks: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+}
+
+impl Grid {
+    /// Creates a grid.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(blocks: u32, threads_per_block: u32) -> Self {
+        assert!(blocks > 0 && threads_per_block > 0, "grid dimensions must be positive");
+        Self {
+            blocks,
+            threads_per_block,
+        }
+    }
+
+    /// A one-dimensional grid covering `n` threads with the given block
+    /// size (rounding the block count up).
+    pub fn cover(n: usize, threads_per_block: u32) -> Self {
+        assert!(threads_per_block > 0, "block size must be positive");
+        let blocks = n.div_ceil(threads_per_block as usize).max(1) as u32;
+        Self::new(blocks, threads_per_block)
+    }
+
+    /// Total logical threads in the grid.
+    #[inline]
+    pub fn total_threads(&self) -> usize {
+        self.blocks as usize * self.threads_per_block as usize
+    }
+}
+
+/// Instruction classes of the cost model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Arithmetic / logic (adds, shifts, masks — one per walk step edge
+    /// computation).
+    Alu,
+    /// Global memory access (amortized, assumed coalesced).
+    Mem,
+    /// Special function unit (transcendentals — used by the photon kernels).
+    Sfu,
+}
+
+/// Per-thread view handed to a kernel closure.
+///
+/// Besides the usual CUDA identifiers, the context carries the simulated
+/// cycle accumulator: kernels describe their cost by calling
+/// [`KernelCtx::charge`]. Lanes of a warp execute lock-step in the model, so
+/// a warp's simulated duration is the **maximum** of its lanes' charged
+/// cycles.
+pub struct KernelCtx<'a> {
+    pub(crate) cfg: &'a DeviceConfig,
+    pub(crate) grid: Grid,
+    pub(crate) global_id: usize,
+    pub(crate) warp_id: usize,
+    pub(crate) lane: usize,
+    pub(crate) cycles: &'a Cell<u64>,
+}
+
+impl KernelCtx<'_> {
+    /// Global thread index (`blockIdx.x * blockDim.x + threadIdx.x`).
+    #[inline]
+    pub fn global_id(&self) -> usize {
+        self.global_id
+    }
+
+    /// Block index.
+    #[inline]
+    pub fn block_idx(&self) -> usize {
+        self.global_id / self.grid.threads_per_block as usize
+    }
+
+    /// Thread index within the block.
+    #[inline]
+    pub fn thread_idx(&self) -> usize {
+        self.global_id % self.grid.threads_per_block as usize
+    }
+
+    /// Warp index within the whole launch.
+    #[inline]
+    pub fn warp_id(&self) -> usize {
+        self.warp_id
+    }
+
+    /// Lane within the warp.
+    #[inline]
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+
+    /// The launch geometry.
+    #[inline]
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    /// Charges `count` instructions of class `op` to this lane's simulated
+    /// cycle counter.
+    #[inline]
+    pub fn charge(&self, op: Op, count: u64) {
+        let per = match op {
+            Op::Alu => self.cfg.alu_cycles,
+            Op::Mem => self.cfg.mem_cycles,
+            Op::Sfu => self.cfg.sfu_cycles,
+        };
+        self.cycles.set(self.cycles.get() + per * count);
+    }
+
+    /// Cycles charged by this lane so far.
+    #[inline]
+    pub fn charged_cycles(&self) -> u64 {
+        self.cycles.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_cover_rounds_up() {
+        let g = Grid::cover(100, 32);
+        assert_eq!(g.blocks, 4);
+        assert_eq!(g.total_threads(), 128);
+        assert_eq!(Grid::cover(128, 32).blocks, 4);
+        assert_eq!(Grid::cover(1, 32).blocks, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_grid_panics() {
+        let _ = Grid::new(0, 32);
+    }
+
+    #[test]
+    fn charge_accumulates_with_class_costs() {
+        let cfg = DeviceConfig::test_tiny();
+        let cycles = Cell::new(0);
+        let ctx = KernelCtx {
+            cfg: &cfg,
+            grid: Grid::new(1, 8),
+            global_id: 0,
+            warp_id: 0,
+            lane: 0,
+            cycles: &cycles,
+        };
+        ctx.charge(Op::Alu, 10);
+        ctx.charge(Op::Mem, 2);
+        ctx.charge(Op::Sfu, 1);
+        assert_eq!(ctx.charged_cycles(), 10 + 8 + 8);
+    }
+
+    #[test]
+    fn ids_are_consistent() {
+        let cfg = DeviceConfig::test_tiny();
+        let cycles = Cell::new(0);
+        let ctx = KernelCtx {
+            cfg: &cfg,
+            grid: Grid::new(4, 16),
+            global_id: 35,
+            warp_id: 4,
+            lane: 3,
+            cycles: &cycles,
+        };
+        assert_eq!(ctx.block_idx(), 2);
+        assert_eq!(ctx.thread_idx(), 3);
+        assert_eq!(ctx.warp_id(), 4);
+        assert_eq!(ctx.lane(), 3);
+    }
+}

@@ -1,0 +1,47 @@
+//! A software SIMT device model standing in for the paper's Tesla C1060.
+//!
+//! The paper's system is a *hybrid* CPU+GPU pipeline: the CPU produces raw
+//! random bits (FEED), ships them over PCIe (TRANSFER), and the GPU advances
+//! thousands of independent expander walks (GENERATE), with all three work
+//! units overlapped through CUDA streams. No GPU is available in this
+//! reproduction environment, so this crate implements the platform itself:
+//!
+//! * [`DeviceConfig`] — the machine description (SMs, warp size, clocks,
+//!   PCIe link), with a [`DeviceConfig::tesla_c1060`] preset matching §II of
+//!   the paper.
+//! * [`Device`] — executes *real* kernels (Rust closures) over a
+//!   grid/block/warp geometry, running warps in parallel on the host thread
+//!   pool while accounting **simulated time** through an explicit
+//!   instruction-cost model ([`KernelCtx::charge`]).
+//! * [`Stream`] — CUDA-style ordered queues with asynchronous host↔device
+//!   copies that overlap kernel execution, plus [`Event`]s for cross-stream
+//!   ordering.
+//! * [`Timeline`] — a per-resource interval log from which Figure 4's
+//!   overlap chart and the CPU/GPU idle fractions are regenerated.
+//!
+//! ## Fidelity notes
+//!
+//! The timing model is first-order: a warp's simulated cycles are the
+//! maximum over its lanes of the explicitly charged instruction costs, SMs
+//! execute their assigned warps back-to-back with a `warp_size /
+//! cores_per_sm` issue factor (4 on the C1060's quad-pumped pipelines), and
+//! PCIe transfers cost `latency + bytes / bandwidth`. Warp divergence is
+//! modelled only through per-lane cost maxima; caches and memory coalescing
+//! are folded into the per-class costs. That is deliberately coarse — the
+//! paper's claims this model must support are about *overlap structure*
+//! (which work unit hides under which), not absolute nanoseconds.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod device;
+mod kernel;
+mod stream;
+mod timeline;
+
+pub use config::{DeviceConfig, PcieConfig};
+pub use device::{Device, DeviceBuffer, KernelStats};
+pub use kernel::{Grid, KernelCtx, Op};
+pub use stream::{Event, Stream};
+pub use timeline::{Interval, Resource, Timeline, WorkUnit};

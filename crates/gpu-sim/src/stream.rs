@@ -1,0 +1,293 @@
+//! CUDA-style streams and events.
+//!
+//! A [`Stream`] is an ordered queue of operations. Operations on *different*
+//! streams overlap as long as they use different engines: the copy engine
+//! (PCIe) and the compute engine (SMs) are independent resources, which is
+//! exactly the mechanism the paper exploits ("not only computation but also
+//! data transfer can be overlapped between the device and the host", §II).
+//!
+//! Execution is eager (the data moves / the kernel runs when the call is
+//! made) but *scheduling is simulated*: each operation is assigned a
+//! simulated interval starting no earlier than both the stream's cursor and
+//! the engine's availability, and the timeline records the interval. Callers
+//! must therefore submit operations in dependency order — the same
+//! discipline CUDA imposes within a stream.
+
+use crate::device::{Device, DeviceBuffer, KernelStats};
+use crate::kernel::{Grid, KernelCtx};
+use crate::timeline::{Resource, WorkUnit};
+
+/// A recorded point in a stream's simulated time, usable for cross-stream
+/// ordering.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Event {
+    at_ns: f64,
+}
+
+impl Event {
+    /// The simulated timestamp the event captured.
+    pub fn timestamp_ns(&self) -> f64 {
+        self.at_ns
+    }
+}
+
+/// An ordered operation queue on a device.
+pub struct Stream<'d> {
+    device: &'d Device,
+    cursor_ns: f64,
+}
+
+impl<'d> Stream<'d> {
+    /// Opens a new stream whose first operation may start at simulated time
+    /// zero.
+    pub fn new(device: &'d Device) -> Self {
+        Self {
+            device,
+            cursor_ns: 0.0,
+        }
+    }
+
+    /// The device this stream submits to.
+    pub fn device(&self) -> &'d Device {
+        self.device
+    }
+
+    /// The stream's simulated completion time so far.
+    pub fn cursor_ns(&self) -> f64 {
+        self.cursor_ns
+    }
+
+    /// Asynchronous host→device copy: copies `host` into `dev` and accounts
+    /// a PCIe transfer.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn h2d<T: Copy>(&mut self, host: &[T], dev: &mut DeviceBuffer<T>) -> f64 {
+        assert_eq!(host.len(), dev.len(), "h2d length mismatch");
+        dev.as_mut_slice().copy_from_slice(host);
+        self.account_copy(std::mem::size_of_val(host))
+    }
+
+    /// Asynchronous device→host copy.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn d2h<T: Copy>(&mut self, dev: &DeviceBuffer<T>, host: &mut [T]) -> f64 {
+        assert_eq!(host.len(), dev.len(), "d2h length mismatch");
+        host.copy_from_slice(dev.as_slice());
+        self.account_copy(std::mem::size_of_val(host))
+    }
+
+    fn account_copy(&mut self, bytes: usize) -> f64 {
+        let dur = self.device.config().pcie.transfer_ns(bytes);
+        let mut clocks = self.device.clocks.lock();
+        let start = self.cursor_ns.max(clocks.copy_free_ns);
+        let end = start + dur;
+        clocks.copy_free_ns = end;
+        drop(clocks);
+        self.device
+            .record(Resource::PcieLink, WorkUnit::Transfer, start, end);
+        self.cursor_ns = end;
+        end
+    }
+
+    /// Launches a kernel on this stream.
+    pub fn launch<F>(&mut self, unit: WorkUnit, grid: Grid, f: F) -> KernelStats
+    where
+        F: Fn(&KernelCtx) + Sync,
+    {
+        let stats = self.device.execute(grid, f);
+        self.commit_kernel(unit, stats.sim_ns);
+        stats
+    }
+
+    /// Launches a one-element-per-thread kernel on this stream.
+    pub fn launch_map<T, F>(&mut self, unit: WorkUnit, data: &mut [T], f: F) -> KernelStats
+    where
+        T: Send,
+        F: Fn(&KernelCtx, &mut T) + Sync,
+    {
+        let stats = self.device.execute_map(data, f);
+        self.commit_kernel(unit, stats.sim_ns);
+        stats
+    }
+
+    /// Launches a state-plus-output-span kernel on this stream: each thread
+    /// owns one element of `a` and a `chunk`-sized span of `b`
+    /// (`b.len() == a.len() * chunk`). This is the shape of the paper's
+    /// GENERATE kernel — per-thread walk state plus a per-thread output
+    /// span.
+    pub fn launch_zip<A, B, F>(
+        &mut self,
+        unit: WorkUnit,
+        a: &mut [A],
+        b: &mut [B],
+        chunk: usize,
+        f: F,
+    ) -> KernelStats
+    where
+        A: Send,
+        B: Send,
+        F: Fn(&KernelCtx, &mut A, &mut [B]) + Sync,
+    {
+        let stats = self.device.execute_zip(a, b, chunk, f);
+        self.commit_kernel(unit, stats.sim_ns);
+        stats
+    }
+
+    fn commit_kernel(&mut self, unit: WorkUnit, sim_ns: f64) {
+        let mut clocks = self.device.clocks.lock();
+        let start = self.cursor_ns.max(clocks.gpu_free_ns);
+        let end = start + sim_ns;
+        clocks.gpu_free_ns = end;
+        drop(clocks);
+        self.device.record(Resource::Gpu, unit, start, end);
+        self.cursor_ns = end;
+    }
+
+    /// Records an event at the stream's current simulated position.
+    pub fn record_event(&self) -> Event {
+        Event {
+            at_ns: self.cursor_ns,
+        }
+    }
+
+    /// Blocks this stream's next operation until `event` has completed.
+    pub fn wait_event(&mut self, event: Event) {
+        self.cursor_ns = self.cursor_ns.max(event.at_ns);
+    }
+
+    /// Advances the stream cursor to at least `t_ns` (used by host code that
+    /// produces inputs at a known simulated time — e.g. the FEED worker's
+    /// completion).
+    pub fn wait_until(&mut self, t_ns: f64) {
+        self.cursor_ns = self.cursor_ns.max(t_ns);
+    }
+
+    /// Completes all submitted work and returns the stream's simulated
+    /// finish time.
+    pub fn synchronize(&self) -> f64 {
+        self.cursor_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+    use crate::kernel::Op;
+
+    fn tiny() -> Device {
+        Device::new(DeviceConfig::test_tiny())
+    }
+
+    #[test]
+    fn h2d_copies_data_and_costs_transfer_time() {
+        let dev = tiny();
+        let mut s = Stream::new(&dev);
+        let host = vec![7u64; 128];
+        let mut buf = DeviceBuffer::zeroed(128);
+        let end = s.h2d(&host, &mut buf);
+        assert_eq!(buf.as_slice(), &host[..]);
+        // 1 µs latency + 1024 bytes at 1 GB/s (= 1 ns/byte).
+        assert!((end - (1_000.0 + 1_024.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn h2d_length_mismatch_panics() {
+        let dev = tiny();
+        let mut s = Stream::new(&dev);
+        let mut buf = DeviceBuffer::<u8>::zeroed(4);
+        s.h2d(&[1u8, 2], &mut buf);
+    }
+
+    #[test]
+    fn within_stream_operations_serialize() {
+        let dev = tiny();
+        let mut s = Stream::new(&dev);
+        let host = vec![0u8; 1000];
+        let mut buf = DeviceBuffer::zeroed(1000);
+        s.h2d(&host, &mut buf);
+        let after_copy = s.cursor_ns();
+        s.launch(WorkUnit::Generate, Grid::new(1, 8), |ctx| {
+            ctx.charge(Op::Alu, 100)
+        });
+        let tl = dev.timeline();
+        let kernel_iv = &tl.intervals()[1];
+        assert_eq!(kernel_iv.start_ns, after_copy);
+    }
+
+    #[test]
+    fn copies_and_kernels_on_different_streams_overlap() {
+        let dev = tiny();
+        let mut compute = Stream::new(&dev);
+        let mut copy = Stream::new(&dev);
+        // Long kernel on the compute stream.
+        compute.launch(WorkUnit::Generate, Grid::new(1, 8), |ctx| {
+            ctx.charge(Op::Alu, 100_000)
+        });
+        // Copy on the other stream should start at t=0, under the kernel.
+        let host = vec![0u8; 100];
+        let mut buf = DeviceBuffer::zeroed(100);
+        copy.h2d(&host, &mut buf);
+        let tl = dev.timeline();
+        let kernel = &tl.intervals()[0];
+        let xfer = &tl.intervals()[1];
+        assert_eq!(xfer.start_ns, 0.0);
+        assert!(xfer.end_ns < kernel.end_ns, "transfer did not overlap the kernel");
+    }
+
+    #[test]
+    fn two_kernels_on_different_streams_share_the_gpu() {
+        // The compute engine is a single resource: kernels from different
+        // streams serialize on it (no concurrent-kernel support on the
+        // C1060).
+        let dev = tiny();
+        let mut a = Stream::new(&dev);
+        let mut b = Stream::new(&dev);
+        a.launch(WorkUnit::Generate, Grid::new(1, 8), |ctx| ctx.charge(Op::Alu, 100));
+        b.launch(WorkUnit::Generate, Grid::new(1, 8), |ctx| ctx.charge(Op::Alu, 100));
+        let tl = dev.timeline();
+        assert_eq!(tl.intervals()[1].start_ns, tl.intervals()[0].end_ns);
+    }
+
+    #[test]
+    fn events_order_across_streams() {
+        let dev = tiny();
+        let mut producer = Stream::new(&dev);
+        let mut consumer = Stream::new(&dev);
+        let host = vec![0u8; 5000];
+        let mut buf = DeviceBuffer::zeroed(5000);
+        producer.h2d(&host, &mut buf);
+        let ready = producer.record_event();
+        consumer.wait_event(ready);
+        consumer.launch(WorkUnit::Generate, Grid::new(1, 8), |ctx| {
+            ctx.charge(Op::Alu, 1)
+        });
+        let tl = dev.timeline();
+        let xfer_end = tl.intervals()[0].end_ns;
+        let kernel_start = tl.intervals()[1].start_ns;
+        assert!(kernel_start >= xfer_end);
+    }
+
+    #[test]
+    fn wait_until_only_moves_forward() {
+        let dev = tiny();
+        let mut s = Stream::new(&dev);
+        s.wait_until(100.0);
+        assert_eq!(s.cursor_ns(), 100.0);
+        s.wait_until(50.0);
+        assert_eq!(s.cursor_ns(), 100.0);
+    }
+
+    #[test]
+    fn d2h_roundtrip() {
+        let dev = tiny();
+        let mut s = Stream::new(&dev);
+        let buf = DeviceBuffer::from_host(vec![3u32, 1, 4]);
+        let mut out = vec![0u32; 3];
+        s.d2h(&buf, &mut out);
+        assert_eq!(out, vec![3, 1, 4]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Per-resource interval accounting.
+//!
+//! Every simulated operation (CPU bit generation, PCIe transfer, kernel
+//! execution) records an [`Interval`] here. The paper's Figure 4 is a chart
+//! of exactly these intervals — FEED on the CPU row, TRANSFER on the link,
+//! GENERATE on the GPU row — and its headline resource claim ("the CPU is
+//! almost never idle, and the GPU is idle for about 20%") is a busy-fraction
+//! query over this log.
+
+use std::fmt;
+
+/// The three hardware resources of the hybrid platform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// The multicore host CPU.
+    Cpu,
+    /// The PCIe copy engine.
+    PcieLink,
+    /// The GPU compute engine.
+    Gpu,
+}
+
+impl Resource {
+    /// All resources, in display order.
+    pub const ALL: [Resource; 3] = [Resource::Cpu, Resource::PcieLink, Resource::Gpu];
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Cpu => write!(f, "CPU"),
+            Resource::PcieLink => write!(f, "PCIe"),
+            Resource::Gpu => write!(f, "GPU"),
+        }
+    }
+}
+
+/// The paper's three work-unit classes plus a catch-all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WorkUnit {
+    /// CPU-side raw-bit production.
+    Feed,
+    /// Host→device (or device→host) PCIe transfer.
+    Transfer,
+    /// GPU random-walk / application kernel execution.
+    Generate,
+    /// Anything else (application kernels, reductions, ...).
+    Other,
+}
+
+impl fmt::Display for WorkUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkUnit::Feed => write!(f, "FEED"),
+            WorkUnit::Transfer => write!(f, "TRANSFER"),
+            WorkUnit::Generate => write!(f, "GENERATE"),
+            WorkUnit::Other => write!(f, "OTHER"),
+        }
+    }
+}
+
+/// One busy interval on one resource, in simulated nanoseconds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Interval {
+    /// Which resource was busy.
+    pub resource: Resource,
+    /// What it was doing.
+    pub unit: WorkUnit,
+    /// Start time (simulated ns).
+    pub start_ns: f64,
+    /// End time (simulated ns).
+    pub end_ns: f64,
+}
+
+impl Interval {
+    /// Interval length in nanoseconds.
+    #[inline]
+    pub fn duration_ns(&self) -> f64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// An append-only log of intervals with utilization queries.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    intervals: Vec<Interval>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an interval.
+    ///
+    /// # Panics
+    /// Panics if `end_ns < start_ns`.
+    pub fn record(&mut self, resource: Resource, unit: WorkUnit, start_ns: f64, end_ns: f64) {
+        assert!(end_ns >= start_ns, "interval ends before it starts");
+        self.intervals.push(Interval {
+            resource,
+            unit,
+            start_ns,
+            end_ns,
+        });
+    }
+
+    /// All recorded intervals, in insertion order.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// The latest end time across all resources (the simulated makespan).
+    pub fn makespan_ns(&self) -> f64 {
+        self.intervals.iter().map(|i| i.end_ns).fold(0.0, f64::max)
+    }
+
+    /// Total busy time of `resource`, merging overlapping intervals so that
+    /// double-booked time is not counted twice.
+    pub fn busy_ns(&self, resource: Resource) -> f64 {
+        let mut spans: Vec<(f64, f64)> = self
+            .intervals
+            .iter()
+            .filter(|i| i.resource == resource)
+            .map(|i| (i.start_ns, i.end_ns))
+            .collect();
+        spans.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        let mut busy = 0.0;
+        let mut cur: Option<(f64, f64)> = None;
+        for (s, e) in spans {
+            match cur {
+                None => cur = Some((s, e)),
+                Some((cs, ce)) => {
+                    if s <= ce {
+                        cur = Some((cs, ce.max(e)));
+                    } else {
+                        busy += ce - cs;
+                        cur = Some((s, e));
+                    }
+                }
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            busy += ce - cs;
+        }
+        busy
+    }
+
+    /// Fraction of the makespan during which `resource` was busy.
+    /// Returns 0 for an empty timeline.
+    pub fn busy_fraction(&self, resource: Resource) -> f64 {
+        let makespan = self.makespan_ns();
+        if makespan == 0.0 {
+            return 0.0;
+        }
+        self.busy_ns(resource) / makespan
+    }
+
+    /// Fraction of the makespan during which `resource` was idle.
+    pub fn idle_fraction(&self, resource: Resource) -> f64 {
+        1.0 - self.busy_fraction(resource)
+    }
+
+    /// Total time spent in a given work unit across all resources (summed,
+    /// not merged — a FEED on 4 CPU workers counts 4× here).
+    pub fn unit_total_ns(&self, unit: WorkUnit) -> f64 {
+        self.intervals
+            .iter()
+            .filter(|i| i.unit == unit)
+            .map(Interval::duration_ns)
+            .sum()
+    }
+
+    /// Renders a fixed-width ASCII overlap chart (one row per resource),
+    /// the textual analogue of the paper's Figure 4.
+    pub fn render_ascii(&self, columns: usize) -> String {
+        let makespan = self.makespan_ns();
+        let mut out = String::new();
+        if makespan == 0.0 || columns == 0 {
+            return out;
+        }
+        for res in Resource::ALL {
+            let mut row = vec!['.'; columns];
+            for iv in self.intervals.iter().filter(|i| i.resource == res) {
+                let a = ((iv.start_ns / makespan) * columns as f64) as usize;
+                let b = (((iv.end_ns / makespan) * columns as f64).ceil() as usize).min(columns);
+                let ch = match iv.unit {
+                    WorkUnit::Feed => 'F',
+                    WorkUnit::Transfer => 'T',
+                    WorkUnit::Generate => 'G',
+                    WorkUnit::Other => 'o',
+                };
+                for slot in row.iter_mut().take(b).skip(a.min(columns)) {
+                    *slot = ch;
+                }
+            }
+            let line: String = row.into_iter().collect();
+            out.push_str(&format!("{res:>5} |{line}|\n"));
+        }
+        out
+    }
+
+    /// Clears all recorded intervals.
+    pub fn clear(&mut self) {
+        self.intervals.clear();
+    }
+
+    /// Serializes the intervals as CSV (`resource,unit,start_ns,end_ns`),
+    /// for plotting Figure-4-style charts outside the harness.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("resource,unit,start_ns,end_ns\n");
+        for iv in &self.intervals {
+            out.push_str(&format!(
+                "{},{},{:.3},{:.3}\n",
+                iv.resource, iv.unit, iv.start_ns, iv.end_ns
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_merges_overlaps() {
+        let mut t = Timeline::new();
+        t.record(Resource::Cpu, WorkUnit::Feed, 0.0, 10.0);
+        t.record(Resource::Cpu, WorkUnit::Feed, 5.0, 15.0);
+        t.record(Resource::Cpu, WorkUnit::Feed, 20.0, 30.0);
+        assert_eq!(t.busy_ns(Resource::Cpu), 25.0);
+    }
+
+    #[test]
+    fn fractions_reference_makespan() {
+        let mut t = Timeline::new();
+        t.record(Resource::Gpu, WorkUnit::Generate, 0.0, 80.0);
+        t.record(Resource::Cpu, WorkUnit::Feed, 0.0, 100.0);
+        assert!((t.busy_fraction(Resource::Gpu) - 0.8).abs() < 1e-12);
+        assert!((t.idle_fraction(Resource::Gpu) - 0.2).abs() < 1e-12);
+        assert_eq!(t.busy_fraction(Resource::Cpu), 1.0);
+        assert_eq!(t.makespan_ns(), 100.0);
+    }
+
+    #[test]
+    fn empty_timeline_is_all_zero() {
+        let t = Timeline::new();
+        assert_eq!(t.makespan_ns(), 0.0);
+        assert_eq!(t.busy_fraction(Resource::Gpu), 0.0);
+        assert_eq!(t.render_ascii(40), "");
+    }
+
+    #[test]
+    fn unit_totals_sum_across_resources() {
+        let mut t = Timeline::new();
+        t.record(Resource::Cpu, WorkUnit::Feed, 0.0, 10.0);
+        t.record(Resource::Cpu, WorkUnit::Feed, 0.0, 10.0); // second worker
+        t.record(Resource::PcieLink, WorkUnit::Transfer, 10.0, 16.0);
+        assert_eq!(t.unit_total_ns(WorkUnit::Feed), 20.0);
+        assert_eq!(t.unit_total_ns(WorkUnit::Transfer), 6.0);
+    }
+
+    #[test]
+    fn ascii_chart_has_one_row_per_resource() {
+        let mut t = Timeline::new();
+        t.record(Resource::Cpu, WorkUnit::Feed, 0.0, 50.0);
+        t.record(Resource::PcieLink, WorkUnit::Transfer, 50.0, 60.0);
+        t.record(Resource::Gpu, WorkUnit::Generate, 60.0, 100.0);
+        let chart = t.render_ascii(20);
+        assert_eq!(chart.lines().count(), 3);
+        assert!(chart.contains('F'));
+        assert!(chart.contains('T'));
+        assert!(chart.contains('G'));
+    }
+
+    #[test]
+    fn csv_export_lists_every_interval() {
+        let mut t = Timeline::new();
+        t.record(Resource::Cpu, WorkUnit::Feed, 0.0, 10.0);
+        t.record(Resource::Gpu, WorkUnit::Generate, 10.0, 30.5);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "resource,unit,start_ns,end_ns");
+        assert_eq!(lines[1], "CPU,FEED,0.000,10.000");
+        assert_eq!(lines[2], "GPU,GENERATE,10.000,30.500");
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn negative_interval_panics() {
+        let mut t = Timeline::new();
+        t.record(Resource::Cpu, WorkUnit::Feed, 10.0, 5.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the device model's scheduling invariants.
+
+use hprng_gpu_sim::{Device, DeviceBuffer, DeviceConfig, Grid, Op, Stream, WorkUnit};
+use proptest::prelude::*;
+
+fn tiny() -> Device {
+    Device::new(DeviceConfig::test_tiny())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Simulated kernel time is monotone in the charged work.
+    #[test]
+    fn sim_time_monotone_in_work(threads in 1u32..200, light in 1u64..500, extra in 1u64..500) {
+        let dev = tiny();
+        let grid = Grid::new(1, threads);
+        let a = dev.launch(WorkUnit::Other, grid, |ctx| ctx.charge(Op::Alu, light));
+        let b = dev.launch(WorkUnit::Other, grid, |ctx| ctx.charge(Op::Alu, light + extra));
+        prop_assert!(b.sim_ns > a.sim_ns);
+    }
+
+    /// Kernel cost is invariant under grid shape for the same total work
+    /// per thread (warps land on SMs round-robin either way).
+    #[test]
+    fn grid_shape_invariance(warps in 1u32..32, work in 1u64..200) {
+        let dev = tiny();
+        let wide = dev.launch(WorkUnit::Other, Grid::new(warps, 8), |ctx| {
+            ctx.charge(Op::Alu, work)
+        });
+        let tall = dev.launch(WorkUnit::Other, Grid::new(1, warps * 8), |ctx| {
+            ctx.charge(Op::Alu, work)
+        });
+        prop_assert!((wide.sim_ns - tall.sim_ns).abs() < 1e-9);
+    }
+
+    /// Timeline intervals never run backwards and the busy fraction stays
+    /// in [0, 1] no matter the op sequence.
+    #[test]
+    fn timeline_wellformed(ops in prop::collection::vec((1usize..2000, any::<bool>()), 1..12)) {
+        let dev = tiny();
+        let mut stream = Stream::new(&dev);
+        for (size, is_copy) in ops {
+            if is_copy {
+                let host = vec![0u8; size];
+                let mut buf = DeviceBuffer::zeroed(size);
+                stream.h2d(&host, &mut buf);
+            } else {
+                stream.launch(WorkUnit::Generate, Grid::new(1, 8), move |ctx| {
+                    ctx.charge(Op::Alu, size as u64)
+                });
+            }
+        }
+        let tl = dev.timeline();
+        for iv in tl.intervals() {
+            prop_assert!(iv.end_ns >= iv.start_ns);
+        }
+        for res in hprng_gpu_sim::Resource::ALL {
+            let f = tl.busy_fraction(res);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&f));
+        }
+        // Stream cursor equals the last op's end.
+        let last_end = tl.intervals().iter().map(|iv| iv.end_ns).fold(0.0, f64::max);
+        prop_assert!((stream.synchronize() - last_end).abs() < 1e-9);
+    }
+
+    /// Copies preserve data exactly for arbitrary payloads.
+    #[test]
+    fn copy_roundtrip(data in prop::collection::vec(any::<u64>(), 1..500)) {
+        let dev = tiny();
+        let mut stream = Stream::new(&dev);
+        let mut buf = DeviceBuffer::zeroed(data.len());
+        stream.h2d(&data, &mut buf);
+        let mut back = vec![0u64; data.len()];
+        stream.d2h(&buf, &mut back);
+        prop_assert_eq!(back, data);
+    }
+
+    /// The GPU engine never double-books: kernel intervals on one device
+    /// are pairwise disjoint even across streams.
+    #[test]
+    fn kernels_never_overlap(kernels in prop::collection::vec(1u64..1000, 2..8)) {
+        let dev = tiny();
+        // Alternate between two streams.
+        let mut s1 = Stream::new(&dev);
+        let mut s2 = Stream::new(&dev);
+        for (i, work) in kernels.iter().enumerate() {
+            let w = *work;
+            let s = if i % 2 == 0 { &mut s1 } else { &mut s2 };
+            s.launch(WorkUnit::Generate, Grid::new(1, 8), move |ctx| {
+                ctx.charge(Op::Alu, w)
+            });
+        }
+        let tl = dev.timeline();
+        let mut gpu: Vec<(f64, f64)> = tl
+            .intervals()
+            .iter()
+            .filter(|iv| iv.resource == hprng_gpu_sim::Resource::Gpu)
+            .map(|iv| (iv.start_ns, iv.end_ns))
+            .collect();
+        gpu.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in gpu.windows(2) {
+            prop_assert!(w[1].0 >= w[0].1 - 1e-9, "overlap: {:?}", w);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The Helman–JáJà sublist algorithm (Phase II of the three-phase method).
+//!
+//! `s` splitter nodes (the head plus `s − 1` random nodes) cut the list
+//! into sublists. Each sublist is ranked locally by a sequential walk (all
+//! walks in parallel), the splitter chain is prefix-summed sequentially
+//! (only `s` elements), and every node's global rank is its sublist offset
+//! plus its local rank. Work `O(n)`, parallel depth `O(n/s + s)` — the
+//! practical winner on short reduced lists, which is exactly where the
+//! paper deploys it.
+
+use crate::list::{LinkedList, NIL};
+use rand_core::RngCore;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Internal engine shared by the plain and weighted variants.
+///
+/// `candidates` must list exactly the nodes on the chain (splitters are
+/// sampled from it — sampling an off-chain node would launch a walk over
+/// stale pointers and corrupt ranks of live nodes). `weight(v)` is the
+/// distance from `v` to `succ[v]` (1 for plain lists). Returns ranks
+/// indexed by node; nodes not on the chain keep `0`.
+pub(crate) fn helman_jaja_engine(
+    succ: &[u32],
+    head: u32,
+    candidates: &[u32],
+    weight: impl Fn(u32) -> u32 + Sync,
+    sublists: usize,
+    rng: &mut dyn RngCore,
+) -> Vec<u32> {
+    let n = succ.len();
+    let chain_len = candidates.len();
+    let s = sublists.clamp(1, chain_len.max(1));
+
+    // Splitters: the head plus s − 1 random distinct chain nodes, sampled
+    // from `candidates` by rejection.
+    let mut is_splitter = vec![false; n];
+    is_splitter[head as usize] = true;
+    let mut chosen = 1;
+    let mut attempts = 0usize;
+    while chosen < s && attempts < 64 * chain_len.max(64) {
+        attempts += 1;
+        let v = candidates[(rng.next_u64() % chain_len as u64) as usize] as usize;
+        if !is_splitter[v] {
+            is_splitter[v] = true;
+            chosen += 1;
+        }
+    }
+
+    // Local walks: one per splitter, in parallel. Walks stop at the next
+    // splitter, so the sublists partition the chain.
+    let local_rank: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let sublist_of: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    let splitter_list: Vec<u32> = (0..n as u32).filter(|&v| is_splitter[v as usize]).collect();
+    let splitter_index: Vec<u32> = {
+        let mut idx = vec![u32::MAX; n];
+        for (k, &v) in splitter_list.iter().enumerate() {
+            idx[v as usize] = k as u32;
+        }
+        idx
+    };
+
+    // (next splitter reached, accumulated weight to it) per splitter.
+    let tails: Vec<(u32, u32)> = splitter_list
+        .par_iter()
+        .map(|&start| {
+            let mut cur = start;
+            let mut acc = 0u32;
+            loop {
+                local_rank[cur as usize].store(acc, Ordering::Relaxed);
+                sublist_of[cur as usize]
+                    .store(splitter_index[start as usize], Ordering::Relaxed);
+                acc += weight(cur);
+                let nxt = succ[cur as usize];
+                if nxt == NIL || is_splitter[nxt as usize] {
+                    return (nxt, acc);
+                }
+                cur = nxt;
+            }
+        })
+        .collect();
+
+    // Sequential prefix over the splitter chain, starting from the head.
+    let mut offset = vec![0u32; splitter_list.len()];
+    let mut cur = head;
+    let mut acc = 0u32;
+    while cur != NIL {
+        let k = splitter_index[cur as usize] as usize;
+        offset[k] = acc;
+        let (next_splitter, span) = tails[k];
+        acc += span;
+        cur = next_splitter;
+    }
+
+    // Final ranks.
+    (0..n)
+        .into_par_iter()
+        .map(|v| {
+            let sub = sublist_of[v].load(Ordering::Relaxed);
+            if sub == u32::MAX {
+                0
+            } else {
+                offset[sub as usize] + local_rank[v].load(Ordering::Relaxed)
+            }
+        })
+        .collect()
+}
+
+/// Ranks a full list with the Helman–JáJà algorithm using `sublists`
+/// sublists (0 means "4 × the rayon thread count", the usual heuristic).
+pub fn helman_jaja_rank(list: &LinkedList, sublists: usize, rng: &mut dyn RngCore) -> Vec<u32> {
+    let s = if sublists == 0 {
+        4 * rayon::current_num_threads()
+    } else {
+        sublists
+    };
+    let all: Vec<u32> = (0..list.len() as u32).collect();
+    helman_jaja_engine(&list.succ, list.head, &all, |_| 1, s, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::sequential_rank;
+    use hprng_baselines::SplitMix64;
+
+    #[test]
+    fn matches_sequential_on_ordered_lists() {
+        let mut rng = SplitMix64::new(21);
+        for n in [1usize, 2, 10, 257, 4096] {
+            let l = LinkedList::ordered(n);
+            assert_eq!(
+                helman_jaja_rank(&l, 8, &mut rng),
+                sequential_rank(&l),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_random_lists() {
+        let mut rng = SplitMix64::new(22);
+        for n in [1usize, 3, 100, 3000] {
+            let l = LinkedList::random(n, &mut rng);
+            assert_eq!(
+                helman_jaja_rank(&l, 16, &mut rng),
+                sequential_rank(&l),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn works_with_more_sublists_than_nodes() {
+        let mut rng = SplitMix64::new(23);
+        let l = LinkedList::random(5, &mut rng);
+        assert_eq!(helman_jaja_rank(&l, 100, &mut rng), sequential_rank(&l));
+    }
+
+    #[test]
+    fn works_with_one_sublist() {
+        let mut rng = SplitMix64::new(24);
+        let l = LinkedList::random(500, &mut rng);
+        assert_eq!(helman_jaja_rank(&l, 1, &mut rng), sequential_rank(&l));
+    }
+
+    #[test]
+    fn default_sublist_count_is_thread_scaled() {
+        let mut rng = SplitMix64::new(25);
+        let l = LinkedList::random(2000, &mut rng);
+        assert_eq!(helman_jaja_rank(&l, 0, &mut rng), sequential_rank(&l));
+    }
+}

@@ -1,0 +1,244 @@
+//! The three-phase hybrid list-ranking algorithm (§V) with pluggable
+//! randomness strategies — the Figure 7 experiment.
+//!
+//! Phase I reduces the list to `n / log₂ n` nodes with the FIS procedure
+//! (Algorithm 3), Phase II ranks the remnant with Helman–JáJà, Phase III
+//! reinserts the removed nodes in reverse order. The three strategies are
+//! the paper's three curves:
+//!
+//! * [`RandomnessStrategy::OnDemandExpander`] — "Hybrid Time (Our PRNG)":
+//!   the expander-walk generator produces exactly one bit per live node per
+//!   iteration.
+//! * [`RandomnessStrategy::BatchGlibc`] — "Hybrid Time (glibc rand)": the
+//!   baseline of [3], which must provision the upper bound (`n` bits) every
+//!   iteration because the demand is unknown a priori.
+//! * [`RandomnessStrategy::BatchMt`] — "Pure GPU MT": batch provisioning
+//!   from a Mersenne-Twister stream.
+
+use crate::fis::{reduce_list, reinsert_ranks, BatchBits, BitProvider, OnDemandBits};
+use crate::helman_jaja::helman_jaja_engine;
+use crate::list::{LinkedList, NIL};
+use crate::sequential::sequential_rank;
+use hprng_baselines::{GlibcRand, Mt19937_64};
+use hprng_core::ExpanderWalkRng;
+use rand_core::SeedableRng;
+use std::time::Instant;
+
+/// How Phase I's random bits are provisioned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RandomnessStrategy {
+    /// On-demand expander-walk generator (the paper's contribution).
+    OnDemandExpander,
+    /// Worst-case batches from glibc `rand()` (the baseline of [3]).
+    BatchGlibc,
+    /// Worst-case batches from MT19937-64 (the "Pure GPU MT" curve).
+    BatchMt,
+}
+
+impl RandomnessStrategy {
+    /// The curve label used in Figure 7.
+    pub fn label(self) -> &'static str {
+        match self {
+            RandomnessStrategy::OnDemandExpander => "Hybrid (our PRNG)",
+            RandomnessStrategy::BatchGlibc => "Hybrid (glibc rand)",
+            RandomnessStrategy::BatchMt => "Pure GPU MT",
+        }
+    }
+}
+
+/// Instrumentation of one ranking run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankStats {
+    /// Wall time of Phase I (reduction), nanoseconds.
+    pub phase1_ns: f64,
+    /// Wall time of Phase II (Helman–JáJà on the remnant), nanoseconds.
+    pub phase2_ns: f64,
+    /// Wall time of Phase III (reinsertion), nanoseconds.
+    pub phase3_ns: f64,
+    /// FIS iterations performed.
+    pub iterations: usize,
+    /// Live nodes after Phase I.
+    pub live_after_reduce: usize,
+    /// Random bits actually consumed by the FIS selection.
+    pub bits_consumed: u64,
+    /// Random bits *produced* by the provider (≥ consumed; the gap is the
+    /// batch strategies' waste).
+    pub bits_produced: u64,
+    /// Live-node count at the start of every FIS iteration.
+    pub live_history: Vec<usize>,
+}
+
+impl RankStats {
+    /// Total wall time across the three phases.
+    pub fn total_ns(&self) -> f64 {
+        self.phase1_ns + self.phase2_ns + self.phase3_ns
+    }
+}
+
+/// Ranks `list` with the three-phase algorithm under the given randomness
+/// strategy. Returns per-node distances from the head plus instrumentation.
+pub fn rank_list(
+    list: &LinkedList,
+    strategy: RandomnessStrategy,
+    seed: u64,
+) -> (Vec<u32>, RankStats) {
+    let n = list.len();
+    if n < 64 {
+        // Too small for the machinery to pay off; the measured phases are
+        // what matters for benchmarks, so just do it directly.
+        let t0 = Instant::now();
+        let ranks = sequential_rank(list);
+        let stats = RankStats {
+            phase1_ns: t0.elapsed().as_nanos() as f64,
+            phase2_ns: 0.0,
+            phase3_ns: 0.0,
+            iterations: 0,
+            live_after_reduce: n,
+            bits_consumed: 0,
+            bits_produced: 0,
+            live_history: Vec::new(),
+        };
+        return (ranks, stats);
+    }
+
+    let target = ((n as f64) / (n as f64).log2()).ceil() as usize;
+    let mut provider: Box<dyn BitProvider> = match strategy {
+        RandomnessStrategy::OnDemandExpander => {
+            Box::new(OnDemandBits::new(ExpanderWalkRng::from_seed_u64(seed)))
+        }
+        RandomnessStrategy::BatchGlibc => {
+            Box::new(BatchBits::new(GlibcRand::seed_from_u64(seed), n))
+        }
+        RandomnessStrategy::BatchMt => {
+            Box::new(BatchBits::new(Mt19937_64::seed_from_u64(seed), n))
+        }
+    };
+
+    // Phase I: FIS reduction.
+    let t1 = Instant::now();
+    let red = reduce_list(list, target, provider.as_mut());
+    let phase1_ns = t1.elapsed().as_nanos() as f64;
+
+    // Phase II: Helman–JáJà over the live chain, weighted by the reduced
+    // distances.
+    let t2 = Instant::now();
+    let live_nodes: Vec<u32> = (0..n as u32).filter(|&v| red.live[v as usize]).collect();
+    let sublists = 4 * rayon::current_num_threads();
+    let mut splitter_rng = hprng_baselines::SplitMix64::new(seed ^ 0xFEED);
+    let dist = &red.dist;
+    let mut ranks = helman_jaja_engine(
+        &red.succ,
+        red.head,
+        &live_nodes,
+        |v| dist[v as usize],
+        sublists,
+        &mut splitter_rng,
+    );
+    let phase2_ns = t2.elapsed().as_nanos() as f64;
+
+    // Phase III: reinsertion in reverse removal order.
+    let t3 = Instant::now();
+    reinsert_ranks(&red, &mut ranks);
+    let phase3_ns = t3.elapsed().as_nanos() as f64;
+
+    let stats = RankStats {
+        phase1_ns,
+        phase2_ns,
+        phase3_ns,
+        iterations: red.iterations,
+        live_after_reduce: red.live_count,
+        bits_consumed: red.bits_consumed,
+        bits_produced: provider.bits_produced(),
+        live_history: red.live_history,
+    };
+    (ranks, stats)
+}
+
+/// Convenience used by tests and examples: checks a ranking against the
+/// sequential ground truth.
+pub fn verify_ranks(list: &LinkedList, ranks: &[u32]) -> bool {
+    if ranks.len() != list.len() {
+        return false;
+    }
+    let mut cur = list.head;
+    let mut r = 0u32;
+    while cur != NIL {
+        if ranks[cur as usize] != r {
+            return false;
+        }
+        r += 1;
+        cur = list.succ[cur as usize];
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprng_baselines::SplitMix64;
+
+    #[test]
+    fn all_strategies_produce_correct_ranks() {
+        let list = LinkedList::random(20_000, &mut SplitMix64::new(1));
+        let expected = sequential_rank(&list);
+        for strategy in [
+            RandomnessStrategy::OnDemandExpander,
+            RandomnessStrategy::BatchGlibc,
+            RandomnessStrategy::BatchMt,
+        ] {
+            let (ranks, stats) = rank_list(&list, strategy, 42);
+            assert_eq!(ranks, expected, "{:?}", strategy);
+            assert!(stats.live_after_reduce <= 20_000 / 14); // n / log₂ n
+            assert!(verify_ranks(&list, &ranks));
+        }
+    }
+
+    #[test]
+    fn ordered_lists_work_too() {
+        let list = LinkedList::ordered(5_000);
+        let (ranks, _) = rank_list(&list, RandomnessStrategy::OnDemandExpander, 7);
+        assert!(verify_ranks(&list, &ranks));
+    }
+
+    #[test]
+    fn tiny_lists_short_circuit() {
+        let list = LinkedList::random(10, &mut SplitMix64::new(2));
+        let (ranks, stats) = rank_list(&list, RandomnessStrategy::BatchGlibc, 3);
+        assert!(verify_ranks(&list, &ranks));
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    fn on_demand_produces_fewer_bits() {
+        let list = LinkedList::random(50_000, &mut SplitMix64::new(3));
+        let (_, od) = rank_list(&list, RandomnessStrategy::OnDemandExpander, 9);
+        let (_, batch) = rank_list(&list, RandomnessStrategy::BatchGlibc, 9);
+        assert!(
+            od.bits_produced * 2 < batch.bits_produced,
+            "on-demand {} vs batch {}",
+            od.bits_produced,
+            batch.bits_produced
+        );
+        // Both consume the same order of bits (same algorithm, different
+        // coins → slightly different iteration counts).
+        assert!(od.bits_consumed > 0 && batch.bits_consumed > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let list = LinkedList::random(10_000, &mut SplitMix64::new(4));
+        let (a, _) = rank_list(&list, RandomnessStrategy::OnDemandExpander, 5);
+        let (b, _) = rank_list(&list, RandomnessStrategy::OnDemandExpander, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn verify_ranks_rejects_garbage() {
+        let list = LinkedList::ordered(100);
+        let mut ranks = sequential_rank(&list);
+        assert!(verify_ranks(&list, &ranks));
+        ranks[50] = 99;
+        assert!(!verify_ranks(&list, &ranks));
+        assert!(!verify_ranks(&list, &ranks[..50]));
+    }
+}

@@ -1,0 +1,172 @@
+//! The linked-list representation and workload generators.
+
+use rand_core::RngCore;
+
+/// Sentinel index for "no node".
+pub const NIL: u32 = u32::MAX;
+
+/// A doubly linked list stored as successor/predecessor arrays, the layout
+/// every algorithm in this crate (and the paper's GPU kernels) operates on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkedList {
+    /// `succ[i]` = index of the node after `i` (`NIL` at the tail).
+    pub succ: Vec<u32>,
+    /// `pred[i]` = index of the node before `i` (`NIL` at the head).
+    pub pred: Vec<u32>,
+    /// Index of the head node.
+    pub head: u32,
+}
+
+impl LinkedList {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Whether the list has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// The ordered list: node `i`'s successor is `i + 1`. The easy,
+    /// cache-friendly workload.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `n >= NIL as usize`.
+    pub fn ordered(n: usize) -> Self {
+        assert!(n > 0 && n < NIL as usize, "list size out of range");
+        let succ: Vec<u32> = (0..n).map(|i| if i + 1 < n { i as u32 + 1 } else { NIL }).collect();
+        let pred: Vec<u32> = (0..n).map(|i| if i == 0 { NIL } else { i as u32 - 1 }).collect();
+        Self { succ, pred, head: 0 }
+    }
+
+    /// A random list: the nodes form one chain whose order is a uniformly
+    /// random permutation (Fisher–Yates over the node order). This is the
+    /// paper's benchmark workload.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `n >= NIL as usize`.
+    pub fn random(n: usize, rng: &mut impl RngCore) -> Self {
+        assert!(n > 0 && n < NIL as usize, "list size out of range");
+        // order[k] = the node at position k.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        for k in (1..n).rev() {
+            // Uniform in 0..=k by rejection.
+            let bound = k as u64 + 1;
+            let limit = u64::MAX - u64::MAX % bound;
+            let j = loop {
+                let v = rng.next_u64();
+                if v < limit {
+                    break (v % bound) as usize;
+                }
+            };
+            order.swap(k, j);
+        }
+        let mut succ = vec![NIL; n];
+        let mut pred = vec![NIL; n];
+        for w in order.windows(2) {
+            succ[w[0] as usize] = w[1];
+            pred[w[1] as usize] = w[0];
+        }
+        Self {
+            succ,
+            pred,
+            head: order[0],
+        }
+    }
+
+    /// Checks structural invariants (each node in exactly one chain
+    /// position, pred/succ mutually consistent, single head and tail).
+    /// Used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut cur = self.head;
+        let mut count = 0;
+        while cur != NIL {
+            let c = cur as usize;
+            if c >= n {
+                return Err(format!("index {c} out of bounds"));
+            }
+            if seen[c] {
+                return Err(format!("cycle at node {c}"));
+            }
+            seen[c] = true;
+            count += 1;
+            let s = self.succ[c];
+            if s != NIL && self.pred[s as usize] != cur {
+                return Err(format!("pred/succ mismatch at {c} -> {s}"));
+            }
+            cur = s;
+        }
+        if count != n {
+            return Err(format!("chain covers {count} of {n} nodes"));
+        }
+        if self.pred[self.head as usize] != NIL {
+            return Err("head has a predecessor".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprng_baselines::SplitMix64;
+
+    #[test]
+    fn ordered_list_is_valid() {
+        let l = LinkedList::ordered(10);
+        l.validate().unwrap();
+        assert_eq!(l.head, 0);
+        assert_eq!(l.succ[9], NIL);
+        assert_eq!(l.pred[0], NIL);
+    }
+
+    #[test]
+    fn singleton_list() {
+        let l = LinkedList::ordered(1);
+        l.validate().unwrap();
+        assert_eq!(l.succ[0], NIL);
+        assert_eq!(l.pred[0], NIL);
+    }
+
+    #[test]
+    fn random_list_is_valid() {
+        let mut rng = SplitMix64::new(7);
+        for n in [1usize, 2, 3, 17, 1000] {
+            let l = LinkedList::random(n, &mut rng);
+            l.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn random_lists_differ_across_seeds() {
+        let a = LinkedList::random(100, &mut SplitMix64::new(1));
+        let b = LinkedList::random(100, &mut SplitMix64::new(2));
+        assert_ne!(a.succ, b.succ);
+    }
+
+    #[test]
+    fn random_list_is_not_ordered() {
+        let l = LinkedList::random(1000, &mut SplitMix64::new(3));
+        let ordered = LinkedList::ordered(1000);
+        assert_ne!(l.succ, ordered.succ);
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let mut l = LinkedList::ordered(5);
+        l.succ[2] = 0; // creates a cycle
+        assert!(l.validate().is_err());
+        let mut l2 = LinkedList::ordered(5);
+        l2.pred[3] = 0; // mismatched back-pointer
+        assert!(l2.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_length_rejected() {
+        let _ = LinkedList::ordered(0);
+    }
+}

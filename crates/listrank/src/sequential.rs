@@ -1,0 +1,46 @@
+//! The sequential baseline: one pointer chase. Optimal work, zero
+//! parallelism — the ground truth every parallel algorithm is tested
+//! against.
+
+use crate::list::{LinkedList, NIL};
+
+/// Computes each node's distance from the head (head = 0) by traversal.
+pub fn sequential_rank(list: &LinkedList) -> Vec<u32> {
+    let mut ranks = vec![0u32; list.len()];
+    let mut cur = list.head;
+    let mut r = 0u32;
+    while cur != NIL {
+        ranks[cur as usize] = r;
+        r += 1;
+        cur = list.succ[cur as usize];
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprng_baselines::SplitMix64;
+
+    #[test]
+    fn ordered_list_ranks_are_identity() {
+        let l = LinkedList::ordered(8);
+        let r = sequential_rank(&l);
+        assert_eq!(r, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn random_list_ranks_form_a_permutation() {
+        let l = LinkedList::random(100, &mut SplitMix64::new(5));
+        let mut r = sequential_rank(&l);
+        r.sort_unstable();
+        assert_eq!(r, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn head_has_rank_zero() {
+        let l = LinkedList::random(50, &mut SplitMix64::new(6));
+        let r = sequential_rank(&l);
+        assert_eq!(r[l.head as usize], 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Wyllie's pointer-jumping algorithm (the original parallel list-ranking
+//! primitive, Wyllie 1979).
+//!
+//! Every node repeatedly adds its successor's rank and jumps its successor
+//! pointer two hops ahead; after `⌈log₂ n⌉` rounds every pointer reaches
+//! the tail and the accumulated value is the distance **to the tail**. We
+//! convert to distance-from-head at the end. Work is `O(n log n)` — the
+//! reason the paper's three-phase algorithm reduces the list first.
+
+use crate::list::{LinkedList, NIL};
+use rayon::prelude::*;
+
+/// Ranks the list by pointer jumping. Returns distance from the head.
+pub fn wyllie_rank(list: &LinkedList) -> Vec<u32> {
+    let n = list.len();
+    // dist[i] = distance from i to the node `next[i]` currently points at.
+    let mut next = list.succ.clone();
+    let mut dist: Vec<u32> = next.iter().map(|&s| u32::from(s != NIL)).collect();
+    let mut new_next = vec![0u32; n];
+    let mut new_dist = vec![0u32; n];
+    // After k rounds every pointer has advanced 2^k hops (or hit the tail),
+    // so ⌈log₂ n⌉ rounds suffice.
+    let rounds = usize::BITS - (n - 1).leading_zeros();
+    for _ in 0..rounds {
+        // Jump: next'[i] = next[next[i]], dist'[i] = dist[i] + dist[next[i]].
+        new_next
+            .par_iter_mut()
+            .zip(new_dist.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, (nn, nd))| {
+                let s = next[i];
+                if s == NIL {
+                    *nn = NIL;
+                    *nd = dist[i];
+                } else {
+                    *nn = next[s as usize];
+                    *nd = dist[i] + dist[s as usize];
+                }
+            });
+        std::mem::swap(&mut next, &mut new_next);
+        std::mem::swap(&mut dist, &mut new_dist);
+    }
+    // dist[i] is now the distance from i to the tail; rank from head =
+    // (n − 1) − dist_to_tail.
+    let n1 = n as u32 - 1;
+    dist.par_iter().map(|&d| n1 - d).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::sequential_rank;
+    use hprng_baselines::SplitMix64;
+
+    #[test]
+    fn matches_sequential_on_ordered_lists() {
+        for n in [1usize, 2, 3, 7, 64, 100] {
+            let l = LinkedList::ordered(n);
+            assert_eq!(wyllie_rank(&l), sequential_rank(&l), "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_random_lists() {
+        let mut rng = SplitMix64::new(17);
+        for n in [1usize, 2, 5, 33, 1024, 5000] {
+            let l = LinkedList::random(n, &mut rng);
+            assert_eq!(wyllie_rank(&l), sequential_rank(&l), "n={n}");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for list ranking: every algorithm, every strategy, and
+//! the device path must agree with the sequential ground truth on
+//! arbitrary list shapes.
+
+use hprng_baselines::SplitMix64;
+use hprng_core::{HybridParams, HybridPrng};
+use hprng_gpu_sim::DeviceConfig;
+use hprng_listrank::device::{finish_ranks, reduce_on_device};
+use hprng_listrank::fis::{reduce_list, reinsert_ranks, OnDemandBits};
+use hprng_listrank::{helman_jaja_rank, sequential_rank, wyllie_rank, LinkedList, NIL};
+use proptest::prelude::*;
+
+fn target_for(n: usize) -> usize {
+    (((n as f64) / (n as f64).log2()).ceil() as usize).max(1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The device-resident reduction ranks arbitrary lists correctly.
+    #[test]
+    fn device_reduction_correct(n in 64usize..2_000, list_seed in any::<u64>(), seed in any::<u64>()) {
+        let list = LinkedList::random(n, &mut SplitMix64::new(list_seed));
+        let expected = sequential_rank(&list);
+        let mut prng = HybridPrng::new(DeviceConfig::test_tiny(), HybridParams::default(), seed);
+        let red = reduce_on_device(&list, target_for(n), &mut prng);
+        prop_assert_eq!(finish_ranks(&red, n), expected);
+    }
+
+    /// Host and device reductions remove valid (replayable) sets whatever
+    /// the coins.
+    #[test]
+    fn fis_removal_log_replayable(n in 64usize..2_000, seed in any::<u64>()) {
+        let list = LinkedList::random(n, &mut SplitMix64::new(seed));
+        let mut bits = OnDemandBits::new(SplitMix64::new(seed ^ 1));
+        let red = reduce_list(&list, target_for(n), &mut bits);
+        // Replay: every removal references then-live nodes only.
+        let mut live = vec![true; n];
+        for r in &red.removals {
+            prop_assert!(live[r.node as usize]);
+            prop_assert!(r.pred == NIL || live[r.pred as usize]);
+            prop_assert!(r.succ == NIL || live[r.succ as usize]);
+            live[r.node as usize] = false;
+        }
+        prop_assert_eq!(live.iter().filter(|&&l| l).count(), red.live_count);
+    }
+
+    /// Reinsertion inverts reduction for arbitrary coins and shapes.
+    #[test]
+    fn reduce_then_reinsert_is_identity(n in 64usize..3_000, seed in any::<u64>()) {
+        let list = LinkedList::random(n, &mut SplitMix64::new(seed));
+        let expected = sequential_rank(&list);
+        let mut bits = OnDemandBits::new(SplitMix64::new(seed ^ 2));
+        let red = reduce_list(&list, target_for(n), &mut bits);
+        let mut ranks = vec![0u32; n];
+        let mut cur = red.head;
+        let mut acc = 0u32;
+        while cur != NIL {
+            ranks[cur as usize] = acc;
+            acc += red.dist[cur as usize];
+            cur = red.succ[cur as usize];
+        }
+        reinsert_ranks(&red, &mut ranks);
+        prop_assert_eq!(ranks, expected);
+    }
+
+    /// Wyllie and Helman–JáJà agree on arbitrary sizes, including the
+    /// degenerate ones.
+    #[test]
+    fn parallel_algorithms_agree(n in 1usize..1_500, seed in any::<u64>(), sublists in 1usize..64) {
+        let list = LinkedList::random(n, &mut SplitMix64::new(seed));
+        let expected = sequential_rank(&list);
+        prop_assert_eq!(wyllie_rank(&list), expected.clone());
+        let mut rng = SplitMix64::new(seed ^ 3);
+        prop_assert_eq!(helman_jaja_rank(&list, sublists, &mut rng), expected);
+    }
+
+    /// Ranks are always a permutation of 0..n (no algorithm may lose or
+    /// duplicate a rank).
+    #[test]
+    fn ranks_are_permutations(n in 1usize..1_000, seed in any::<u64>()) {
+        let list = LinkedList::random(n, &mut SplitMix64::new(seed));
+        let mut ranks = wyllie_rank(&list);
+        ranks.sort_unstable();
+        let identity: Vec<u32> = (0..n as u32).collect();
+        prop_assert_eq!(ranks, identity);
+    }
+}

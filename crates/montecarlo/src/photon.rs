@@ -1,0 +1,193 @@
+//! Photon-packet physics: stepping, Henyey–Greenstein scattering, Fresnel
+//! boundaries, roulette.
+
+/// A photon packet.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Photon {
+    /// Position (cm).
+    pub x: f64,
+    /// Position (cm).
+    pub y: f64,
+    /// Depth (cm), increasing downward.
+    pub z: f64,
+    /// Direction cosines (unit vector).
+    pub ux: f64,
+    /// Direction cosine y.
+    pub uy: f64,
+    /// Direction cosine z.
+    pub uz: f64,
+    /// Packet weight.
+    pub weight: f64,
+    /// Index of the layer the photon is in.
+    pub layer: usize,
+}
+
+impl Photon {
+    /// A packet launched at the origin heading straight down ("pencil beam
+    /// initialized at the origin").
+    pub fn pencil_beam(weight: f64) -> Self {
+        Self {
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+            ux: 0.0,
+            uy: 0.0,
+            uz: 1.0,
+            weight,
+            layer: 0,
+        }
+    }
+
+    /// Moves the packet `s` along its direction.
+    #[inline]
+    pub fn advance(&mut self, s: f64) {
+        self.x += s * self.ux;
+        self.y += s * self.uy;
+        self.z += s * self.uz;
+    }
+}
+
+/// Samples the Henyey–Greenstein deflection cosine for anisotropy `g`
+/// given a uniform variate `xi ∈ [0, 1)`.
+#[inline]
+pub fn henyey_greenstein_cos(g: f64, xi: f64) -> f64 {
+    if g.abs() < 1e-9 {
+        return 2.0 * xi - 1.0;
+    }
+    let tmp = (1.0 - g * g) / (1.0 - g + 2.0 * g * xi);
+    ((1.0 + g * g - tmp * tmp) / (2.0 * g)).clamp(-1.0, 1.0)
+}
+
+/// Rotates the direction `(ux, uy, uz)` by polar angle `θ` (as `cos θ`) and
+/// azimuth `ψ` (Wang–Jacques formulae).
+pub fn spin(ux: f64, uy: f64, uz: f64, cos_theta: f64, psi: f64) -> (f64, f64, f64) {
+    let sin_theta = (1.0 - cos_theta * cos_theta).max(0.0).sqrt();
+    let (sin_psi, cos_psi) = psi.sin_cos();
+    if uz.abs() > 0.99999 {
+        // Straight up/down: the rotation frame degenerates.
+        (
+            sin_theta * cos_psi,
+            sin_theta * sin_psi,
+            cos_theta * uz.signum(),
+        )
+    } else {
+        let temp = (1.0 - uz * uz).sqrt();
+        let nux = sin_theta * (ux * uz * cos_psi - uy * sin_psi) / temp + ux * cos_theta;
+        let nuy = sin_theta * (uy * uz * cos_psi + ux * sin_psi) / temp + uy * cos_theta;
+        let nuz = -sin_theta * cos_psi * temp + uz * cos_theta;
+        (nux, nuy, nuz)
+    }
+}
+
+/// Unpolarized Fresnel reflectance for a ray crossing from index `n1` into
+/// `n2` with incidence cosine `cos_i > 0`. Returns 1.0 on total internal
+/// reflection.
+pub fn fresnel_reflectance(n1: f64, n2: f64, cos_i: f64) -> f64 {
+    debug_assert!((0.0..=1.0 + 1e-12).contains(&cos_i));
+    if (n1 - n2).abs() < 1e-12 {
+        return 0.0;
+    }
+    let sin_i = (1.0 - cos_i * cos_i).max(0.0).sqrt();
+    let sin_t = n1 / n2 * sin_i;
+    if sin_t >= 1.0 {
+        return 1.0; // total internal reflection
+    }
+    let cos_t = (1.0 - sin_t * sin_t).sqrt();
+    let rs = ((n1 * cos_i - n2 * cos_t) / (n1 * cos_i + n2 * cos_t)).powi(2);
+    let rp = ((n1 * cos_t - n2 * cos_i) / (n1 * cos_t + n2 * cos_i)).powi(2);
+    0.5 * (rs + rp)
+}
+
+/// Roulette parameters of the classical MCML implementation.
+pub const ROULETTE_THRESHOLD: f64 = 1e-4;
+/// Survival chance in roulette (survivors are re-weighted by the
+/// reciprocal).
+pub const ROULETTE_CHANCE: f64 = 0.1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pencil_beam_points_down() {
+        let p = Photon::pencil_beam(1.0);
+        assert_eq!((p.ux, p.uy, p.uz), (0.0, 0.0, 1.0));
+        assert_eq!(p.weight, 1.0);
+    }
+
+    #[test]
+    fn advance_moves_along_direction() {
+        let mut p = Photon::pencil_beam(1.0);
+        p.advance(2.5);
+        assert_eq!(p.z, 2.5);
+        assert_eq!((p.x, p.y), (0.0, 0.0));
+    }
+
+    #[test]
+    fn hg_isotropic_when_g_zero() {
+        assert_eq!(henyey_greenstein_cos(0.0, 0.0), -1.0);
+        assert_eq!(henyey_greenstein_cos(0.0, 0.5), 0.0);
+        assert!((henyey_greenstein_cos(0.0, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hg_mean_cosine_equals_g() {
+        // E[cos θ] = g is the defining property of the HG phase function.
+        for &g in &[0.5f64, 0.9, -0.3] {
+            let n = 200_000;
+            let mean: f64 = (0..n)
+                .map(|i| henyey_greenstein_cos(g, (i as f64 + 0.5) / n as f64))
+                .sum::<f64>()
+                / n as f64;
+            assert!((mean - g).abs() < 1e-3, "g={g}, mean={mean}");
+        }
+    }
+
+    #[test]
+    fn spin_preserves_unit_length() {
+        let cases = [
+            (0.0, 0.0, 1.0, 0.3, 1.2),
+            (0.6, 0.0, 0.8, -0.5, 4.0),
+            (0.0, 1.0, 0.0, 0.9, 0.1),
+            (0.0, 0.0, -1.0, 0.2, 2.2),
+        ];
+        for (ux, uy, uz, ct, psi) in cases {
+            let (a, b, c) = spin(ux, uy, uz, ct, psi);
+            let norm = (a * a + b * b + c * c).sqrt();
+            assert!((norm - 1.0).abs() < 1e-9, "norm = {norm}");
+        }
+    }
+
+    #[test]
+    fn spin_sets_polar_angle() {
+        // From straight-down, the new uz must equal cos θ.
+        let (_, _, uz) = spin(0.0, 0.0, 1.0, 0.42, 2.0);
+        assert!((uz - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fresnel_normal_incidence_matches_closed_form() {
+        let r = fresnel_reflectance(1.0, 1.5, 1.0);
+        let expect = ((1.0f64 - 1.5) / (1.0 + 1.5)).powi(2);
+        assert!((r - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fresnel_matched_media_reflect_nothing() {
+        assert_eq!(fresnel_reflectance(1.37, 1.37, 0.3), 0.0);
+    }
+
+    #[test]
+    fn fresnel_total_internal_reflection() {
+        // From glass (1.5) to air (1.0) beyond the critical angle
+        // (sin c = 1/1.5 → cos c ≈ 0.745): grazing incidence reflects all.
+        let r = fresnel_reflectance(1.5, 1.0, 0.3);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn fresnel_grazing_incidence_reflects_everything() {
+        let r = fresnel_reflectance(1.0, 1.5, 1e-9);
+        assert!(r > 0.99, "r = {r}");
+    }
+}

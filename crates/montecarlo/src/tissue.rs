@@ -1,0 +1,131 @@
+//! The layered optical medium.
+
+use serde::Serialize;
+
+/// One tissue layer with MCML's optical parameters (lengths in cm,
+/// coefficients in 1/cm).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct Layer {
+    /// Absorption coefficient μa.
+    pub mua: f64,
+    /// Scattering coefficient μs.
+    pub mus: f64,
+    /// Henyey–Greenstein anisotropy g ∈ (−1, 1).
+    pub g: f64,
+    /// Refractive index.
+    pub n: f64,
+    /// Thickness (cm).
+    pub thickness: f64,
+}
+
+impl Layer {
+    /// Total interaction coefficient μt = μa + μs.
+    #[inline]
+    pub fn mut_total(&self) -> f64 {
+        self.mua + self.mus
+    }
+}
+
+/// A stack of layers with ambient media above and below.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Tissue {
+    /// The layers, top to bottom.
+    pub layers: Vec<Layer>,
+    /// Refractive index of the medium above (air = 1.0).
+    pub n_above: f64,
+    /// Refractive index of the medium below.
+    pub n_below: f64,
+}
+
+impl Tissue {
+    /// Builds a tissue stack.
+    ///
+    /// # Panics
+    /// Panics if there are no layers or any parameter is non-physical.
+    pub fn new(layers: Vec<Layer>, n_above: f64, n_below: f64) -> Self {
+        assert!(!layers.is_empty(), "tissue needs at least one layer");
+        for (i, l) in layers.iter().enumerate() {
+            assert!(l.mua >= 0.0 && l.mus >= 0.0, "layer {i}: negative coefficients");
+            assert!(l.mut_total() > 0.0, "layer {i}: μt must be positive");
+            assert!(l.g > -1.0 && l.g < 1.0, "layer {i}: g out of range");
+            assert!(l.n >= 1.0, "layer {i}: refractive index below 1");
+            assert!(l.thickness > 0.0, "layer {i}: non-positive thickness");
+        }
+        assert!(n_above >= 1.0 && n_below >= 1.0, "ambient index below 1");
+        Self {
+            layers,
+            n_above,
+            n_below,
+        }
+    }
+
+    /// Depth of the top of layer `i`.
+    pub fn z_top(&self, i: usize) -> f64 {
+        self.layers[..i].iter().map(|l| l.thickness).sum()
+    }
+
+    /// Depth of the bottom of layer `i`.
+    pub fn z_bottom(&self, i: usize) -> f64 {
+        self.z_top(i) + self.layers[i].thickness
+    }
+
+    /// The paper's experiment simulates "three different layers"; this is
+    /// the classic MCML three-layer skin-like benchmark.
+    pub fn three_layer() -> Self {
+        Self::new(
+            vec![
+                Layer { mua: 1.0, mus: 100.0, g: 0.9, n: 1.37, thickness: 0.1 },
+                Layer { mua: 1.0, mus: 10.0, g: 0.0, n: 1.37, thickness: 0.1 },
+                Layer { mua: 2.0, mus: 10.0, g: 0.7, n: 1.37, thickness: 0.2 },
+            ],
+            1.0,
+            1.0,
+        )
+    }
+
+    /// A single matched-boundary layer, handy for closed-form sanity
+    /// checks.
+    pub fn single_layer(mua: f64, mus: f64, g: f64, thickness: f64) -> Self {
+        Self::new(
+            vec![Layer { mua, mus, g, n: 1.0, thickness }],
+            1.0,
+            1.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_boundaries_accumulate() {
+        let t = Tissue::three_layer();
+        assert_eq!(t.z_top(0), 0.0);
+        assert!((t.z_bottom(0) - 0.1).abs() < 1e-12);
+        assert!((t.z_top(2) - 0.2).abs() < 1e-12);
+        assert!((t.z_bottom(2) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mut_total_is_sum() {
+        let l = Layer { mua: 1.5, mus: 2.5, g: 0.0, n: 1.4, thickness: 1.0 };
+        assert_eq!(l.mut_total(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_tissue_rejected() {
+        let _ = Tissue::new(vec![], 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "g out of range")]
+    fn bad_anisotropy_rejected() {
+        let _ = Tissue::new(
+            vec![Layer { mua: 1.0, mus: 1.0, g: 1.0, n: 1.4, thickness: 1.0 }],
+            1.0,
+            1.0,
+        );
+    }
+}

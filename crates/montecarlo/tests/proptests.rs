@@ -1,0 +1,108 @@
+//! Property tests for the photon-transport physics.
+
+use hprng_baselines::SplitMix64;
+use hprng_montecarlo::photon::{fresnel_reflectance, henyey_greenstein_cos, spin};
+use hprng_montecarlo::{run_simulation, RandomSupply, SimConfig, Tissue};
+use hprng_montecarlo::sim::ScoringGrid;
+use proptest::prelude::*;
+use rand_core::RngCore;
+
+proptest! {
+    /// HG deflection cosines are valid cosines for all parameters.
+    #[test]
+    fn hg_cosine_in_range(g in -0.99f64..0.99, xi in 0.0f64..1.0) {
+        let c = henyey_greenstein_cos(g, xi);
+        prop_assert!((-1.0..=1.0).contains(&c), "g={g}, xi={xi}, cos={c}");
+    }
+
+    /// Direction spins preserve unit length from any direction.
+    #[test]
+    fn spin_preserves_norm(
+        theta in 0.0f64..std::f64::consts::PI,
+        phi in 0.0f64..(2.0 * std::f64::consts::PI),
+        ct in -1.0f64..1.0,
+        psi in 0.0f64..(2.0 * std::f64::consts::PI),
+    ) {
+        let (st, ctheta) = theta.sin_cos();
+        let ux = st * phi.cos();
+        let uy = st * phi.sin();
+        let uz = ctheta;
+        let (a, b, c) = spin(ux, uy, uz, ct, psi);
+        let norm = (a * a + b * b + c * c).sqrt();
+        prop_assert!((norm - 1.0).abs() < 1e-9, "norm {norm}");
+    }
+
+    /// Fresnel reflectance is a probability and reciprocal directions at
+    /// normal incidence agree.
+    #[test]
+    fn fresnel_is_probability(n1 in 1.0f64..2.5, n2 in 1.0f64..2.5, cos_i in 0.001f64..1.0) {
+        let r = fresnel_reflectance(n1, n2, cos_i);
+        prop_assert!((0.0..=1.0).contains(&r));
+        let fwd = fresnel_reflectance(n1, n2, 1.0);
+        let back = fresnel_reflectance(n2, n1, 1.0);
+        prop_assert!((fwd - back).abs() < 1e-12, "normal incidence must be reciprocal");
+    }
+
+    /// Radial/depth grids always partition the scalar totals exactly,
+    /// whatever the grid geometry.
+    #[test]
+    fn grids_partition_totals(
+        nr in 2usize..40,
+        dr in 0.005f64..0.1,
+        nz in 2usize..40,
+        dz in 0.005f64..0.1,
+        seed in any::<u64>(),
+    ) {
+        let tissue = Tissue::three_layer();
+        let cfg = SimConfig {
+            seed,
+            supply: RandomSupply::InlineHybrid,
+            chunk_size: 512,
+            grid: Some(ScoringGrid { nr, dr, nz, dz }),
+        };
+        let out = run_simulation(&tissue, 1_500, &cfg);
+        let rd: f64 = out.rd_radial.iter().sum();
+        prop_assert!((rd - out.diffuse_reflectance).abs() < 1e-9);
+        let az: f64 = out.abs_depth.iter().sum();
+        let at: f64 = out.absorbed.iter().sum();
+        prop_assert!((az - at).abs() < 1e-9);
+    }
+
+    /// The physics is supply-agnostic: both random supplies give
+    /// reflectance within statistical tolerance on arbitrary single-layer
+    /// media.
+    #[test]
+    fn supplies_agree_statistically(
+        mua in 0.2f64..3.0,
+        mus in 2.0f64..30.0,
+        g in 0.0f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let tissue = Tissue::single_layer(mua, mus, g, 0.5);
+        let n = 4_000u64;
+        let run = |supply| {
+            run_simulation(&tissue, n, &SimConfig { seed, supply, chunk_size: 512, grid: None })
+        };
+        let a = run(RandomSupply::InlineHybrid);
+        let b = run(RandomSupply::BufferedMwc { chunk: 1024 });
+        let nf = n as f64;
+        prop_assert!(
+            (a.diffuse_reflectance - b.diffuse_reflectance).abs() / nf < 0.05,
+            "Rd {} vs {}", a.diffuse_reflectance / nf, b.diffuse_reflectance / nf
+        );
+    }
+
+    /// Random generators drive HG sampling to the right mean (E[cos] = g).
+    #[test]
+    fn hg_mean_matches_anisotropy(g in -0.8f64..0.8, seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let n = 30_000;
+        let mean: f64 = (0..n)
+            .map(|_| {
+                let xi = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                henyey_greenstein_cos(g, xi)
+            })
+            .sum::<f64>() / n as f64;
+        prop_assert!((mean - g).abs() < 0.03, "g={g}, mean={mean}");
+    }
+}

@@ -1,0 +1,347 @@
+//! Bit-level frequency and runs statistics (NIST-SP-800-22-style, as
+//! TestU01's sstring family).
+
+use crate::special::{chi_square_sf, chi_square_test, erfc, normal_two_sided_p};
+use crate::suite::{StatTest, TestResult};
+use crate::util::BitStream;
+use rand_core::RngCore;
+
+/// Monobit: the overall 0/1 balance of `n` bits; `(#1 − #0)/√n ~ N(0,1)`.
+#[derive(Clone, Debug)]
+pub struct Monobit {
+    /// Bits examined.
+    pub bits: usize,
+}
+
+impl Monobit {
+    /// Base size 2^21 bits.
+    pub fn sized(m: f64) -> Self {
+        Self {
+            bits: ((2_097_152.0 * m) as usize).max(262_144),
+        }
+    }
+}
+
+impl StatTest for Monobit {
+    fn name(&self) -> &str {
+        "monobit"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        let words = self.bits / 32;
+        let mut ones = 0u64;
+        for _ in 0..words {
+            ones += rng.next_u32().count_ones() as u64;
+        }
+        let n = (words * 32) as f64;
+        let z = (2.0 * ones as f64 - n) / n.sqrt();
+        TestResult::new(self.name(), vec![normal_two_sided_p(z)])
+    }
+}
+
+/// Block frequency: ones per `M = 128`-bit block;
+/// `Σ (ones_i − M/2)² / (M/4)` is chi-square with one degree of freedom per
+/// block.
+#[derive(Clone, Debug)]
+pub struct BlockFrequency {
+    /// Number of 128-bit blocks.
+    pub blocks: usize,
+}
+
+impl BlockFrequency {
+    /// Base size 16 384 blocks.
+    pub fn sized(m: f64) -> Self {
+        Self {
+            blocks: ((16_384.0 * m) as usize).max(2_048),
+        }
+    }
+}
+
+impl StatTest for BlockFrequency {
+    fn name(&self) -> &str {
+        "block-frequency"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        const M: f64 = 128.0;
+        let mut stat = 0.0;
+        for _ in 0..self.blocks {
+            let ones: u32 = (0..4).map(|_| rng.next_u32().count_ones()).sum();
+            let d = ones as f64 - M / 2.0;
+            stat += d * d / (M / 4.0);
+        }
+        let p = chi_square_sf(stat, self.blocks as f64);
+        TestResult::new(self.name(), vec![p])
+    }
+}
+
+/// Wald–Wolfowitz runs over the bit stream, conditioned on the observed
+/// ones-proportion π (the NIST runs test):
+/// `p = erfc(|V − 2nπ(1−π)| / (2√(2n) π(1−π)))`.
+#[derive(Clone, Debug)]
+pub struct BitRuns {
+    /// Bits examined.
+    pub bits: usize,
+}
+
+impl BitRuns {
+    /// Base size 2^20 bits.
+    pub fn sized(m: f64) -> Self {
+        Self {
+            bits: ((1_048_576.0 * m) as usize).max(131_072),
+        }
+    }
+}
+
+impl StatTest for BitRuns {
+    fn name(&self) -> &str {
+        "bit-runs"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        let mut bs = BitStream::new(rng);
+        let n = self.bits;
+        let mut prev = bs.bit();
+        let mut ones = prev as u64;
+        let mut runs = 1u64;
+        for _ in 1..n {
+            let b = bs.bit();
+            ones += b as u64;
+            if b != prev {
+                runs += 1;
+                prev = b;
+            }
+        }
+        let pi = ones as f64 / n as f64;
+        if pi == 0.0 || pi == 1.0 {
+            return TestResult::new(self.name(), vec![0.0]);
+        }
+        let nf = n as f64;
+        let p = erfc(
+            (runs as f64 - 2.0 * nf * pi * (1.0 - pi)).abs()
+                / (2.0 * (2.0 * nf).sqrt() * pi * (1.0 - pi)),
+        );
+        TestResult::new(self.name(), vec![p])
+    }
+}
+
+/// Longest run of ones within 128-bit blocks, chi-squared against the NIST
+/// SP 800-22 class probabilities for `M = 128`.
+#[derive(Clone, Debug)]
+pub struct LongestRun {
+    /// Number of 128-bit blocks.
+    pub blocks: usize,
+}
+
+impl LongestRun {
+    /// Base size 8 192 blocks.
+    pub fn sized(m: f64) -> Self {
+        Self {
+            blocks: ((8_192.0 * m) as usize).max(1_024),
+        }
+    }
+}
+
+/// NIST SP 800-22 table for M = 128: classes {≤4, 5, 6, 7, 8, ≥9}.
+const LONGEST_RUN_P: [f64; 6] = [0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124];
+
+impl StatTest for LongestRun {
+    fn name(&self) -> &str {
+        "longest-run-of-ones"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        let mut observed = [0.0f64; 6];
+        for _ in 0..self.blocks {
+            let mut longest = 0u32;
+            let mut current = 0u32;
+            for _ in 0..4 {
+                let w = rng.next_u32();
+                for bit in (0..32).rev() {
+                    if w >> bit & 1 == 1 {
+                        current += 1;
+                        longest = longest.max(current);
+                    } else {
+                        current = 0;
+                    }
+                }
+            }
+            let class = match longest {
+                0..=4 => 0,
+                5 => 1,
+                6 => 2,
+                7 => 3,
+                8 => 4,
+                _ => 5,
+            };
+            observed[class] += 1.0;
+        }
+        let expected: Vec<f64> = LONGEST_RUN_P
+            .iter()
+            .map(|p| p * self.blocks as f64)
+            .collect();
+        let (_, p) = chi_square_test(&observed, &expected, 0);
+        TestResult::new(self.name(), vec![p])
+    }
+}
+
+/// Serial test over non-overlapping 2-bit patterns: chi-square over the
+/// four cells (exactly uniform under the null).
+#[derive(Clone, Debug)]
+pub struct Serial2 {
+    /// 2-bit patterns examined.
+    pub patterns: usize,
+}
+
+impl Serial2 {
+    /// Base size 2^20 patterns.
+    pub fn sized(m: f64) -> Self {
+        Self {
+            patterns: ((1_048_576.0 * m) as usize).max(131_072),
+        }
+    }
+}
+
+impl StatTest for Serial2 {
+    fn name(&self) -> &str {
+        "serial-2bit"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        let mut observed = [0.0f64; 4];
+        let words = self.patterns / 16;
+        for _ in 0..words {
+            let mut w = rng.next_u32();
+            for _ in 0..16 {
+                observed[(w & 0b11) as usize] += 1.0;
+                w >>= 2;
+            }
+        }
+        let expected = [words as f64 * 4.0; 4];
+        let (_, p) = chi_square_test(&observed, &expected, 0);
+        TestResult::new(self.name(), vec![p])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprng_baselines::SplitMix64;
+
+    #[test]
+    fn longest_run_table_sums_to_one() {
+        let total: f64 = LONGEST_RUN_P.iter().sum();
+        assert!((total - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn all_bit_tests_pass_good_generator() {
+        let m = 0.25;
+        let tests: Vec<Box<dyn StatTest>> = vec![
+            Box::new(Monobit::sized(m)),
+            Box::new(BlockFrequency::sized(m)),
+            Box::new(BitRuns::sized(m)),
+            Box::new(LongestRun::sized(m)),
+            Box::new(Serial2::sized(m)),
+        ];
+        for (i, t) in tests.iter().enumerate() {
+            let mut rng = SplitMix64::new(2000 + i as u64);
+            let r = t.run(&mut rng);
+            assert!(r.passed(), "{} failed: {:?}", t.name(), r.p_values);
+        }
+    }
+
+    #[test]
+    fn monobit_fails_biased_stream() {
+        struct Biased(SplitMix64);
+        impl RngCore for Biased {
+            fn next_u32(&mut self) -> u32 {
+                (self.0.next() as u32) | 0x0101_0101 // force some ones
+            }
+            fn next_u64(&mut self) -> u64 {
+                ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), rand_core::Error> {
+                Ok(())
+            }
+        }
+        let r = Monobit::sized(0.25).run(&mut Biased(SplitMix64::new(1)));
+        assert!(!r.passed());
+        assert!(r.p_values[0] < 1e-10);
+    }
+
+    #[test]
+    fn bit_runs_fails_alternating_stream() {
+        struct Alternating;
+        impl RngCore for Alternating {
+            fn next_u32(&mut self) -> u32 {
+                0x5555_5555
+            }
+            fn next_u64(&mut self) -> u64 {
+                0x5555_5555_5555_5555
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), rand_core::Error> {
+                Ok(())
+            }
+        }
+        let r = BitRuns::sized(0.25).run(&mut Alternating);
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn longest_run_fails_all_ones_blocks() {
+        struct Ones;
+        impl RngCore for Ones {
+            fn next_u32(&mut self) -> u32 {
+                u32::MAX
+            }
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), rand_core::Error> {
+                Ok(())
+            }
+        }
+        let r = LongestRun::sized(0.25).run(&mut Ones);
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn serial2_fails_constant_pattern() {
+        struct Fixed;
+        impl RngCore for Fixed {
+            fn next_u32(&mut self) -> u32 {
+                0b00011011_00011011_00011011_00011011 // unequal 2-bit cells
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), rand_core::Error> {
+                Ok(())
+            }
+        }
+        // 0b00011011 repeated: cells 3, 2, 1, 0 appear equally! Use a truly
+        // skewed word instead.
+        struct Skewed;
+        impl RngCore for Skewed {
+            fn next_u32(&mut self) -> u32 {
+                0 // every 2-bit pattern is 00
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), rand_core::Error> {
+                Ok(())
+            }
+        }
+        let _ = Fixed;
+        let r = Serial2::sized(0.25).run(&mut Skewed);
+        assert!(!r.passed());
+        assert!(r.p_values[0] < 1e-10);
+    }
+}

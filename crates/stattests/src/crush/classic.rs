@@ -1,0 +1,564 @@
+//! The classical Knuth/TestU01 statistics: collision, gap, poker, coupon
+//! collector, max-of-t, Hamming weight & independence, serial correlation,
+//! and the random walk.
+
+use crate::special::{chi_square_test, ks_test, ln_gamma, normal_two_sided_p};
+use crate::suite::{StatTest, TestResult};
+use crate::util::{uniform_f64, uniform_u32_below};
+use rand_core::RngCore;
+
+/// Collision test: throw `n` balls into `k = 2^24` urns; the number of
+/// collisions (balls landing in an occupied urn) has mean
+/// `c = n − k·(1 − (1 − 1/k)^n)` and is asymptotically Poisson-like; we use
+/// the normal approximation with variance ≈ c.
+#[derive(Clone, Debug)]
+pub struct Collision {
+    /// Balls thrown.
+    pub balls: usize,
+}
+
+impl Collision {
+    /// Base size 2^17 balls, scaled by `m`. The floor keeps the expected
+    /// collision count ≥ ~30 so the normal approximation holds (below
+    /// that, chance failures dominate the small battery's score).
+    pub fn sized(m: f64) -> Self {
+        Self {
+            balls: ((131_072.0 * m) as usize).max(32_768),
+        }
+    }
+}
+
+impl StatTest for Collision {
+    fn name(&self) -> &str {
+        "collision"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        const URN_BITS: u32 = 24;
+        let k = 1usize << URN_BITS;
+        let mut bitmap = vec![0u64; k / 64];
+        let mut collisions = 0u64;
+        for _ in 0..self.balls {
+            let urn = (rng.next_u32() >> (32 - URN_BITS)) as usize;
+            let (w, b) = (urn / 64, urn % 64);
+            if bitmap[w] >> b & 1 == 1 {
+                collisions += 1;
+            } else {
+                bitmap[w] |= 1 << b;
+            }
+        }
+        let n = self.balls as f64;
+        let kf = k as f64;
+        let mean = n - kf * (1.0 - (1.0 - 1.0 / kf).powf(n));
+        let z = (collisions as f64 - mean) / mean.sqrt();
+        TestResult::new(self.name(), vec![normal_two_sided_p(z)])
+    }
+}
+
+/// Gap test: record the gaps between successive visits of `U < α`; gap
+/// lengths are geometric `P(g) = α (1−α)^g`, chi-squared over pooled cells.
+#[derive(Clone, Debug)]
+pub struct Gap {
+    /// Gaps collected.
+    pub gaps: usize,
+    /// Window probability α.
+    pub alpha: f64,
+}
+
+impl Gap {
+    /// Base size 10 000 gaps at α = 0.1.
+    pub fn sized(m: f64) -> Self {
+        Self {
+            gaps: ((10_000.0 * m) as usize).max(2_000),
+            alpha: 0.1,
+        }
+    }
+}
+
+impl StatTest for Gap {
+    fn name(&self) -> &str {
+        "gap"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        const CELLS: usize = 32; // gaps 0..=30, then "≥31"
+        let mut observed = vec![0.0f64; CELLS];
+        let mut collected = 0;
+        let mut gap = 0usize;
+        // Safety valve: a generator stuck above α would loop forever.
+        let max_draws = self.gaps * 200 / ((self.alpha * 100.0) as usize).max(1);
+        let mut draws = 0;
+        while collected < self.gaps && draws < max_draws {
+            draws += 1;
+            if uniform_f64(rng) < self.alpha {
+                observed[gap.min(CELLS - 1)] += 1.0;
+                collected += 1;
+                gap = 0;
+            } else {
+                gap += 1;
+            }
+        }
+        if collected == 0 {
+            // Degenerate stream: fail outright.
+            return TestResult::new(self.name(), vec![0.0]);
+        }
+        let n = collected as f64;
+        let mut expected = vec![0.0f64; CELLS];
+        let mut cum = 0.0;
+        for (g, slot) in expected.iter_mut().enumerate().take(CELLS - 1) {
+            let p = self.alpha * (1.0 - self.alpha).powi(g as i32);
+            *slot = p * n;
+            cum += p;
+        }
+        expected[CELLS - 1] = (1.0 - cum).max(0.0) * n;
+        let (_, p) = chi_square_test(&observed, &expected, 0);
+        TestResult::new(self.name(), vec![p])
+    }
+}
+
+/// Simplified poker test: the number of distinct digits among five decimal
+/// digits follows `P(r) = 10·9⋯(10−r+1) · S(5, r) / 10^5` (Stirling
+/// numbers of the second kind).
+#[derive(Clone, Debug)]
+pub struct Poker {
+    /// Hands examined.
+    pub hands: usize,
+}
+
+impl Poker {
+    /// Base size 100 000 hands.
+    pub fn sized(m: f64) -> Self {
+        Self {
+            hands: ((100_000.0 * m) as usize).max(20_000),
+        }
+    }
+}
+
+/// Exact distinct-digit probabilities for 5 digits from an alphabet of 10:
+/// S(5, ·) = [1, 15, 25, 10, 1].
+const POKER_P: [f64; 5] = [
+    10.0 / 1e5,           // 1 distinct: 10 · 1
+    90.0 * 15.0 / 1e5,    // 2 distinct: 10·9 · 15
+    720.0 * 25.0 / 1e5,   // 3 distinct: 10·9·8 · 25
+    5040.0 * 10.0 / 1e5,  // 4 distinct: 10·9·8·7 · 10
+    30_240.0 * 1.0 / 1e5, // 5 distinct: 10·9·8·7·6 · 1
+];
+
+impl StatTest for Poker {
+    fn name(&self) -> &str {
+        "poker"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        let mut observed = [0.0f64; 5];
+        for _ in 0..self.hands {
+            let mut mask = 0u16;
+            for _ in 0..5 {
+                mask |= 1 << uniform_u32_below(rng, 10);
+            }
+            observed[mask.count_ones() as usize - 1] += 1.0;
+        }
+        let expected: Vec<f64> = POKER_P.iter().map(|p| p * self.hands as f64).collect();
+        let (_, p) = chi_square_test(&observed, &expected, 0);
+        TestResult::new(self.name(), vec![p])
+    }
+}
+
+/// Coupon-collector test: draws needed to see all `d = 5` coupons;
+/// `P(T = t) = (d!/d^t) · S(t−1, d−1)`, computed by dynamic programming.
+#[derive(Clone, Debug)]
+pub struct CouponCollector {
+    /// Complete collections gathered.
+    pub collections: usize,
+}
+
+impl CouponCollector {
+    /// Base size 20 000 collections.
+    pub fn sized(m: f64) -> Self {
+        Self {
+            collections: ((20_000.0 * m) as usize).max(5_000),
+        }
+    }
+
+    /// Exact P(T = t) for d = 5 coupons, t in 5..=t_max, via the Markov
+    /// chain over "coupons already seen".
+    fn length_distribution(t_max: usize) -> Vec<f64> {
+        const D: usize = 5;
+        // state = number of distinct coupons seen; start after first draw
+        // at state 1.
+        let mut state = [0.0f64; D + 1];
+        state[1] = 1.0;
+        let mut dist = vec![0.0; t_max + 1];
+        for t in 2..=t_max {
+            let mut next = [0.0f64; D + 1];
+            for (s, &mass) in state.iter().enumerate().take(D) {
+                if mass == 0.0 {
+                    continue;
+                }
+                let stay = s as f64 / D as f64;
+                next[s] += mass * stay;
+                next[s + 1] += mass * (1.0 - stay);
+            }
+            dist[t] = next[D];
+            next[D] = 0.0; // absorb: completed collections leave the chain
+            state = next;
+        }
+        dist
+    }
+}
+
+impl StatTest for CouponCollector {
+    fn name(&self) -> &str {
+        "coupon-collector"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        const T_MAX: usize = 40; // pool everything longer
+        let mut observed = vec![0.0f64; T_MAX + 2];
+        for _ in 0..self.collections {
+            let mut mask = 0u8;
+            let mut draws = 0usize;
+            while mask != 0b11111 {
+                mask |= 1 << uniform_u32_below(rng, 5);
+                draws += 1;
+                if draws > 10_000 {
+                    break; // degenerate generator
+                }
+            }
+            observed[draws.min(T_MAX + 1)] += 1.0;
+        }
+        let dist = Self::length_distribution(T_MAX);
+        let mut expected = vec![0.0f64; T_MAX + 2];
+        let mut cum = 0.0;
+        for t in 0..=T_MAX {
+            expected[t] = dist[t] * self.collections as f64;
+            cum += dist[t];
+        }
+        expected[T_MAX + 1] = (1.0 - cum).max(0.0) * self.collections as f64;
+        let (_, p) = chi_square_test(&observed, &expected, 0);
+        TestResult::new(self.name(), vec![p])
+    }
+}
+
+/// Max-of-t test: the maximum of `t = 8` uniforms has CDF `x^t`; KS over
+/// many samples.
+#[derive(Clone, Debug)]
+pub struct MaxOfT {
+    /// Samples entering the KS test.
+    pub samples: usize,
+}
+
+impl MaxOfT {
+    /// Base size 20 000 samples.
+    pub fn sized(m: f64) -> Self {
+        Self {
+            samples: ((20_000.0 * m) as usize).max(4_000),
+        }
+    }
+}
+
+impl StatTest for MaxOfT {
+    fn name(&self) -> &str {
+        "max-of-t"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        const T: usize = 8;
+        let mut samples: Vec<f64> = (0..self.samples)
+            .map(|_| (0..T).map(|_| uniform_f64(rng)).fold(0.0, f64::max))
+            .collect();
+        let (_, p) = ks_test(&mut samples, |x| x.powi(T as i32));
+        TestResult::new(self.name(), vec![p])
+    }
+}
+
+/// Hamming-weight distribution: weights of 32-bit words are
+/// Binomial(32, 1/2); chi-square over pooled cells.
+#[derive(Clone, Debug)]
+pub struct WeightDistrib {
+    /// Words examined.
+    pub words: usize,
+}
+
+impl WeightDistrib {
+    /// Base size 200 000 words.
+    pub fn sized(m: f64) -> Self {
+        Self {
+            words: ((200_000.0 * m) as usize).max(40_000),
+        }
+    }
+}
+
+impl StatTest for WeightDistrib {
+    fn name(&self) -> &str {
+        "hamming-weight"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        let mut observed = vec![0.0f64; 33];
+        for _ in 0..self.words {
+            observed[rng.next_u32().count_ones() as usize] += 1.0;
+        }
+        let n = self.words as f64;
+        let ln2_32 = 32.0 * 2.0f64.ln();
+        let expected: Vec<f64> = (0..=32)
+            .map(|k| {
+                let lnc = ln_gamma(33.0) - ln_gamma(k as f64 + 1.0) - ln_gamma(33.0 - k as f64);
+                (lnc - ln2_32).exp() * n
+            })
+            .collect();
+        let (_, p) = chi_square_test(&observed, &expected, 0);
+        TestResult::new(self.name(), vec![p])
+    }
+}
+
+/// Hamming independence: the sample correlation of the weights of
+/// successive words; `r √n` is asymptotically standard normal.
+#[derive(Clone, Debug)]
+pub struct HammingIndependence {
+    /// Word pairs examined.
+    pub pairs: usize,
+}
+
+impl HammingIndependence {
+    /// Base size 200 000 pairs.
+    pub fn sized(m: f64) -> Self {
+        Self {
+            pairs: ((200_000.0 * m) as usize).max(40_000),
+        }
+    }
+}
+
+impl StatTest for HammingIndependence {
+    fn name(&self) -> &str {
+        "hamming-independence"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        let n = self.pairs as f64;
+        let mut sum_x = 0.0;
+        let mut sum_y = 0.0;
+        let mut sum_xx = 0.0;
+        let mut sum_yy = 0.0;
+        let mut sum_xy = 0.0;
+        let mut prev = rng.next_u32().count_ones() as f64;
+        for _ in 0..self.pairs {
+            let cur = rng.next_u32().count_ones() as f64;
+            sum_x += prev;
+            sum_y += cur;
+            sum_xx += prev * prev;
+            sum_yy += cur * cur;
+            sum_xy += prev * cur;
+            prev = cur;
+        }
+        let cov = sum_xy / n - (sum_x / n) * (sum_y / n);
+        let var_x = sum_xx / n - (sum_x / n) * (sum_x / n);
+        let var_y = sum_yy / n - (sum_y / n) * (sum_y / n);
+        let denom = (var_x * var_y).sqrt();
+        let r = if denom > 0.0 { cov / denom } else { 1.0 };
+        TestResult::new(self.name(), vec![normal_two_sided_p(r * n.sqrt())])
+    }
+}
+
+/// Serial correlation: lag-1 autocorrelation of uniform variates;
+/// `ρ √n ~ N(0, 1)` under independence.
+#[derive(Clone, Debug)]
+pub struct SerialCorrelation {
+    /// Variates examined.
+    pub n: usize,
+}
+
+impl SerialCorrelation {
+    /// Base size 400 000 variates.
+    pub fn sized(m: f64) -> Self {
+        Self {
+            n: ((400_000.0 * m) as usize).max(80_000),
+        }
+    }
+}
+
+impl StatTest for SerialCorrelation {
+    fn name(&self) -> &str {
+        "serial-correlation"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        let n = self.n as f64;
+        let mut prev = uniform_f64(rng);
+        let mut sum = prev;
+        let mut sum_sq = prev * prev;
+        let mut sum_lag = 0.0;
+        for _ in 1..self.n {
+            let cur = uniform_f64(rng);
+            sum += cur;
+            sum_sq += cur * cur;
+            sum_lag += prev * cur;
+            prev = cur;
+        }
+        let mean = sum / n;
+        let var = sum_sq / n - mean * mean;
+        let rho = (sum_lag / (n - 1.0) - mean * mean) / var;
+        TestResult::new(self.name(), vec![normal_two_sided_p(rho * n.sqrt())])
+    }
+}
+
+/// Random-walk test: the number of upward steps in an `L`-step ±1 walk is
+/// Binomial(L, 1/2); chi-square over the binomial cells of many walks.
+#[derive(Clone, Debug)]
+pub struct RandomWalkTest {
+    /// Walks performed.
+    pub walks: usize,
+    /// Steps per walk.
+    pub steps: usize,
+}
+
+impl RandomWalkTest {
+    /// Base size 20 000 walks of 64 steps.
+    pub fn sized(m: f64) -> Self {
+        Self {
+            walks: ((20_000.0 * m) as usize).max(5_000),
+            steps: 64,
+        }
+    }
+}
+
+impl StatTest for RandomWalkTest {
+    fn name(&self) -> &str {
+        "random-walk"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        let l = self.steps;
+        let mut observed = vec![0.0f64; l + 1];
+        let words_per_walk = l / 32;
+        for _ in 0..self.walks {
+            let mut ups = 0u32;
+            for _ in 0..words_per_walk {
+                ups += rng.next_u32().count_ones();
+            }
+            observed[ups as usize] += 1.0;
+        }
+        let n = self.walks as f64;
+        let ln2_l = l as f64 * 2.0f64.ln();
+        let expected: Vec<f64> = (0..=l)
+            .map(|k| {
+                let lnc = ln_gamma(l as f64 + 1.0)
+                    - ln_gamma(k as f64 + 1.0)
+                    - ln_gamma((l - k) as f64 + 1.0);
+                (lnc - ln2_l).exp() * n
+            })
+            .collect();
+        let (_, p) = chi_square_test(&observed, &expected, 0);
+        TestResult::new(self.name(), vec![p])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprng_baselines::SplitMix64;
+
+    fn good_rng(seed: u64) -> SplitMix64 {
+        SplitMix64::new(seed)
+    }
+
+    #[test]
+    fn poker_probabilities_sum_to_one() {
+        assert!((POKER_P.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coupon_distribution_sums_to_one() {
+        let dist = CouponCollector::length_distribution(200);
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
+        // Mean of the coupon collector with d = 5: 5·H_5 = 11.4166…
+        let mean: f64 = dist.iter().enumerate().map(|(t, p)| t as f64 * p).sum();
+        assert!((mean - 5.0 * (1.0 + 0.5 + 1.0 / 3.0 + 0.25 + 0.2)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_classic_tests_pass_good_generator() {
+        let m = 0.25;
+        let tests: Vec<Box<dyn StatTest>> = vec![
+            Box::new(Collision::sized(m)),
+            Box::new(Gap::sized(m)),
+            Box::new(Poker::sized(m)),
+            Box::new(CouponCollector::sized(m)),
+            Box::new(MaxOfT::sized(m)),
+            Box::new(WeightDistrib::sized(m)),
+            Box::new(HammingIndependence::sized(m)),
+            Box::new(SerialCorrelation::sized(m)),
+            Box::new(RandomWalkTest::sized(m)),
+        ];
+        for (i, t) in tests.iter().enumerate() {
+            let mut rng = good_rng(1000 + i as u64);
+            let r = t.run(&mut rng);
+            assert!(r.passed(), "{} failed: {:?}", t.name(), r.p_values);
+        }
+    }
+
+    #[test]
+    fn collision_fails_on_small_range() {
+        // Only 2^12 distinct values → massive excess collisions in 2^24
+        // urns keyed by the high bits... the high 24 bits take only 4096
+        // values, so collisions explode.
+        struct Small(SplitMix64);
+        impl RngCore for Small {
+            fn next_u32(&mut self) -> u32 {
+                (self.0.next() as u32) & 0xFFF0_0000
+            }
+            fn next_u64(&mut self) -> u64 {
+                ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), rand_core::Error> {
+                Ok(())
+            }
+        }
+        let r = Collision::sized(0.25).run(&mut Small(SplitMix64::new(2)));
+        assert!(!r.passed());
+        assert!(r.p_values[0] < 1e-10);
+    }
+
+    #[test]
+    fn serial_correlation_fails_on_trending_stream() {
+        // A sawtooth ramp has strong positive lag-1 correlation.
+        struct Ramp(u64);
+        impl RngCore for Ramp {
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(1 << 56);
+                self.0
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), rand_core::Error> {
+                Ok(())
+            }
+        }
+        let r = SerialCorrelation::sized(0.25).run(&mut Ramp(0));
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn gap_handles_degenerate_stream() {
+        // A generator that never dips below α must not hang; it fails.
+        struct High;
+        impl RngCore for High {
+            fn next_u32(&mut self) -> u32 {
+                u32::MAX
+            }
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), rand_core::Error> {
+                Ok(())
+            }
+        }
+        let r = Gap::sized(0.1).run(&mut High);
+        assert!(!r.passed());
+    }
+}

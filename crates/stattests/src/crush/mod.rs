@@ -1,0 +1,121 @@
+//! TestU01-style batteries: SmallCrush-like, Crush-like, BigCrush-like.
+//!
+//! TestU01 (L'Ecuyer & Simard) is a C library we cannot link here, so this
+//! module re-implements fifteen of its canonical small-battery statistics —
+//! collision, gap, poker, coupon collector, max-of-t, Hamming weight and
+//! independence, serial correlation, matrix rank, random walk, and the
+//! bit-level frequency/runs family — with exact reference distributions.
+//! The three batteries run the same fifteen statistics at escalating sample
+//! sizes (1×, 8×, 32×), reproducing TestU01's structure where BigCrush's
+//! extra power comes overwhelmingly from larger samples. Table III's
+//! *shape* — every healthy generator passes the small battery and loses one
+//! or two tests at the biggest sizes — is measurable against these.
+
+mod bits;
+mod classic;
+
+pub use bits::{BitRuns, BlockFrequency, LongestRun, Monobit, Serial2};
+pub use classic::{
+    Collision, CouponCollector, Gap, HammingIndependence, MaxOfT, Poker, RandomWalkTest,
+    SerialCorrelation, WeightDistrib,
+};
+
+use crate::diehard::BinaryRank;
+use crate::suite::Battery;
+
+/// Battery stringency levels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrushLevel {
+    /// SmallCrush-like: base sample sizes, seconds of runtime.
+    Small,
+    /// Crush-like: 8× the samples.
+    Medium,
+    /// BigCrush-like: 32× the samples.
+    Big,
+}
+
+impl CrushLevel {
+    /// Sample-size multiplier relative to the small battery.
+    pub fn multiplier(self) -> usize {
+        match self {
+            CrushLevel::Small => 1,
+            CrushLevel::Medium => 8,
+            CrushLevel::Big => 32,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrushLevel::Small => "SmallCrush-like",
+            CrushLevel::Medium => "Crush-like",
+            CrushLevel::Big => "BigCrush-like",
+        }
+    }
+}
+
+/// Builds the fifteen-test battery at the given level, additionally scaled
+/// by `scale` (use < 1 only in unit tests).
+///
+/// # Panics
+/// Panics if `scale` is not in `(0, 1]`.
+pub fn crush_battery(level: CrushLevel, scale: f64) -> Battery {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let m = (level.multiplier() as f64 * scale).max(0.05);
+    let mut b = Battery::new(level.name());
+    b.push(Box::new(Collision::sized(m)));
+    b.push(Box::new(Gap::sized(m)));
+    b.push(Box::new(Poker::sized(m)));
+    b.push(Box::new(CouponCollector::sized(m)));
+    b.push(Box::new(MaxOfT::sized(m)));
+    b.push(Box::new(WeightDistrib::sized(m)));
+    b.push(Box::new(HammingIndependence::sized(m)));
+    b.push(Box::new(SerialCorrelation::sized(m)));
+    b.push(Box::new(BinaryRank::rank_32x32_scaled(
+        (0.25 * m).clamp(0.05, 1.0),
+    )));
+    b.push(Box::new(RandomWalkTest::sized(m)));
+    b.push(Box::new(Monobit::sized(m)));
+    b.push(Box::new(BlockFrequency::sized(m)));
+    b.push(Box::new(BitRuns::sized(m)));
+    b.push(Box::new(LongestRun::sized(m)));
+    b.push(Box::new(Serial2::sized(m)));
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprng_baselines::SplitMix64;
+
+    #[test]
+    fn batteries_have_fifteen_tests() {
+        for level in [CrushLevel::Small, CrushLevel::Medium, CrushLevel::Big] {
+            assert_eq!(crush_battery(level, 1.0).len(), 15, "{}", level.name());
+        }
+    }
+
+    #[test]
+    fn multipliers_escalate() {
+        assert!(CrushLevel::Small.multiplier() < CrushLevel::Medium.multiplier());
+        assert!(CrushLevel::Medium.multiplier() < CrushLevel::Big.multiplier());
+    }
+
+    #[test]
+    fn good_generator_passes_small_battery() {
+        let b = crush_battery(CrushLevel::Small, 0.2);
+        let mut rng = SplitMix64::new(0xC4054);
+        let report = b.run(&mut rng);
+        assert!(
+            report.passed >= report.total - 1,
+            "{} — failures: {:?}",
+            report.score(),
+            report
+                .results
+                .iter()
+                .filter(|r| !r.passed())
+                .map(|r| (&r.name, &r.p_values))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Count-the-1s tests (stream of bytes, and a specific byte).
+//!
+//! Each byte is mapped to a letter by its population count: letters
+//! `{0, 1, 2, 3, 4}` for `{≤2, 3, 4, 5, ≥6}` ones, with probabilities
+//! `{37, 56, 70, 56, 37}/256`. Overlapping five-letter words are counted and
+//! the statistic `χ²(Q5) − χ²(Q4)` — the difference of the naive chi-square
+//! sums over 5-letter and 4-letter word frequencies — is asymptotically
+//! chi-square with `5^5 − 5^4 = 2500` degrees of freedom.
+
+use crate::special::chi_square_sf;
+use crate::suite::{StatTest, TestResult};
+use rand_core::RngCore;
+
+/// Letter probabilities (over 256 byte values).
+const LETTER_P: [f64; 5] = [
+    37.0 / 256.0,
+    56.0 / 256.0,
+    70.0 / 256.0,
+    56.0 / 256.0,
+    37.0 / 256.0,
+];
+
+/// Maps a byte to its letter (0..5) by population count.
+#[inline]
+fn letter(byte: u8) -> usize {
+    match byte.count_ones() {
+        0..=2 => 0,
+        3 => 1,
+        4 => 2,
+        5 => 3,
+        _ => 4,
+    }
+}
+
+/// Shared engine: consume `words` overlapping 5-letter words from a byte
+/// source and return the p-value.
+fn run_count_ones(bytes: &mut dyn FnMut() -> u8, words: usize) -> f64 {
+    let mut q5 = vec![0.0f64; 3125];
+    let mut q4 = vec![0.0f64; 625];
+    // Prime the window with 4 letters.
+    let mut window = 0usize;
+    for _ in 0..4 {
+        window = window * 5 + letter(bytes());
+    }
+    for _ in 0..words {
+        q4[window % 625] += 1.0;
+        window = (window * 5 + letter(bytes())) % 3125;
+        q5[window] += 1.0;
+    }
+    // Naive chi-square sums (not tests: the difference is the statistic).
+    let n = words as f64;
+    let chisq = |counts: &[f64], dims: u32| -> f64 {
+        let mut total = 0.0;
+        for (cell, &obs) in counts.iter().enumerate() {
+            let mut p = 1.0;
+            let mut c = cell;
+            for _ in 0..dims {
+                p *= LETTER_P[c % 5];
+                c /= 5;
+            }
+            let e = n * p;
+            total += (obs - e) * (obs - e) / e;
+        }
+        total
+    };
+    let stat = chisq(&q5, 5) - chisq(&q4, 4);
+    // Guard: the difference is ≥ a negative noise floor; clamp for the SF.
+    chi_square_sf(stat.max(0.0), 2500.0)
+}
+
+/// Count-the-1s on a stream of successive bytes.
+#[derive(Clone, Debug)]
+pub struct CountOnesStream {
+    /// Overlapping words examined.
+    pub words: usize,
+}
+
+impl Default for CountOnesStream {
+    fn default() -> Self {
+        Self { words: 256_000 }
+    }
+}
+
+impl CountOnesStream {
+    /// Scales the word count, keeping enough mass per cell.
+    pub fn scaled(scale: f64) -> Self {
+        Self {
+            words: ((Self::default().words as f64 * scale) as usize).max(100_000),
+        }
+    }
+}
+
+impl StatTest for CountOnesStream {
+    fn name(&self) -> &str {
+        "count-the-1s-stream"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        let mut buf = 0u32;
+        let mut have = 0;
+        let mut next_byte = || {
+            if have == 0 {
+                buf = rng.next_u32();
+                have = 4;
+            }
+            let b = (buf & 0xFF) as u8;
+            buf >>= 8;
+            have -= 1;
+            b
+        };
+        let p = run_count_ones(&mut next_byte, self.words);
+        TestResult::new(self.name(), vec![p])
+    }
+}
+
+/// Count-the-1s on one specific byte of each 32-bit word (DIEHARD runs it
+/// for each byte position; we use the second-lowest, a classic LCG trouble
+/// spot).
+#[derive(Clone, Debug)]
+pub struct CountOnesByte {
+    /// Overlapping words examined.
+    pub words: usize,
+    /// Which byte of each 32-bit output to use (0 = lowest).
+    pub byte_index: u32,
+}
+
+impl Default for CountOnesByte {
+    fn default() -> Self {
+        Self {
+            words: 256_000,
+            byte_index: 1,
+        }
+    }
+}
+
+impl CountOnesByte {
+    /// Scales the word count.
+    pub fn scaled(scale: f64) -> Self {
+        Self {
+            words: ((Self::default().words as f64 * scale) as usize).max(100_000),
+            ..Self::default()
+        }
+    }
+}
+
+impl StatTest for CountOnesByte {
+    fn name(&self) -> &str {
+        "count-the-1s-byte"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        let shift = self.byte_index * 8;
+        let mut next_byte = || (rng.next_u32() >> shift) as u8;
+        let p = run_count_ones(&mut next_byte, self.words);
+        TestResult::new(self.name(), vec![p])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprng_baselines::SplitMix64;
+
+    #[test]
+    fn letter_probabilities_sum_to_one() {
+        let total: f64 = LETTER_P.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Spot-check the binomial grouping: exactly C(8,3) = 56 bytes have
+        // three ones.
+        let count3 = (0u16..256).filter(|&b| (b as u8).count_ones() == 3).count();
+        assert_eq!(count3, 56);
+        let le2 = (0u16..256).filter(|&b| (b as u8).count_ones() <= 2).count();
+        assert_eq!(le2, 37);
+    }
+
+    #[test]
+    fn letter_mapping_matches_popcount_classes() {
+        assert_eq!(letter(0x00), 0); // 0 ones
+        assert_eq!(letter(0x07), 1); // 3 ones
+        assert_eq!(letter(0x0F), 2); // 4 ones
+        assert_eq!(letter(0x1F), 3); // 5 ones
+        assert_eq!(letter(0xFF), 4); // 8 ones
+    }
+
+    #[test]
+    fn stream_test_passes_good_generator() {
+        let t = CountOnesStream::scaled(0.5);
+        let mut rng = SplitMix64::new(808);
+        let r = t.run(&mut rng);
+        assert!(r.passed(), "p = {:?}", r.p_values);
+    }
+
+    #[test]
+    fn byte_test_passes_good_generator() {
+        let t = CountOnesByte::scaled(0.5);
+        let mut rng = SplitMix64::new(809);
+        let r = t.run(&mut rng);
+        assert!(r.passed(), "p = {:?}", r.p_values);
+    }
+
+    #[test]
+    fn biased_bytes_fail() {
+        // Bytes with their top nibble forced to zero have skewed popcounts.
+        struct Masked(SplitMix64);
+        impl RngCore for Masked {
+            fn next_u32(&mut self) -> u32 {
+                (self.0.next() as u32) & 0x0F0F_0F0F
+            }
+            fn next_u64(&mut self) -> u64 {
+                ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), rand_core::Error> {
+                Ok(())
+            }
+        }
+        let t = CountOnesStream::scaled(0.5);
+        let r = t.run(&mut Masked(SplitMix64::new(1)));
+        assert!(!r.passed());
+        assert!(r.p_values[0] < 1e-10);
+    }
+}

@@ -1,0 +1,276 @@
+//! The runs test and the craps test.
+
+use crate::special::{chi_square_test, normal_two_sided_p};
+use crate::suite::{StatTest, TestResult};
+use crate::util::{uniform_f64, uniform_u32_below};
+use rand_core::RngCore;
+
+/// Runs-up-and-down test (simplified to the exact total-runs statistic).
+///
+/// In a sequence of `n` continuous i.i.d. values, the total number of
+/// ascending/descending runs is Normal with mean `(2n − 1)/3` and variance
+/// `(16n − 29)/90` (Wald–Wolfowitz / Knuth §3.3.2G). DIEHARD additionally
+/// applies a covariance correction to run-length counts; the total-runs
+/// statistic catches the same serial-ordering defects with exact closed-form
+/// moments.
+#[derive(Clone, Debug)]
+pub struct Runs {
+    /// Sequence length per repetition.
+    pub n: usize,
+    /// Repetitions (p-values produced).
+    pub repetitions: usize,
+}
+
+impl Default for Runs {
+    fn default() -> Self {
+        Self {
+            n: 100_000,
+            repetitions: 10,
+        }
+    }
+}
+
+impl Runs {
+    /// Scales the repetition count.
+    pub fn scaled(scale: f64) -> Self {
+        Self {
+            repetitions: ((Self::default().repetitions as f64 * scale) as usize).max(2),
+            ..Self::default()
+        }
+    }
+
+    fn one_run(&self, rng: &mut dyn RngCore) -> f64 {
+        let mut prev = uniform_f64(rng);
+        let mut cur = uniform_f64(rng);
+        let mut ascending = cur > prev;
+        let mut runs = 1u64;
+        for _ in 2..self.n {
+            prev = cur;
+            cur = uniform_f64(rng);
+            let asc = cur > prev;
+            if asc != ascending {
+                runs += 1;
+                ascending = asc;
+            }
+        }
+        let n = self.n as f64;
+        let mean = (2.0 * n - 1.0) / 3.0;
+        let var = (16.0 * n - 29.0) / 90.0;
+        (runs as f64 - mean) / var.sqrt()
+    }
+}
+
+impl StatTest for Runs {
+    fn name(&self) -> &str {
+        "runs"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        let ps = (0..self.repetitions)
+            .map(|_| normal_two_sided_p(self.one_run(rng)))
+            .collect();
+        TestResult::new(self.name(), ps)
+    }
+}
+
+/// The craps test: play many games; check both the win count (exact
+/// probability 244/495) and the distribution of throws per game (exact
+/// probabilities computed from the game's Markov structure).
+#[derive(Clone, Debug)]
+pub struct Craps {
+    /// Number of games.
+    pub games: usize,
+}
+
+impl Default for Craps {
+    fn default() -> Self {
+        Self { games: 200_000 }
+    }
+}
+
+impl Craps {
+    /// Scales the game count.
+    pub fn scaled(scale: f64) -> Self {
+        Self {
+            games: ((Self::default().games as f64 * scale) as usize).max(20_000),
+        }
+    }
+
+    /// Exact P(game takes exactly `k` throws), for `k ≥ 1`.
+    ///
+    /// Come-out roll ends the game with probability 12/36 (7, 11, 2, 3,
+    /// 12). Otherwise a point `p` is set; each later roll ends the game
+    /// with probability `q_p = (ways(p) + 6)/36`.
+    fn throw_probability(k: usize) -> f64 {
+        assert!(k >= 1);
+        if k == 1 {
+            return 12.0 / 36.0;
+        }
+        // (ways to set the point, ways to end a rolling round) per point
+        // class; points 4 & 10 have 3 ways each, 5 & 9 have 4, 6 & 8 have 5.
+        let classes: [(f64, f64); 3] = [(6.0, 9.0), (8.0, 10.0), (10.0, 11.0)];
+        classes
+            .iter()
+            .map(|&(set_ways, end_ways)| {
+                let p_set = set_ways / 36.0;
+                let q = end_ways / 36.0;
+                p_set * (1.0 - q).powi(k as i32 - 2) * q
+            })
+            .sum()
+    }
+
+    fn roll(rng: &mut dyn RngCore) -> u32 {
+        uniform_u32_below(rng, 6) + uniform_u32_below(rng, 6) + 2
+    }
+
+    /// Plays one game; returns (won, throws).
+    fn play(rng: &mut dyn RngCore) -> (bool, usize) {
+        let come_out = Self::roll(rng);
+        match come_out {
+            7 | 11 => (true, 1),
+            2 | 3 | 12 => (false, 1),
+            point => {
+                let mut throws = 1;
+                loop {
+                    throws += 1;
+                    let r = Self::roll(rng);
+                    if r == point {
+                        return (true, throws);
+                    }
+                    if r == 7 {
+                        return (false, throws);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl StatTest for Craps {
+    fn name(&self) -> &str {
+        "craps"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        const MAX_THROW_CELL: usize = 21; // cells 1..=20 plus ">20"
+        let mut wins = 0u64;
+        let mut throw_counts = vec![0.0f64; MAX_THROW_CELL];
+        for _ in 0..self.games {
+            let (won, throws) = Self::play(rng);
+            if won {
+                wins += 1;
+            }
+            throw_counts[(throws - 1).min(MAX_THROW_CELL - 1)] += 1.0;
+        }
+        // Win-count z test.
+        let n = self.games as f64;
+        let p_win = 244.0 / 495.0;
+        let z = (wins as f64 - n * p_win) / (n * p_win * (1.0 - p_win)).sqrt();
+        let p1 = normal_two_sided_p(z);
+        // Throws-per-game chi-square against the exact distribution.
+        let mut expected = vec![0.0f64; MAX_THROW_CELL];
+        let mut cum = 0.0;
+        for (k, slot) in expected.iter_mut().enumerate().take(MAX_THROW_CELL - 1) {
+            let p = Self::throw_probability(k + 1);
+            *slot = p * n;
+            cum += p;
+        }
+        expected[MAX_THROW_CELL - 1] = (1.0 - cum).max(0.0) * n;
+        let (_, p2) = chi_square_test(&throw_counts, &expected, 0);
+        TestResult::new(self.name(), vec![p1, p2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprng_baselines::SplitMix64;
+
+    #[test]
+    fn throw_probabilities_sum_to_one() {
+        let total: f64 = (1..500).map(Craps::throw_probability).sum();
+        assert!((total - 1.0).abs() < 1e-10, "sum = {total}");
+    }
+
+    #[test]
+    fn craps_win_probability_is_classical() {
+        // Σ_k P(win) must equal 244/495 ≈ 0.4929. Check by simulation with a
+        // good generator at a loose tolerance.
+        let mut rng = SplitMix64::new(42);
+        let n = 100_000;
+        let wins = (0..n).filter(|_| Craps::play(&mut rng).0).count();
+        let rate = wins as f64 / n as f64;
+        assert!((rate - 244.0 / 495.0).abs() < 0.01, "win rate {rate}");
+    }
+
+    #[test]
+    fn craps_passes_good_generator() {
+        let t = Craps::scaled(0.25);
+        let mut rng = SplitMix64::new(777);
+        let r = t.run(&mut rng);
+        assert!(r.passed(), "p = {:?}", r.p_values);
+    }
+
+    #[test]
+    fn runs_passes_good_generator() {
+        let t = Runs::scaled(0.3);
+        let mut rng = SplitMix64::new(778);
+        let r = t.run(&mut rng);
+        assert!(r.passed(), "p = {:?}", r.p_values);
+    }
+
+    #[test]
+    fn runs_fails_sawtooth() {
+        // A strictly alternating sequence has ~n runs, far above (2n−1)/3.
+        struct Sawtooth(bool);
+        impl RngCore for Sawtooth {
+            fn next_u32(&mut self) -> u32 {
+                self.0 = !self.0;
+                if self.0 {
+                    u32::MAX
+                } else {
+                    0
+                }
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0 = !self.0;
+                if self.0 {
+                    u64::MAX
+                } else {
+                    1
+                }
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), rand_core::Error> {
+                Ok(())
+            }
+        }
+        let t = Runs::scaled(0.2);
+        let r = t.run(&mut Sawtooth(false));
+        assert!(!r.passed());
+        assert!(r.p_values[0] < 1e-10);
+    }
+
+    #[test]
+    fn loaded_dice_fail_craps() {
+        // Dice that only ever roll snake eyes: every game craps out on the
+        // come-out roll.
+        struct SnakeEyes;
+        impl RngCore for SnakeEyes {
+            fn next_u32(&mut self) -> u32 {
+                0
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), rand_core::Error> {
+                Ok(())
+            }
+        }
+        let t = Craps::scaled(0.25);
+        let r = t.run(&mut SnakeEyes);
+        assert!(!r.passed());
+        assert!(r.p_values[0] < 1e-10);
+    }
+}

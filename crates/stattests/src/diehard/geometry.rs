@@ -1,0 +1,302 @@
+//! Geometric tests: parking lot, minimum distance, 3-D spheres.
+
+use crate::special::{ks_uniform, normal_two_sided_p};
+use crate::suite::{StatTest, TestResult};
+use crate::util::uniform_f64;
+use rand_core::RngCore;
+
+/// The parking-lot test.
+///
+/// Attempt to "park" 12 000 points in a 100×100 square; an attempt succeeds
+/// when the point is more than 1 away (in the max norm, as in DIEHARD's
+/// crash rule) from every already-parked point. The success count is
+/// asymptotically Normal(3523, 21.9²).
+#[derive(Clone, Debug)]
+pub struct ParkingLot {
+    /// Number of repetitions (p-values produced).
+    pub repetitions: usize,
+}
+
+impl Default for ParkingLot {
+    fn default() -> Self {
+        Self { repetitions: 10 }
+    }
+}
+
+impl ParkingLot {
+    /// Scales the repetition count. The per-run geometry is fixed — the
+    /// Normal(3523, 21.9) reference is specific to 12 000 attempts.
+    pub fn scaled(scale: f64) -> Self {
+        Self {
+            repetitions: ((Self::default().repetitions as f64 * scale) as usize).max(2),
+        }
+    }
+
+    fn one_run(&self, rng: &mut dyn RngCore) -> usize {
+        const SIDE: f64 = 100.0;
+        const ATTEMPTS: usize = 12_000;
+        // Grid of unit cells: a conflict can only live in the 3×3
+        // neighbourhood.
+        const GRID: usize = 101;
+        let mut cells: Vec<Vec<(f64, f64)>> = vec![Vec::new(); GRID * GRID];
+        let mut parked = 0;
+        for _ in 0..ATTEMPTS {
+            let x = uniform_f64(rng) * SIDE;
+            let y = uniform_f64(rng) * SIDE;
+            let cx = x as usize;
+            let cy = y as usize;
+            let mut crash = false;
+            'scan: for nx in cx.saturating_sub(1)..=(cx + 1).min(GRID - 1) {
+                for ny in cy.saturating_sub(1)..=(cy + 1).min(GRID - 1) {
+                    for &(px, py) in &cells[nx * GRID + ny] {
+                        if (x - px).abs() <= 1.0 && (y - py).abs() <= 1.0 {
+                            crash = true;
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+            if !crash {
+                cells[cx * GRID + cy].push((x, y));
+                parked += 1;
+            }
+        }
+        parked
+    }
+}
+
+impl StatTest for ParkingLot {
+    fn name(&self) -> &str {
+        "parking-lot"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        let ps = (0..self.repetitions)
+            .map(|_| {
+                let k = self.one_run(rng);
+                normal_two_sided_p((k as f64 - 3_523.0) / 21.9)
+            })
+            .collect();
+        TestResult::new(self.name(), ps)
+    }
+}
+
+/// Closest-pair distance by plane sweep (points sorted by x, inner scan
+/// bounded by the current best). Expected near-linear time for uniform
+/// points.
+fn min_distance_sq_2d(points: &mut [(f64, f64)]) -> f64 {
+    points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite coordinates"));
+    let mut best = f64::INFINITY;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let dx = points[j].0 - points[i].0;
+            if dx * dx >= best {
+                break;
+            }
+            let dy = points[j].1 - points[i].1;
+            let d2 = dx * dx + dy * dy;
+            if d2 < best {
+                best = d2;
+            }
+        }
+    }
+    best
+}
+
+/// The minimum-distance test.
+///
+/// 8000 points in a 10 000×10 000 square: the squared minimum distance is
+/// asymptotically exponential with mean 0.995, so
+/// `p = 1 − exp(−d²/0.995)` is uniform; a KS test over the repetitions
+/// yields the final p-value.
+#[derive(Clone, Debug)]
+pub struct MinimumDistance {
+    /// Number of rounds entering the KS test.
+    pub rounds: usize,
+}
+
+impl Default for MinimumDistance {
+    fn default() -> Self {
+        Self { rounds: 100 }
+    }
+}
+
+impl MinimumDistance {
+    /// Scales the number of rounds (the per-round geometry is fixed).
+    pub fn scaled(scale: f64) -> Self {
+        Self {
+            rounds: ((Self::default().rounds as f64 * scale) as usize).max(10),
+        }
+    }
+}
+
+impl StatTest for MinimumDistance {
+    fn name(&self) -> &str {
+        "minimum-distance"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        const N: usize = 8_000;
+        const SIDE: f64 = 10_000.0;
+        let mut samples: Vec<f64> = (0..self.rounds)
+            .map(|_| {
+                let mut pts: Vec<(f64, f64)> = (0..N)
+                    .map(|_| (uniform_f64(rng) * SIDE, uniform_f64(rng) * SIDE))
+                    .collect();
+                let d2 = min_distance_sq_2d(&mut pts);
+                1.0 - (-d2 / 0.995).exp()
+            })
+            .collect();
+        let (_, p) = ks_uniform(&mut samples);
+        TestResult::new(self.name(), vec![p])
+    }
+}
+
+/// Closest-pair in 3-D by the same sweep idea.
+fn min_distance_sq_3d(points: &mut [(f64, f64, f64)]) -> f64 {
+    points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite coordinates"));
+    let mut best = f64::INFINITY;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let dx = points[j].0 - points[i].0;
+            if dx * dx >= best {
+                break;
+            }
+            let dy = points[j].1 - points[i].1;
+            let dz = points[j].2 - points[i].2;
+            let d2 = dx * dx + dy * dy + dz * dz;
+            if d2 < best {
+                best = d2;
+            }
+        }
+    }
+    best
+}
+
+/// The 3-D spheres test.
+///
+/// 4000 points in a 1000³ cube: the cubed minimum distance is
+/// asymptotically exponential with mean 30 (equivalently, the volume of the
+/// smallest sphere centred at a point and touching its nearest neighbour
+/// follows `Exp(mean 120π/3 ...)` — DIEHARD's classic formulation reduces
+/// to `p = 1 − exp(−r³/30)`).
+#[derive(Clone, Debug)]
+pub struct Spheres3d {
+    /// Number of rounds entering the KS test.
+    pub rounds: usize,
+}
+
+impl Default for Spheres3d {
+    fn default() -> Self {
+        Self { rounds: 20 }
+    }
+}
+
+impl Spheres3d {
+    /// Scales the number of rounds.
+    pub fn scaled(scale: f64) -> Self {
+        Self {
+            rounds: ((Self::default().rounds as f64 * scale) as usize).max(5),
+        }
+    }
+}
+
+impl StatTest for Spheres3d {
+    fn name(&self) -> &str {
+        "3d-spheres"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        const N: usize = 4_000;
+        const SIDE: f64 = 1_000.0;
+        let mut samples: Vec<f64> = (0..self.rounds)
+            .map(|_| {
+                let mut pts: Vec<(f64, f64, f64)> = (0..N)
+                    .map(|_| {
+                        (
+                            uniform_f64(rng) * SIDE,
+                            uniform_f64(rng) * SIDE,
+                            uniform_f64(rng) * SIDE,
+                        )
+                    })
+                    .collect();
+                let r3 = min_distance_sq_3d(&mut pts).powf(1.5);
+                1.0 - (-r3 / 30.0).exp()
+            })
+            .collect();
+        let (_, p) = ks_uniform(&mut samples);
+        TestResult::new(self.name(), vec![p])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprng_baselines::SplitMix64;
+
+    #[test]
+    fn min_distance_sq_2d_finds_the_pair() {
+        let mut pts = vec![(0.0, 0.0), (10.0, 10.0), (10.5, 10.0), (3.0, 9.0)];
+        assert!((min_distance_sq_2d(&mut pts) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_distance_sq_3d_finds_the_pair() {
+        let mut pts = vec![(0.0, 0.0, 0.0), (1.0, 1.0, 1.0), (1.0, 1.0, 1.5)];
+        assert!((min_distance_sq_3d(&mut pts) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parking_lot_passes_good_generator() {
+        let t = ParkingLot::scaled(0.3);
+        let mut rng = SplitMix64::new(404);
+        let r = t.run(&mut rng);
+        assert!(r.passed(), "p = {:?}", r.p_values);
+    }
+
+    #[test]
+    fn parking_count_in_plausible_range() {
+        let t = ParkingLot::default();
+        let mut rng = SplitMix64::new(405);
+        let k = t.one_run(&mut rng);
+        assert!((3_400..3_650).contains(&k), "parked {k}");
+    }
+
+    #[test]
+    fn minimum_distance_passes_good_generator() {
+        let t = MinimumDistance::scaled(0.2);
+        let mut rng = SplitMix64::new(406);
+        let r = t.run(&mut rng);
+        assert!(r.passed(), "p = {:?}", r.p_values);
+    }
+
+    #[test]
+    fn spheres_passes_good_generator() {
+        let t = Spheres3d::scaled(0.5);
+        let mut rng = SplitMix64::new(407);
+        let r = t.run(&mut rng);
+        assert!(r.passed(), "p = {:?}", r.p_values);
+    }
+
+    #[test]
+    fn gridded_points_fail_minimum_distance() {
+        // A generator that quantizes coordinates to a coarse grid produces
+        // zero minimum distances (duplicates), pinning every sample at 0.
+        struct Grid(SplitMix64);
+        impl RngCore for Grid {
+            fn next_u32(&mut self) -> u32 {
+                self.0.next() as u32 & 0xFFF0_0000
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0.next() & 0xFFF0_0000_FFF0_0000
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), rand_core::Error> {
+                Ok(())
+            }
+        }
+        let t = MinimumDistance::scaled(0.1);
+        let r = t.run(&mut Grid(SplitMix64::new(3)));
+        assert!(!r.passed());
+    }
+}

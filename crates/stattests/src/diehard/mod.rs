@@ -1,0 +1,105 @@
+//! A DIEHARD-style battery of 15 statistical tests.
+//!
+//! Re-implemented from the published test definitions (Marsaglia's DIEHARD
+//! documentation); where the original relies on unpublished constants or
+//! covariance matrices we use a documented simplification with exact
+//! distribution theory (noted per test). The battery reports one or more
+//! p-values per test; following §IV-B, a test passes when every p-value lies
+//! in `(0.01, 0.99)`, and the full set of p-values is checked for
+//! uniformity with a KS test (Table II's `D` column).
+//!
+//! All sample sizes scale with a `scale` factor so CI can run a cheap
+//! variant while the repro harness runs the full battery.
+
+mod birthday;
+mod counts;
+mod games;
+mod geometry;
+mod monkey;
+mod perm;
+mod ranks;
+
+pub use birthday::BirthdaySpacings;
+pub use counts::{CountOnesByte, CountOnesStream};
+pub use games::{Craps, Runs};
+pub use geometry::{MinimumDistance, ParkingLot, Spheres3d};
+pub use monkey::{Bitstream, MonkeyTest, MonkeyVariant};
+pub use perm::Operm5;
+pub use ranks::{rank_distribution, BinaryRank};
+
+use crate::suite::Battery;
+
+/// Builds the full 15-test DIEHARD-style battery at the given scale
+/// (`1.0` = full published sample sizes; smaller values shrink the sample
+/// counts proportionally where the distribution theory allows).
+///
+/// # Panics
+/// Panics if `scale` is not in `(0, 1]`.
+pub fn diehard_battery(scale: f64) -> Battery {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let mut b = Battery::new(if scale == 1.0 {
+        "DIEHARD".to_string()
+    } else {
+        format!("DIEHARD (scale {scale})")
+    });
+    b.push(Box::new(BirthdaySpacings::scaled(scale)));
+    b.push(Box::new(Operm5::scaled(scale)));
+    b.push(Box::new(BinaryRank::rank_32x32_scaled(scale)));
+    b.push(Box::new(BinaryRank::rank_6x8_scaled(scale)));
+    b.push(Box::new(Bitstream::scaled(scale)));
+    b.push(Box::new(MonkeyTest::new(MonkeyVariant::Opso, scale)));
+    b.push(Box::new(MonkeyTest::new(MonkeyVariant::Oqso, scale)));
+    b.push(Box::new(MonkeyTest::new(MonkeyVariant::Dna, scale)));
+    b.push(Box::new(CountOnesStream::scaled(scale)));
+    b.push(Box::new(CountOnesByte::scaled(scale)));
+    b.push(Box::new(ParkingLot::scaled(scale)));
+    b.push(Box::new(MinimumDistance::scaled(scale)));
+    b.push(Box::new(Spheres3d::scaled(scale)));
+    b.push(Box::new(Runs::scaled(scale)));
+    b.push(Box::new(Craps::scaled(scale)));
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprng_baselines::{Mt19937_64, SplitMix64};
+    use rand_core::SeedableRng;
+
+    #[test]
+    fn battery_has_fifteen_tests() {
+        assert_eq!(diehard_battery(1.0).len(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_rejected() {
+        let _ = diehard_battery(0.0);
+    }
+
+    #[test]
+    fn good_generator_passes_most_tests_at_small_scale() {
+        let battery = diehard_battery(0.05);
+        let mut rng = SplitMix64::new(0xD1E_4A2D);
+        let report = battery.run(&mut rng);
+        assert!(
+            report.passed >= report.total - 2,
+            "SplitMix64 failed too many: {} ({:?})",
+            report.score(),
+            report
+                .results
+                .iter()
+                .filter(|r| !r.passed())
+                .map(|r| (&r.name, &r.p_values))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mt64_passes_most_tests_at_small_scale() {
+        let battery = diehard_battery(0.05);
+        let mut rng = Mt19937_64::seed_from_u64(20120521);
+        let report = battery.run(&mut rng);
+        assert!(report.passed >= report.total - 2, "{}", report.score());
+    }
+}

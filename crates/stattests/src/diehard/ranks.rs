@@ -1,0 +1,211 @@
+//! Binary matrix rank tests (32×32 and 6×8).
+//!
+//! The rank distribution of a random `m×n` matrix over GF(2) is known in
+//! closed form:
+//!
+//! ```text
+//! P(rank = r) = 2^{r(m+n−r) − mn} · ∏_{i=0}^{r−1} (1 − 2^{i−m})(1 − 2^{i−n}) / (1 − 2^{i−r})
+//! ```
+//!
+//! We compute the distribution from this formula (validated in tests
+//! against the classical DIEHARD constants, e.g. `P(rank 32) ≈ 0.2888`)
+//! and chi-square the observed ranks of many matrices built from the
+//! generator's bits.
+
+use crate::special::chi_square_test;
+use crate::suite::{StatTest, TestResult};
+use rand_core::RngCore;
+
+/// Exact probability that a random `m×n` GF(2) matrix has rank `r`.
+pub fn rank_distribution(m: u32, n: u32, r: u32) -> f64 {
+    if r > m.min(n) {
+        return 0.0;
+    }
+    let exponent = r as f64 * (m as f64 + n as f64 - r as f64) - (m as f64 * n as f64);
+    let mut prod = 2.0f64.powf(exponent);
+    for i in 0..r {
+        let a = 1.0 - 2.0f64.powi(i as i32 - m as i32);
+        let b = 1.0 - 2.0f64.powi(i as i32 - n as i32);
+        let c = 1.0 - 2.0f64.powi(i as i32 - r as i32);
+        prod *= a * b / c;
+    }
+    prod
+}
+
+/// Computes the rank of an `m×n` GF(2) matrix given as `m` row bitmasks of
+/// `n` significant bits, by Gaussian elimination.
+pub fn gf2_rank(rows: &mut [u64]) -> u32 {
+    let mut rank = 0;
+    let mut pivot_row = 0;
+    for bit in (0..64).rev() {
+        let mut found = None;
+        for (i, &row) in rows.iter().enumerate().skip(pivot_row) {
+            if row >> bit & 1 == 1 {
+                found = Some(i);
+                break;
+            }
+        }
+        if let Some(i) = found {
+            rows.swap(pivot_row, i);
+            let pivot = rows[pivot_row];
+            for row in rows.iter_mut().skip(pivot_row + 1) {
+                if *row >> bit & 1 == 1 {
+                    *row ^= pivot;
+                }
+            }
+            pivot_row += 1;
+            rank += 1;
+            if pivot_row == rows.len() {
+                break;
+            }
+        }
+    }
+    rank
+}
+
+/// A binary-rank test over `trials` random `m×n` matrices.
+#[derive(Clone, Debug)]
+pub struct BinaryRank {
+    /// Rows per matrix.
+    pub m: u32,
+    /// Columns per matrix (≤ 64).
+    pub n: u32,
+    /// Matrices examined.
+    pub trials: usize,
+    name: &'static str,
+}
+
+impl BinaryRank {
+    /// DIEHARD's 32×32 variant (40 000 matrices at full scale).
+    pub fn rank_32x32_scaled(scale: f64) -> Self {
+        Self {
+            m: 32,
+            n: 32,
+            trials: ((40_000.0 * scale) as usize).max(2_000),
+            name: "binary-rank-32x32",
+        }
+    }
+
+    /// DIEHARD's 6×8 variant (100 000 matrices at full scale).
+    pub fn rank_6x8_scaled(scale: f64) -> Self {
+        Self {
+            m: 6,
+            n: 8,
+            trials: ((100_000.0 * scale) as usize).max(5_000),
+            name: "binary-rank-6x8",
+        }
+    }
+
+    fn draw_matrix(&self, rng: &mut dyn RngCore) -> Vec<u64> {
+        let shift = 64 - self.n;
+        (0..self.m)
+            .map(|_| (rng.next_u64() >> shift) << shift)
+            .collect()
+    }
+}
+
+impl StatTest for BinaryRank {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        let max_rank = self.m.min(self.n);
+        // Cells: rank = max, max−1, max−2, and "everything lower".
+        let cells = 4usize.min(max_rank as usize + 1);
+        let mut observed = vec![0.0f64; cells];
+        for _ in 0..self.trials {
+            let mut rows = self.draw_matrix(rng);
+            let r = gf2_rank(&mut rows);
+            let idx = ((max_rank - r) as usize).min(cells - 1);
+            observed[idx] += 1.0;
+        }
+        let mut expected = vec![0.0f64; cells];
+        let mut tail = 1.0;
+        for (idx, slot) in expected.iter_mut().enumerate().take(cells - 1) {
+            let p = rank_distribution(self.m, self.n, max_rank - idx as u32);
+            *slot = p * self.trials as f64;
+            tail -= p;
+        }
+        expected[cells - 1] = tail.max(0.0) * self.trials as f64;
+        let (_, p) = chi_square_test(&observed, &expected, 0);
+        TestResult::new(self.name(), vec![p])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprng_baselines::SplitMix64;
+
+    #[test]
+    fn rank_distribution_matches_diehard_constants() {
+        // The classical DIEHARD values for 32×32.
+        assert!((rank_distribution(32, 32, 32) - 0.288_788).abs() < 1e-4);
+        assert!((rank_distribution(32, 32, 31) - 0.577_576).abs() < 1e-4);
+        assert!((rank_distribution(32, 32, 30) - 0.128_350).abs() < 1e-4);
+        // And for 6×8.
+        assert!((rank_distribution(6, 8, 6) - 0.773_118).abs() < 1e-4);
+        assert!((rank_distribution(6, 8, 5) - 0.217_439).abs() < 1e-4);
+        assert!((rank_distribution(6, 8, 4) - 0.009_245).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rank_distribution_sums_to_one() {
+        let total: f64 = (0..=32).map(|r| rank_distribution(32, 32, r)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gf2_rank_identity_matrix() {
+        let mut rows: Vec<u64> = (0..8).map(|i| 1u64 << (63 - i)).collect();
+        assert_eq!(gf2_rank(&mut rows), 8);
+    }
+
+    #[test]
+    fn gf2_rank_degenerate_cases() {
+        assert_eq!(gf2_rank(&mut [0, 0, 0]), 0);
+        // Two equal rows → rank 1.
+        assert_eq!(gf2_rank(&mut [0xFF00_0000_0000_0000; 2]), 1);
+        // Row 3 = row1 XOR row2 → rank 2.
+        let a = 0xF000_0000_0000_0000u64;
+        let b = 0x0F00_0000_0000_0000u64;
+        assert_eq!(gf2_rank(&mut [a, b, a ^ b]), 2);
+    }
+
+    #[test]
+    fn rank_tests_pass_for_good_generator() {
+        let mut rng = SplitMix64::new(11);
+        let r32 = BinaryRank::rank_32x32_scaled(0.1).run(&mut rng);
+        assert!(r32.passed(), "32x32 p = {:?}", r32.p_values);
+        let r68 = BinaryRank::rank_6x8_scaled(0.1).run(&mut rng);
+        assert!(r68.passed(), "6x8 p = {:?}", r68.p_values);
+    }
+
+    #[test]
+    fn low_rank_generator_fails() {
+        // A generator whose every 64-bit word repeats one of two patterns
+        // produces rank ≤ 2 matrices.
+        struct TwoPatterns(u64);
+        impl RngCore for TwoPatterns {
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(1);
+                if self.0 % 2 == 0 {
+                    0xAAAA_AAAA_AAAA_AAAA
+                } else {
+                    0x5555_5555_5555_5555
+                }
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), rand_core::Error> {
+                Ok(())
+            }
+        }
+        let r = BinaryRank::rank_32x32_scaled(0.1).run(&mut TwoPatterns(0));
+        assert!(!r.passed());
+        assert!(r.p_values[0] < 1e-10);
+    }
+}

@@ -1,0 +1,39 @@
+//! Statistical quality batteries for pseudo random number generators.
+//!
+//! The paper validates its generator with two industry-standard suites
+//! (§IV-B): Marsaglia's DIEHARD battery (15 tests, p-values verified for
+//! uniformity with a Kolmogorov–Smirnov test — Table II) and L'Ecuyer &
+//! Simard's TestU01 SmallCrush/Crush/BigCrush (Table III). Neither C
+//! library is linkable here, so this crate re-implements the batteries from
+//! the published test definitions:
+//!
+//! * [`diehard::diehard_battery`] — 15 DIEHARD-style tests (birthday
+//!   spacings through craps).
+//! * [`crush::crush_battery`] — 15 TestU01-style statistics at three
+//!   escalating sample sizes.
+//! * [`special`] — the underlying special functions (incomplete gamma, erf,
+//!   Kolmogorov distribution), from scratch and reference-tested.
+//! * [`suite`] — the `StatTest` / `Battery` machinery and the paper's pass
+//!   criterion (`p ∈ (0.01, 0.99)`).
+//!
+//! ```
+//! use hprng_stattests::diehard::diehard_battery;
+//! use hprng_baselines::SplitMix64;
+//!
+//! let battery = diehard_battery(0.05); // small scale for the doc test
+//! let mut rng = SplitMix64::new(7);
+//! let report = battery.run(&mut rng);
+//! assert!(report.passed >= 13);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crush;
+pub mod diehard;
+pub mod nist;
+pub mod special;
+pub mod suite;
+pub mod util;
+
+pub use suite::{Battery, BatteryReport, StatTest, TestResult, PASS_HI, PASS_LO};

@@ -1,0 +1,264 @@
+//! Extended bit-level tests in the style of NIST SP 800-22, beyond the two
+//! batteries the paper used: cumulative sums, approximate entropy, and
+//! lagged autocorrelation. Available individually and as
+//! [`extended_battery`] — useful for the crypto-facing future work the
+//! paper's conclusion gestures at.
+
+use crate::special::{chi_square_sf, normal_cdf, normal_two_sided_p};
+use crate::suite::{Battery, StatTest, TestResult};
+use crate::util::BitStream;
+use rand_core::RngCore;
+
+/// Cumulative-sums (CUSUM) test: the maximum partial-sum excursion of the
+/// ±1 bit sequence. NIST SP 800-22 §2.13's closed form over the reflected
+/// normal terms.
+#[derive(Clone, Debug)]
+pub struct Cusum {
+    /// Bits examined.
+    pub bits: usize,
+}
+
+impl Cusum {
+    /// Base size 2^20 bits, scaled.
+    pub fn sized(m: f64) -> Self {
+        Self {
+            bits: ((1_048_576.0 * m) as usize).max(131_072),
+        }
+    }
+}
+
+impl StatTest for Cusum {
+    fn name(&self) -> &str {
+        "cumulative-sums"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        let mut bs = BitStream::new(rng);
+        let n = self.bits;
+        let mut s = 0i64;
+        let mut z = 0i64;
+        for _ in 0..n {
+            s += if bs.bit() == 1 { 1 } else { -1 };
+            z = z.max(s.abs());
+        }
+        let z = z as f64;
+        let nf = n as f64;
+        let sqrt_n = nf.sqrt();
+        // p = 1 − Σ_k [Φ((4k+1)z/√n) − Φ((4k−1)z/√n)]
+        //       + Σ_k [Φ((4k+3)z/√n) − Φ((4k+1)z/√n)]
+        let k_lo = ((-nf / z + 1.0) / 4.0).floor() as i64;
+        let k_hi = ((nf / z - 1.0) / 4.0).floor() as i64;
+        let mut p = 1.0;
+        for k in k_lo..=k_hi {
+            let k = k as f64;
+            p -= normal_cdf((4.0 * k + 1.0) * z / sqrt_n)
+                - normal_cdf((4.0 * k - 1.0) * z / sqrt_n);
+        }
+        let k_lo2 = ((-nf / z - 3.0) / 4.0).floor() as i64;
+        let k_hi2 = ((nf / z - 1.0) / 4.0).floor() as i64;
+        for k in k_lo2..=k_hi2 {
+            let k = k as f64;
+            p += normal_cdf((4.0 * k + 3.0) * z / sqrt_n)
+                - normal_cdf((4.0 * k + 1.0) * z / sqrt_n);
+        }
+        TestResult::new(self.name(), vec![p])
+    }
+}
+
+/// Approximate entropy (NIST §2.12): compares the frequencies of
+/// overlapping `m`- and `(m+1)`-bit patterns;
+/// `χ² = 2n (ln 2 − ApEn(m))` with `2^m` degrees of freedom.
+#[derive(Clone, Debug)]
+pub struct ApproximateEntropy {
+    /// Bits examined.
+    pub bits: usize,
+    /// Block length m.
+    pub m: u32,
+}
+
+impl ApproximateEntropy {
+    /// Base size 2^19 bits at m = 5.
+    pub fn sized(mult: f64) -> Self {
+        Self {
+            bits: ((524_288.0 * mult) as usize).max(65_536),
+            m: 5,
+        }
+    }
+
+    /// φ(m): Σ π_i ln π_i over overlapping m-bit patterns (cyclic).
+    fn phi(seq: &[u8], m: u32) -> f64 {
+        let n = seq.len();
+        let cells = 1usize << m;
+        let mut counts = vec![0u64; cells];
+        let mask = cells - 1;
+        let mut window = 0usize;
+        for i in 0..(m as usize - 1) {
+            window = (window << 1) | seq[i] as usize;
+        }
+        for i in 0..n {
+            let next = seq[(i + m as usize - 1) % n] as usize;
+            window = ((window << 1) | next) & mask;
+            counts[window] += 1;
+        }
+        counts
+            .into_iter()
+            .filter(|&c| c > 0)
+            .map(|c| {
+                let pi = c as f64 / n as f64;
+                pi * pi.ln()
+            })
+            .sum()
+    }
+}
+
+impl StatTest for ApproximateEntropy {
+    fn name(&self) -> &str {
+        "approximate-entropy"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        let mut bs = BitStream::new(rng);
+        let seq: Vec<u8> = (0..self.bits).map(|_| bs.bit() as u8).collect();
+        let apen = Self::phi(&seq, self.m) - Self::phi(&seq, self.m + 1);
+        let chi = 2.0 * self.bits as f64 * (std::f64::consts::LN_2 - apen);
+        let p = chi_square_sf(chi.max(0.0), (1u64 << self.m) as f64);
+        TestResult::new(self.name(), vec![p])
+    }
+}
+
+/// Autocorrelation test: the bit stream XORed with itself at lag `d` must
+/// again be balanced; `z = 2(#ones − n/2)/√n` per lag.
+#[derive(Clone, Debug)]
+pub struct Autocorrelation {
+    /// Bits examined per lag.
+    pub bits: usize,
+    /// Lags tested (one p-value each).
+    pub lags: Vec<usize>,
+}
+
+impl Autocorrelation {
+    /// Base size 2^19 bits at lags {1, 2, 8, 16, 64}.
+    pub fn sized(m: f64) -> Self {
+        Self {
+            bits: ((524_288.0 * m) as usize).max(65_536),
+            lags: vec![1, 2, 8, 16, 64],
+        }
+    }
+}
+
+impl StatTest for Autocorrelation {
+    fn name(&self) -> &str {
+        "autocorrelation"
+    }
+
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult {
+        let mut bs = BitStream::new(rng);
+        let max_lag = self.lags.iter().copied().max().unwrap_or(1);
+        let seq: Vec<u8> = (0..self.bits + max_lag).map(|_| bs.bit() as u8).collect();
+        let ps = self
+            .lags
+            .iter()
+            .map(|&d| {
+                let diff: u64 = (0..self.bits)
+                    .map(|i| (seq[i] ^ seq[i + d]) as u64)
+                    .sum();
+                let n = self.bits as f64;
+                let z = 2.0 * (diff as f64 - n / 2.0) / n.sqrt();
+                normal_two_sided_p(z)
+            })
+            .collect();
+        TestResult::new(self.name(), ps)
+    }
+}
+
+/// The extended battery: the three tests above.
+pub fn extended_battery(scale: f64) -> Battery {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let mut b = Battery::new("NIST-extended");
+    b.push(Box::new(Cusum::sized(scale)));
+    b.push(Box::new(ApproximateEntropy::sized(scale)));
+    b.push(Box::new(Autocorrelation::sized(scale)));
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprng_baselines::SplitMix64;
+
+    #[test]
+    fn extended_battery_passes_good_generator() {
+        let b = extended_battery(0.25);
+        let mut rng = SplitMix64::new(0x17);
+        let report = b.run(&mut rng);
+        assert_eq!(report.passed, report.total, "{:?}", report.results);
+    }
+
+    #[test]
+    fn cusum_fails_drifting_stream() {
+        // Heavily biased bits drift far from 0.
+        struct Biased(SplitMix64);
+        impl RngCore for Biased {
+            fn next_u32(&mut self) -> u32 {
+                (self.0.next() as u32) | 0xFF00_00FF
+            }
+            fn next_u64(&mut self) -> u64 {
+                ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), rand_core::Error> {
+                Ok(())
+            }
+        }
+        let r = Cusum::sized(0.25).run(&mut Biased(SplitMix64::new(1)));
+        assert!(!r.passed());
+        assert!(r.p_values[0] < 1e-10);
+    }
+
+    #[test]
+    fn apen_fails_periodic_stream() {
+        struct Periodic;
+        impl RngCore for Periodic {
+            fn next_u32(&mut self) -> u32 {
+                0xAAAA_AAAA
+            }
+            fn next_u64(&mut self) -> u64 {
+                0xAAAA_AAAA_AAAA_AAAA
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), rand_core::Error> {
+                Ok(())
+            }
+        }
+        let r = ApproximateEntropy::sized(0.25).run(&mut Periodic);
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn autocorrelation_fails_lagged_copy() {
+        // A stream that repeats every 16 bits correlates perfectly at lag
+        // 16.
+        struct Repeat16;
+        impl RngCore for Repeat16 {
+            fn next_u32(&mut self) -> u32 {
+                0xB3C5_B3C5 // same 16-bit pattern twice
+            }
+            fn next_u64(&mut self) -> u64 {
+                0xB3C5_B3C5_B3C5_B3C5
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), rand_core::Error> {
+                Ok(())
+            }
+        }
+        let r = Autocorrelation::sized(0.25).run(&mut Repeat16);
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn apen_phi_of_constant_sequence() {
+        // All-zeros: one pattern with probability 1 → φ = 0 for every m.
+        let seq = vec![0u8; 1024];
+        assert_eq!(ApproximateEntropy::phi(&seq, 3), 0.0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Special functions for p-value computation, from scratch.
+//!
+//! Everything the batteries need: log-gamma (Lanczos), regularized
+//! incomplete gamma (series + continued fraction), the error function, the
+//! normal and chi-square distributions, and the asymptotic Kolmogorov
+//! distribution. Accuracy targets are the ~1e-10 relative error of the
+//! classical Numerical-Recipes-style formulations, which is far beyond what
+//! pass/fail thresholds at p ∈ (0.01, 0.99) require.
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7, n = 9).
+///
+/// # Panics
+/// Panics if `x <= 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
+    // Lanczos coefficients (g = 7).
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// # Panics
+/// Panics if `a <= 0` or `x < 0`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_p domain error: a={a}, x={x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_q domain error: a={a}, x={x}");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+/// Series expansion of P(a, x), valid for `x < a + 1`.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut n = a;
+    for _ in 0..500 {
+        n += 1.0;
+        term *= x / n;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued fraction for Q(a, x), valid for `x >= a + 1` (modified Lentz).
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// The error function, via the incomplete gamma relation
+/// `erf(x) = P(1/2, x²)` for `x ≥ 0` and oddness elsewhere.
+pub fn erf(x: f64) -> f64 {
+    if x < 0.0 {
+        -erf(-x)
+    } else {
+        gamma_p(0.5, x * x)
+    }
+}
+
+/// The complementary error function.
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        2.0 - erfc(-x)
+    } else {
+        gamma_q(0.5, x * x)
+    }
+}
+
+/// Standard normal CDF.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+/// Two-sided p-value of a standard normal z statistic.
+pub fn normal_two_sided_p(z: f64) -> f64 {
+    erfc(z.abs() / std::f64::consts::SQRT_2)
+}
+
+/// Chi-square survival function (upper tail) with `df` degrees of freedom:
+/// the p-value of a chi-square statistic.
+///
+/// # Panics
+/// Panics if `df <= 0` or `x < 0`.
+pub fn chi_square_sf(x: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "chi-square needs positive degrees of freedom");
+    assert!(x >= 0.0, "chi-square statistic is non-negative");
+    gamma_q(df / 2.0, x / 2.0)
+}
+
+/// Chi-square CDF (lower tail).
+pub fn chi_square_cdf(x: f64, df: f64) -> f64 {
+    1.0 - chi_square_sf(x, df)
+}
+
+/// Asymptotic Kolmogorov distribution's survival function:
+/// `Q(t) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2 k² t²}` — the p-value of a KS
+/// statistic `t = D·(√n + 0.12 + 0.11/√n)` (Stephens' correction applied by
+/// [`ks_test`]).
+pub fn kolmogorov_sf(t: f64) -> f64 {
+    if t <= 0.0 {
+        return 1.0;
+    }
+    if t < 0.2 {
+        // The alternating series converges too slowly; Q ≈ 1 here.
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * t * t).exp();
+        if k % 2 == 1 {
+            sum += term;
+        } else {
+            sum -= term;
+        }
+        if term < 1e-16 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// One-sample KS test of `samples` against the CDF `cdf`. Returns
+/// `(D, p_value)`.
+///
+/// # Panics
+/// Panics if `samples` is empty.
+pub fn ks_test(samples: &mut [f64], cdf: impl Fn(f64) -> f64) -> (f64, f64) {
+    assert!(!samples.is_empty(), "KS test needs samples");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = samples.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in samples.iter().enumerate() {
+        let f = cdf(x).clamp(0.0, 1.0);
+        let lo = i as f64 / n;
+        let hi = (i as f64 + 1.0) / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    let t = d * (n.sqrt() + 0.12 + 0.11 / n.sqrt());
+    (d, kolmogorov_sf(t))
+}
+
+/// One-sample KS test against the uniform distribution on [0, 1) — the
+/// paper's verification step for DIEHARD p-values (§IV-B, Table II).
+pub fn ks_uniform(samples: &mut [f64]) -> (f64, f64) {
+    ks_test(samples, |x| x)
+}
+
+/// Pearson chi-square test. `observed` and `expected` must have equal
+/// lengths; cells with tiny expectation are pooled into their neighbour to
+/// keep the asymptotics valid. Returns `(statistic, p_value)` with
+/// `len − 1 − extra_constraints` degrees of freedom.
+///
+/// # Panics
+/// Panics on length mismatch or fewer than 2 cells after pooling.
+pub fn chi_square_test(observed: &[f64], expected: &[f64], extra_constraints: usize) -> (f64, f64) {
+    assert_eq!(observed.len(), expected.len(), "cell count mismatch");
+    // Pool cells with expectation < 5 into the previous kept cell.
+    let mut obs_pool = Vec::with_capacity(observed.len());
+    let mut exp_pool: Vec<f64> = Vec::with_capacity(expected.len());
+    for (&o, &e) in observed.iter().zip(expected) {
+        if let (Some(last_e), true) = (exp_pool.last_mut(), e < 5.0) {
+            *last_e += e;
+            let last_o = obs_pool.last_mut().expect("parallel vectors");
+            *last_o += o;
+        } else {
+            obs_pool.push(o);
+            exp_pool.push(e);
+        }
+    }
+    // A leading under-populated cell may still be small; merge forward once.
+    if exp_pool.len() >= 2 && exp_pool[0] < 5.0 {
+        exp_pool[1] += exp_pool[0];
+        obs_pool[1] += obs_pool[0];
+        exp_pool.remove(0);
+        obs_pool.remove(0);
+    }
+    assert!(
+        exp_pool.len() >= 2,
+        "chi-square needs at least 2 cells with mass"
+    );
+    let stat: f64 = obs_pool
+        .iter()
+        .zip(&exp_pool)
+        .map(|(&o, &e)| (o - e) * (o - e) / e)
+        .sum();
+    let df = (exp_pool.len() - 1).saturating_sub(extra_constraints).max(1) as f64;
+    (stat, chi_square_sf(stat, df))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        close(ln_gamma(1.0), 0.0, 1e-12);
+        close(ln_gamma(2.0), 0.0, 1e-12);
+        close(ln_gamma(5.0), 24.0f64.ln(), 1e-10); // Γ(5) = 4! = 24
+        close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-10);
+        // Γ(10.5) = 0.5·1.5·…·9.5·√π ≈ 1 133 278.4.
+        close(ln_gamma(10.5), 1_133_278.388_948_441_4f64.ln(), 1e-8);
+    }
+
+    #[test]
+    fn gamma_p_q_complement() {
+        for &(a, x) in &[(0.5, 0.3), (2.0, 1.0), (5.0, 9.0), (30.0, 25.0)] {
+            close(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn gamma_p_exponential_special_case() {
+        // P(1, x) = 1 − e^{−x}.
+        for &x in &[0.1, 1.0, 3.0, 10.0] {
+            close(gamma_p(1.0, x), 1.0 - (-x as f64).exp(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn erf_known_values() {
+        close(erf(0.0), 0.0, 1e-15);
+        close(erf(1.0), 0.842_700_792_949_714_9, 1e-10);
+        close(erf(-1.0), -0.842_700_792_949_714_9, 1e-10);
+        close(erf(2.0), 0.995_322_265_018_952_7, 1e-10);
+        close(erfc(1.0), 1.0 - 0.842_700_792_949_714_9, 1e-10);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        close(normal_cdf(0.0), 0.5, 1e-12);
+        close(normal_cdf(1.96), 0.975_002_104_851_780, 1e-7);
+        close(normal_cdf(-1.96), 1.0 - 0.975_002_104_851_780, 1e-7);
+    }
+
+    #[test]
+    fn chi_square_known_values() {
+        // χ²(df=1): SF(3.841) ≈ 0.05.
+        close(chi_square_sf(3.841_458_820_694_124, 1.0), 0.05, 1e-8);
+        // χ²(df=10): SF(18.307) ≈ 0.05.
+        close(chi_square_sf(18.307_038_053_275_14, 10.0), 0.05, 1e-8);
+        close(chi_square_cdf(0.0, 5.0), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn kolmogorov_known_values() {
+        // Q(1.3581) ≈ 0.05 (the classic 5% critical value).
+        close(kolmogorov_sf(1.358_1), 0.05, 2e-3);
+        close(kolmogorov_sf(0.0), 1.0, 1e-12);
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+    }
+
+    #[test]
+    fn ks_uniform_accepts_uniform_grid() {
+        // A perfect uniform grid has tiny D and p ≈ 1.
+        let n = 1000;
+        let mut samples: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let (d, p) = ks_uniform(&mut samples);
+        assert!(d < 0.001, "D = {d}");
+        assert!(p > 0.99, "p = {p}");
+    }
+
+    #[test]
+    fn ks_uniform_rejects_skewed_samples() {
+        let mut samples: Vec<f64> = (0..1000).map(|i| (i as f64 / 1000.0).powi(3)).collect();
+        let (_, p) = ks_uniform(&mut samples);
+        assert!(p < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn chi_square_test_uniform_counts() {
+        let observed = [100.0, 98.0, 102.0, 101.0, 99.0];
+        let expected = [100.0; 5];
+        let (stat, p) = chi_square_test(&observed, &expected, 0);
+        assert!(stat < 1.0);
+        assert!(p > 0.9);
+    }
+
+    #[test]
+    fn chi_square_test_detects_bias() {
+        let observed = [200.0, 50.0, 100.0, 100.0, 50.0];
+        let expected = [100.0; 5];
+        let (_, p) = chi_square_test(&observed, &expected, 0);
+        assert!(p < 1e-10);
+    }
+
+    #[test]
+    fn chi_square_pools_small_cells() {
+        // Tiny expected cells get pooled rather than blowing up the
+        // statistic.
+        let observed = [100.0, 1.0, 0.0, 99.0];
+        let expected = [100.0, 0.5, 0.5, 99.0];
+        let (_, p) = chi_square_test(&observed, &expected, 0);
+        assert!(p > 0.5, "p = {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive argument")]
+    fn ln_gamma_rejects_non_positive() {
+        let _ = ln_gamma(0.0);
+    }
+}

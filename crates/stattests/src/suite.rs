@@ -1,0 +1,182 @@
+//! The battery runner: tests produce p-values, batteries aggregate them and
+//! verify their uniformity with a KS test, exactly as §IV-B describes.
+
+use crate::special::ks_uniform;
+use rand_core::RngCore;
+use serde::Serialize;
+
+/// The paper's pass window: "the test statistic p should lie between 0.01
+/// and 0.99 to pass the test".
+pub const PASS_LO: f64 = 0.01;
+/// Upper edge of the pass window.
+pub const PASS_HI: f64 = 0.99;
+
+/// Outcome of one statistical test: one or more p-values.
+#[derive(Clone, Debug, Serialize)]
+pub struct TestResult {
+    /// Test name.
+    pub name: String,
+    /// The p-values the test produced.
+    pub p_values: Vec<f64>,
+}
+
+impl TestResult {
+    /// Builds a result, clamping the p-values into [0, 1] against numeric
+    /// noise.
+    pub fn new(name: impl Into<String>, p_values: Vec<f64>) -> Self {
+        Self {
+            name: name.into(),
+            p_values: p_values.into_iter().map(|p| p.clamp(0.0, 1.0)).collect(),
+        }
+    }
+
+    /// A test passes when *every* p-value falls inside the window.
+    pub fn passed(&self) -> bool {
+        self.p_values.iter().all(|&p| (PASS_LO..=PASS_HI).contains(&p))
+    }
+}
+
+/// One statistical test over a generator.
+pub trait StatTest: Send + Sync {
+    /// Display name (matches the classical test's name).
+    fn name(&self) -> &str;
+    /// Consumes randomness from `rng` and produces p-values.
+    fn run(&self, rng: &mut dyn RngCore) -> TestResult;
+}
+
+/// Aggregated battery outcome.
+#[derive(Clone, Debug, Serialize)]
+pub struct BatteryReport {
+    /// Battery name.
+    pub battery: String,
+    /// Per-test outcomes, in battery order.
+    pub results: Vec<TestResult>,
+    /// Number of tests whose every p-value fell in the pass window.
+    pub passed: usize,
+    /// Total number of tests.
+    pub total: usize,
+    /// KS statistic `D` of all collected p-values against U(0, 1) —
+    /// Table II's quality column.
+    pub ks_d: f64,
+    /// p-value of that KS statistic.
+    pub ks_p: f64,
+}
+
+impl BatteryReport {
+    /// `"passed/total"` in the paper's table format.
+    pub fn score(&self) -> String {
+        format!("{}/{}", self.passed, self.total)
+    }
+}
+
+/// An ordered collection of tests run against one generator.
+pub struct Battery {
+    name: String,
+    tests: Vec<Box<dyn StatTest>>,
+}
+
+impl Battery {
+    /// Creates an empty battery.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            tests: Vec::new(),
+        }
+    }
+
+    /// Adds a test.
+    pub fn push(&mut self, test: Box<dyn StatTest>) {
+        self.tests.push(test);
+    }
+
+    /// Battery name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tests.
+    pub fn len(&self) -> usize {
+        self.tests.len()
+    }
+
+    /// Whether the battery is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tests.is_empty()
+    }
+
+    /// Runs every test in order against `rng` and aggregates.
+    ///
+    /// # Panics
+    /// Panics if the battery is empty.
+    pub fn run(&self, rng: &mut dyn RngCore) -> BatteryReport {
+        assert!(!self.is_empty(), "battery has no tests");
+        let results: Vec<TestResult> = self.tests.iter().map(|t| t.run(rng)).collect();
+        let passed = results.iter().filter(|r| r.passed()).count();
+        let mut all_p: Vec<f64> = results.iter().flat_map(|r| r.p_values.clone()).collect();
+        let (ks_d, ks_p) = if all_p.len() >= 2 {
+            ks_uniform(&mut all_p)
+        } else {
+            (0.0, 1.0)
+        };
+        BatteryReport {
+            battery: self.name.clone(),
+            total: results.len(),
+            passed,
+            results,
+            ks_d,
+            ks_p,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprng_baselines::SplitMix64;
+
+    struct ConstP(f64);
+    impl StatTest for ConstP {
+        fn name(&self) -> &str {
+            "const"
+        }
+        fn run(&self, _rng: &mut dyn RngCore) -> TestResult {
+            TestResult::new("const", vec![self.0])
+        }
+    }
+
+    #[test]
+    fn pass_window_matches_paper() {
+        assert!(TestResult::new("t", vec![0.5]).passed());
+        assert!(TestResult::new("t", vec![0.01, 0.99]).passed());
+        assert!(!TestResult::new("t", vec![0.005]).passed());
+        assert!(!TestResult::new("t", vec![0.995]).passed());
+        assert!(!TestResult::new("t", vec![0.5, 0.001]).passed());
+    }
+
+    #[test]
+    fn p_values_are_clamped() {
+        let r = TestResult::new("t", vec![-0.1, 1.3]);
+        assert_eq!(r.p_values, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn battery_counts_passes() {
+        let mut b = Battery::new("demo");
+        b.push(Box::new(ConstP(0.5)));
+        b.push(Box::new(ConstP(0.001)));
+        b.push(Box::new(ConstP(0.3)));
+        let mut rng = SplitMix64::new(1);
+        let report = b.run(&mut rng);
+        assert_eq!(report.passed, 2);
+        assert_eq!(report.total, 3);
+        assert_eq!(report.score(), "2/3");
+    }
+
+    #[test]
+    #[should_panic(expected = "no tests")]
+    fn empty_battery_panics() {
+        let b = Battery::new("empty");
+        let mut rng = SplitMix64::new(1);
+        b.run(&mut rng);
+    }
+}

@@ -1,0 +1,166 @@
+//! Shared helpers: bit extraction and uniform-variate adapters over any
+//! [`RngCore`].
+
+use rand_core::RngCore;
+
+/// A bit-granular reader over a generator's output stream (most significant
+/// bit of each 32-bit word first, the convention the DIEHARD file format
+/// uses).
+pub struct BitStream<'a> {
+    rng: &'a mut dyn RngCore,
+    current: u32,
+    bits_left: u32,
+}
+
+impl<'a> BitStream<'a> {
+    /// Wraps a generator.
+    pub fn new(rng: &'a mut dyn RngCore) -> Self {
+        Self {
+            rng,
+            current: 0,
+            bits_left: 0,
+        }
+    }
+
+    /// The next single bit.
+    #[inline]
+    pub fn bit(&mut self) -> u32 {
+        if self.bits_left == 0 {
+            self.current = self.rng.next_u32();
+            self.bits_left = 32;
+        }
+        self.bits_left -= 1;
+        (self.current >> self.bits_left) & 1
+    }
+
+    /// The next `k` bits packed into the low end of a `u32` (`k ≤ 32`).
+    ///
+    /// # Panics
+    /// Panics if `k > 32`.
+    #[inline]
+    pub fn bits(&mut self, k: u32) -> u32 {
+        assert!(k <= 32, "at most 32 bits per call");
+        let mut v = 0;
+        for _ in 0..k {
+            v = (v << 1) | self.bit();
+        }
+        v
+    }
+}
+
+/// A uniform double in [0, 1) from the high 53 bits of a 64-bit draw.
+#[inline]
+pub fn uniform_f64(rng: &mut dyn RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// An unbiased integer in `0..n` by rejection (Lemire-style threshold
+/// omitted for clarity; rejection keeps it exactly uniform).
+///
+/// # Panics
+/// Panics if `n == 0`.
+#[inline]
+pub fn uniform_u32_below(rng: &mut dyn RngCore, n: u32) -> u32 {
+    assert!(n > 0, "range must be positive");
+    if n.is_power_of_two() {
+        return rng.next_u32() & (n - 1);
+    }
+    let limit = u32::MAX - u32::MAX % n;
+    loop {
+        let v = rng.next_u32();
+        if v < limit {
+            return v % n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprng_baselines::SplitMix64;
+
+    #[test]
+    fn bitstream_msb_first() {
+        // A generator that always returns 0x80000001: first bit 1, middle
+        // bits 0, last bit 1.
+        struct Fixed;
+        impl RngCore for Fixed {
+            fn next_u32(&mut self) -> u32 {
+                0x8000_0001
+            }
+            fn next_u64(&mut self) -> u64 {
+                0x8000_0001_8000_0001
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), rand_core::Error> {
+                Ok(())
+            }
+        }
+        let mut f = Fixed;
+        let mut bs = BitStream::new(&mut f);
+        assert_eq!(bs.bit(), 1);
+        for _ in 0..30 {
+            assert_eq!(bs.bit(), 0);
+        }
+        assert_eq!(bs.bit(), 1);
+        // Word boundary: starts over.
+        assert_eq!(bs.bit(), 1);
+    }
+
+    #[test]
+    fn bits_packs_msb_first() {
+        struct Fixed;
+        impl RngCore for Fixed {
+            fn next_u32(&mut self) -> u32 {
+                0xF000_0000
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), rand_core::Error> {
+                Ok(())
+            }
+        }
+        let mut f = Fixed;
+        let mut bs = BitStream::new(&mut f);
+        assert_eq!(bs.bits(8), 0b1111_0000);
+    }
+
+    #[test]
+    fn uniform_f64_in_range() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            let u = uniform_f64(&mut rng);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_f64_mean_is_half() {
+        let mut rng = SplitMix64::new(2);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| uniform_f64(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn uniform_below_covers_range_uniformly() {
+        let mut rng = SplitMix64::new(3);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[uniform_u32_below(&mut rng, 7) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "count = {c}");
+        }
+    }
+
+    #[test]
+    fn uniform_below_power_of_two_fast_path() {
+        let mut rng = SplitMix64::new(4);
+        for _ in 0..1000 {
+            assert!(uniform_u32_below(&mut rng, 8) < 8);
+        }
+    }
+}

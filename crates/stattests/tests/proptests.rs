@@ -1,0 +1,87 @@
+//! Property tests for the statistical machinery: p-values must be
+//! well-formed for arbitrary inputs, and the special functions must honour
+//! their identities across their domains.
+
+use hprng_baselines::SplitMix64;
+use hprng_stattests::special::{
+    chi_square_cdf, chi_square_sf, erf, erfc, gamma_p, gamma_q, kolmogorov_sf, ks_uniform,
+    normal_cdf,
+};
+use hprng_stattests::suite::{StatTest, TestResult};
+use proptest::prelude::*;
+
+proptest! {
+    /// P + Q = 1 over a wide domain.
+    #[test]
+    fn incomplete_gamma_complement(a in 0.01f64..200.0, x in 0.0f64..400.0) {
+        let sum = gamma_p(a, x) + gamma_q(a, x);
+        prop_assert!((sum - 1.0).abs() < 1e-9, "a={a}, x={x}, sum={sum}");
+    }
+
+    /// P(a, ·) is nondecreasing in x.
+    #[test]
+    fn gamma_p_monotone(a in 0.01f64..100.0, x in 0.0f64..200.0, dx in 0.0f64..50.0) {
+        prop_assert!(gamma_p(a, x + dx) >= gamma_p(a, x) - 1e-12);
+    }
+
+    /// erf is odd and erfc complements it.
+    #[test]
+    fn erf_identities(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-9);
+        prop_assert!((-1.0..=1.0).contains(&erf(x)));
+    }
+
+    /// The normal CDF is a CDF: monotone, with the right limits.
+    #[test]
+    fn normal_cdf_is_monotone(a in -8.0f64..8.0, d in 0.0f64..4.0) {
+        prop_assert!(normal_cdf(a + d) >= normal_cdf(a) - 1e-12);
+        prop_assert!((0.0..=1.0).contains(&normal_cdf(a)));
+    }
+
+    /// Chi-square CDF/SF complement and stay in [0, 1].
+    #[test]
+    fn chi_square_complement(x in 0.0f64..500.0, df in 0.5f64..300.0) {
+        let c = chi_square_cdf(x, df);
+        let s = chi_square_sf(x, df);
+        prop_assert!((c + s - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+
+    /// The Kolmogorov SF is monotone nonincreasing in t.
+    #[test]
+    fn kolmogorov_monotone(t in 0.0f64..4.0, d in 0.0f64..2.0) {
+        prop_assert!(kolmogorov_sf(t + d) <= kolmogorov_sf(t) + 1e-12);
+    }
+
+    /// KS against uniform returns a p-value in [0, 1] and D in [0, 1] for
+    /// arbitrary in-range samples.
+    #[test]
+    fn ks_uniform_wellformed(mut samples in prop::collection::vec(0.0f64..1.0, 2..300)) {
+        let (d, p) = ks_uniform(&mut samples);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((0.0..=1.0).contains(&p));
+        // After the call the samples are sorted.
+        prop_assert!(samples.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Every battery test yields p-values in [0, 1] whatever the seed (the
+    /// clamp in TestResult::new guards numeric noise; here we check the
+    /// raw path through a real test).
+    #[test]
+    fn tests_emit_valid_p_values(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let tests: Vec<Box<dyn StatTest>> = vec![
+            Box::new(hprng_stattests::crush::Monobit::sized(0.1)),
+            Box::new(hprng_stattests::crush::Poker::sized(0.1)),
+            Box::new(hprng_stattests::diehard::BirthdaySpacings::scaled(0.1)),
+        ];
+        for t in tests {
+            let r: TestResult = t.run(&mut rng);
+            prop_assert!(!r.p_values.is_empty());
+            for &p in &r.p_values {
+                prop_assert!((0.0..=1.0).contains(&p), "{}: p={p}", r.name);
+            }
+        }
+    }
+}

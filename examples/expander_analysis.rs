@@ -1,0 +1,50 @@
+//! Validates the expander machinery empirically: exact edge expansion on
+//! tiny Gabber–Galil instances, spectral gaps across sizes and families,
+//! and the mixing curve that justifies the paper's walk length of 64.
+//!
+//! ```text
+//! cargo run --release --example expander_analysis
+//! ```
+
+use hybrid_prng::expander::analysis::{
+    exact_edge_expansion, mixing_curve, spectral_gap, GABBER_GALIL_ALPHA,
+};
+use hybrid_prng::expander::families::{spectral_gap_of, ChordalCycle};
+use hybrid_prng::expander::{GabberGalilGeneric, GenVertex};
+
+fn main() {
+    println!("Gabber–Galil expansion constant α = (2 − √3)/2 ≈ {GABBER_GALIL_ALPHA:.6}\n");
+
+    println!("exact edge expansion (tiny instances, subset enumeration):");
+    for m in [2u64, 3] {
+        let alpha = exact_edge_expansion(GabberGalilGeneric::new(m));
+        println!("  m = {m}: α(G) = {alpha:.4}  (≥ theoretical bound: {})",
+            alpha >= GABBER_GALIL_ALPHA);
+    }
+
+    println!("\nlazy-walk spectral gap vs size (an expander family keeps it bounded):");
+    for m in [4u64, 8, 16, 24] {
+        let gap = spectral_gap(GabberGalilGeneric::new(m), 500);
+        println!("  m = {m:>2} ({:>5} vertices/side): gap = {gap:.4}", m * m);
+    }
+
+    println!("\nalternative family — chordal cycles (x ~ x±1, x ~ x⁻¹ mod p):");
+    for p in [101u64, 499, 997] {
+        let gap = spectral_gap_of(&ChordalCycle::new(p), 600);
+        println!("  p = {p:>3}: gap = {gap:.4}");
+    }
+
+    println!("\ntotal-variation mixing of the directed lazy walk (m = 16, 256 vertices):");
+    let g = GabberGalilGeneric::new(16);
+    let curve = mixing_curve(g, GenVertex::new(0, 0, 16), 64);
+    for (t, tv) in curve.iter().enumerate() {
+        if t % 8 == 7 || t == 0 {
+            println!("  after {:>2} steps: TV distance to uniform = {tv:.6}", t + 1);
+        }
+    }
+    println!(
+        "\nThe paper's warm-up/walk length of 64 sits far beyond the knee of this\n\
+         curve on every instance small enough to measure — the production graph\n\
+         (2^64 labels) inherits the bound t_mix = O(log n / gap)."
+    );
+}

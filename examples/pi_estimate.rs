@@ -1,0 +1,48 @@
+//! A tiny Monte-Carlo integration showing the generator behind the `rand`
+//! ecosystem traits: estimate π by dart throwing, comparing the hybrid
+//! generator's convergence with the baselines'.
+//!
+//! ```text
+//! cargo run --release --example pi_estimate [-- <darts>]
+//! ```
+
+use hybrid_prng::baselines::{GlibcRand, Mt19937_64, Xorwow};
+use hybrid_prng::prng::ExpanderWalkRng;
+use rand_core::{RngCore, SeedableRng};
+
+fn estimate_pi(rng: &mut dyn RngCore, darts: u64) -> f64 {
+    let mut hits = 0u64;
+    for _ in 0..darts {
+        let v = rng.next_u64();
+        // Two 26-bit coordinates from one draw.
+        let x = (v & 0x3FF_FFFF) as f64 / (1 << 26) as f64;
+        let y = ((v >> 26) & 0x3FF_FFFF) as f64 / (1 << 26) as f64;
+        if x * x + y * y <= 1.0 {
+            hits += 1;
+        }
+    }
+    4.0 * hits as f64 / darts as f64
+}
+
+fn main() {
+    let darts: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4_000_000);
+    println!("estimating π with {darts} darts:\n");
+    let mut generators: Vec<(&str, Box<dyn RngCore>)> = vec![
+        ("Hybrid PRNG", Box::new(ExpanderWalkRng::from_seed_u64(3))),
+        ("MT19937-64", Box::new(Mt19937_64::seed_from_u64(3))),
+        ("XORWOW", Box::new(Xorwow::new(3))),
+        ("glibc rand()", Box::new(GlibcRand::seed_from_u64(3))),
+    ];
+    for (name, rng) in generators.iter_mut() {
+        let pi = estimate_pi(rng.as_mut(), darts);
+        println!(
+            "{:<14} π ≈ {:.6}  (error {:+.6})",
+            name,
+            pi,
+            pi - std::f64::consts::PI
+        );
+    }
+}

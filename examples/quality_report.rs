@@ -1,0 +1,47 @@
+//! Runs the DIEHARD-style battery against every generator in the workspace
+//! and prints a Table II-style report (use `repro table2 --full` for the
+//! full-size battery).
+//!
+//! ```text
+//! cargo run --release --example quality_report [-- <scale>]
+//! ```
+
+use hybrid_prng::baselines::{
+    GlibcRand, Kiss, Lcg64, Md5Rand, Mt19937_64, Mwc64, Philox4x32, Xorwow,
+};
+use hybrid_prng::prng::ExpanderWalkRng;
+use hybrid_prng::stattests::diehard::diehard_battery;
+use rand_core::{RngCore, SeedableRng};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let battery = diehard_battery(scale);
+    println!("DIEHARD-style battery at scale {scale} ({} tests)\n", battery.len());
+    println!("{:<22} {:>8} {:>9} {:>8}", "generator", "passed", "KS D", "KS p");
+
+    let mut generators: Vec<(&str, Box<dyn RngCore>)> = vec![
+        ("Hybrid PRNG", Box::new(ExpanderWalkRng::from_seed_u64(20120521))),
+        ("MT19937-64", Box::new(Mt19937_64::seed_from_u64(20120521))),
+        ("XORWOW (CURAND)", Box::new(Xorwow::new(20120521))),
+        ("MD5 (CUDPP)", Box::new(Md5Rand::new(20120521))),
+        ("MWC", Box::new(Mwc64::new(20120521))),
+        ("Philox4x32-10", Box::new(Philox4x32::new(20120521))),
+        ("KISS", Box::new(Kiss::new(20120521))),
+        ("glibc rand()", Box::new(GlibcRand::seed_from_u64(20120521))),
+        ("LCG64 (raw)", Box::new(Lcg64::new(20120521))),
+    ];
+    for (name, rng) in generators.iter_mut() {
+        let report = battery.run(rng.as_mut());
+        println!(
+            "{:<22} {:>5}/{:<2} {:>9.4} {:>8.3}",
+            name, report.passed, report.total, report.ks_d, report.ks_p
+        );
+        for r in report.results.iter().filter(|r| !r.passed()) {
+            let ps: Vec<String> = r.p_values.iter().map(|p| format!("{p:.4}")).collect();
+            println!("    ! {} p = [{}]", r.name, ps.join(", "));
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # hybrid-prng
+//!
+//! A production-quality Rust reproduction of Banerjee, Bahl & Kothapalli,
+//! *An On-Demand Fast Parallel Pseudo Random Number Generator with
+//! Applications* (IPDPS Workshops 2012).
+//!
+//! The paper builds an **on-demand, thread-safe, scalable** pseudo random
+//! number generator by running independent random walks on a 7-regular
+//! Gabber–Galil expander graph with `2^64` vertex labels, splitting the work
+//! between a multicore CPU (raw-bit FEED) and a GPU (walk GENERATE) with
+//! asynchronous PCIe transfers in between. This workspace reproduces the
+//! whole system — with the GPU replaced by a calibrated software SIMT device
+//! model — plus both applications and the full evaluation.
+//!
+//! This facade crate re-exports the public API of every workspace member so
+//! that downstream users can depend on a single crate:
+//!
+//! * [`expander`] — Gabber–Galil graphs, walks, expansion/mixing analysis.
+//! * [`baselines`] — glibc `rand()`, MT19937(-64), XORWOW, MWC, MD5-hash,
+//!   LCG, Philox, SplitMix64.
+//! * [`gpu`] — the simulated hybrid CPU+GPU platform.
+//! * [`prng`] — [`prng::ExpanderWalkRng`], [`prng::HybridPrng`] and
+//!   [`prng::CpuParallelPrng`]: the paper's generator.
+//! * [`stattests`] — DIEHARD-style and Crush-style quality batteries.
+//! * [`listrank`] — Application I: hybrid list ranking.
+//! * [`montecarlo`] — Application II: photon migration.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hybrid_prng::prng::ExpanderWalkRng;
+//! use rand_core::RngCore;
+//!
+//! let mut rng = ExpanderWalkRng::from_seed_u64(42);
+//! let sample: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+//! assert_eq!(sample.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use hprng_baselines as baselines;
+pub use hprng_core as prng;
+pub use hprng_expander as expander;
+pub use hprng_gpu_sim as gpu;
+pub use hprng_listrank as listrank;
+pub use hprng_montecarlo as montecarlo;
+pub use hprng_stattests as stattests;

@@ -1,0 +1,112 @@
+//! End-to-end integration: the hybrid generator drives both applications
+//! through the public facade, exactly like a downstream user would.
+
+use hybrid_prng::gpu::{Resource, WorkUnit};
+use hybrid_prng::listrank::hybrid::{rank_list, verify_ranks, RandomnessStrategy};
+use hybrid_prng::listrank::{sequential_rank, LinkedList};
+use hybrid_prng::montecarlo::{run_simulation, RandomSupply, SimConfig, Tissue};
+use hybrid_prng::prng::{ExpanderWalkRng, HybridPrng};
+
+#[test]
+fn facade_reexports_work_together() {
+    // Expander generator → random list → hybrid ranking, all through the
+    // facade.
+    let mut rng = ExpanderWalkRng::from_seed_u64(1);
+    let list = LinkedList::random(50_000, &mut rng);
+    let (ranks, stats) = rank_list(&list, RandomnessStrategy::OnDemandExpander, 2);
+    assert!(verify_ranks(&list, &ranks));
+    assert!(stats.iterations > 0);
+}
+
+#[test]
+fn hybrid_pipeline_produces_quality_numbers() {
+    // The device pipeline's output must match the statistical behaviour of
+    // the host generator: same construction, different plumbing. Cheap
+    // checks here; the batteries run in quality_integration.rs.
+    let mut hybrid = HybridPrng::tesla(3);
+    let (numbers, stats) = hybrid.generate(100_000);
+    assert_eq!(numbers.len(), 100_000);
+    assert!(stats.gnumbers_per_s > 0.0);
+
+    // Bit balance of the pooled output.
+    let ones: u64 = numbers.iter().map(|n| n.count_ones() as u64).sum();
+    let total_bits = numbers.len() as u64 * 64;
+    let ratio = ones as f64 / total_bits as f64;
+    assert!((ratio - 0.5).abs() < 0.005, "bit balance {ratio}");
+
+    // No duplicate outputs in a short window (the walk is on 2^64
+    // vertices).
+    let mut sorted = numbers.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert!(sorted.len() >= numbers.len() - 2);
+}
+
+#[test]
+fn pipeline_timeline_shows_the_overlap_story() {
+    let mut hybrid = HybridPrng::tesla(4);
+    let (_, stats) = hybrid.generate(500_000);
+    let tl = hybrid.device().timeline();
+    // All three work units present…
+    assert!(tl.unit_total_ns(WorkUnit::Feed) > 0.0);
+    assert!(tl.unit_total_ns(WorkUnit::Transfer) > 0.0);
+    assert!(tl.unit_total_ns(WorkUnit::Generate) > 0.0);
+    // …and the paper's §IV-A resource claims hold: CPU nearly always busy,
+    // GPU idle a modest fraction.
+    assert!(stats.cpu_busy > 0.6, "CPU busy only {:.2}", stats.cpu_busy);
+    assert!(stats.gpu_busy > 0.4, "GPU busy only {:.2}", stats.gpu_busy);
+    assert!(tl.busy_fraction(Resource::PcieLink) < 1.0);
+}
+
+#[test]
+fn photon_migration_driven_by_hybrid_prng() {
+    let tissue = Tissue::three_layer();
+    let out = run_simulation(
+        &tissue,
+        30_000,
+        &SimConfig {
+            seed: 5,
+            supply: RandomSupply::InlineHybrid,
+            chunk_size: 2048,
+            grid: None,
+        },
+    );
+    let n = out.photons as f64;
+    assert!((out.total_weight() / n - 1.0).abs() < 1e-3);
+    // The three-layer phantom reflects and transmits *something*.
+    assert!(out.diffuse_reflectance > 0.0);
+    assert!(out.transmittance > 0.0);
+    assert_eq!(out.clashes, 0);
+}
+
+#[test]
+fn on_demand_sessions_serve_irregular_demand() {
+    // The defining API property: randomness demand doesn't need to be
+    // declared up front (Algorithm 3's usage pattern).
+    let mut hybrid = HybridPrng::tesla(6);
+    let mut session = hybrid.session(1000);
+    let mut live = 1000usize;
+    let mut total = 0usize;
+    while live > 10 {
+        let batch = session.next_batch(live);
+        total += batch.len();
+        // Shrink demand like the FIS reduction does.
+        live = live * 7 / 8;
+    }
+    assert_eq!(session.stats().numbers, total);
+}
+
+#[test]
+fn three_list_ranking_algorithms_agree() {
+    let mut rng = ExpanderWalkRng::from_seed_u64(7);
+    let list = LinkedList::random(10_000, &mut rng);
+    let expected = sequential_rank(&list);
+    assert_eq!(hybrid_prng::listrank::wyllie_rank(&list), expected);
+    let mut srng = hybrid_prng::baselines::SplitMix64::new(8);
+    assert_eq!(
+        hybrid_prng::listrank::helman_jaja_rank(&list, 0, &mut srng),
+        expected
+    );
+    let (ranks, _) = rank_list(&list, RandomnessStrategy::OnDemandExpander, 9);
+    assert_eq!(ranks, expected);
+}
