@@ -58,6 +58,7 @@ impl Kiss {
 
     /// One 32-bit output.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u32 {
         // Congruential component.
         self.x = self.x.wrapping_mul(69_069).wrapping_add(12_345);

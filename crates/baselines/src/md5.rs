@@ -147,6 +147,7 @@ impl Md5Rand {
 
     /// The next 32-bit output.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u32 {
         if self.pos == 4 {
             self.refill();

@@ -24,7 +24,9 @@ pub struct Mt19937 {
 
 impl std::fmt::Debug for Mt19937 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Mt19937").field("idx", &self.idx).finish_non_exhaustive()
+        f.debug_struct("Mt19937")
+            .field("idx", &self.idx)
+            .finish_non_exhaustive()
     }
 }
 
@@ -56,6 +58,7 @@ impl Mt19937 {
 
     /// The next tempered 32-bit output (`genrand_int32`).
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u32 {
         if self.idx >= N32 {
             self.twist();
@@ -118,7 +121,9 @@ pub struct Mt19937_64 {
 
 impl std::fmt::Debug for Mt19937_64 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Mt19937_64").field("idx", &self.idx).finish_non_exhaustive()
+        f.debug_struct("Mt19937_64")
+            .field("idx", &self.idx)
+            .finish_non_exhaustive()
     }
 }
 
@@ -149,6 +154,7 @@ impl Mt19937_64 {
 
     /// The next tempered 64-bit output (`genrand64_int64`).
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         if self.idx >= N64 {
             self.twist();
@@ -206,7 +212,13 @@ mod tests {
         let got: Vec<u32> = (0..5).map(|_| mt.next()).collect();
         assert_eq!(
             got,
-            vec![3_499_211_612, 581_869_302, 3_890_346_734, 3_586_334_585, 545_404_204]
+            vec![
+                3_499_211_612,
+                581_869_302,
+                3_890_346_734,
+                3_586_334_585,
+                545_404_204
+            ]
         );
     }
 

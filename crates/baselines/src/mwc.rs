@@ -8,8 +8,8 @@
 //! t = a * x + c;   x = t mod 2^32;   c = t div 2^32;   output = x
 //! ```
 //!
-//! which is equivalent to the single 64-bit update `s = a*(s & 0xffffffff)
-//! + (s >> 32)`. With a good multiplier (CUDAMCML ships a list of
+//! which is equivalent to the single 64-bit update
+//! `s = a*(s & 0xffffffff) + (s >> 32)`. With a good multiplier (CUDAMCML ships a list of
 //! "safe-prime" multipliers, one per thread) the period is `a·2^31 − 1`-ish;
 //! we default to Marsaglia's well-tested `a = 698769069` (the MWC component
 //! of KISS).
@@ -44,7 +44,10 @@ impl Mwc64 {
             let c = s >> 32;
             // Valid states: 0 < c < a, not both-extreme.
             if c > 0 && c < a as u64 && !(x == 0 && c == 0) {
-                return Self { a: a as u64, state: (c << 32) | x };
+                return Self {
+                    a: a as u64,
+                    state: (c << 32) | x,
+                };
             }
         }
     }
@@ -56,6 +59,7 @@ impl Mwc64 {
 
     /// Advances and returns the next 32-bit output (the new `x`).
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u32 {
         let x = self.state & 0xffff_ffff;
         let c = self.state >> 32;
@@ -133,7 +137,7 @@ mod tests {
         // CUDAMCML's trick: same seed, different multipliers → independent
         // sequences.
         let mut a = Mwc64::with_multiplier(9, 698_769_069);
-        let mut b = Mwc64::with_multiplier(9, 4_294_584_393u32 / 2 | 1); // another odd multiplier
+        let mut b = Mwc64::with_multiplier(9, (4_294_584_393u32 / 2) | 1); // another odd multiplier
         let same = (0..1000).filter(|_| a.next() == b.next()).count();
         assert!(same < 5);
     }

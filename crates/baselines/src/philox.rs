@@ -81,6 +81,7 @@ impl Philox4x32 {
 
     /// The next 32-bit output.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u32 {
         if self.pos == 4 {
             self.buf = philox4x32_block(self.ctr, self.key);

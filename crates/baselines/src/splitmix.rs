@@ -25,6 +25,7 @@ impl SplitMix64 {
 
     /// Advances the state and returns the next 64-bit output.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;

@@ -82,6 +82,7 @@ impl Xorwow {
 
     /// Advances the recurrence one step and returns the next output word.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u32 {
         let t = self.x ^ (self.x >> 2);
         self.x = self.y;

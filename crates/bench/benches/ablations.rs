@@ -12,10 +12,7 @@ fn bench_walk_len(c: &mut Criterion) {
     group.throughput(Throughput::Elements(N as u64));
     for l in [8u32, 16, 32, 64, 128] {
         group.bench_function(BenchmarkId::from_parameter(l), |b| {
-            let params = WalkParams {
-                walk_len: l,
-                ..WalkParams::default()
-            };
+            let params = WalkParams::builder().walk_len(l).build().unwrap();
             let mut rng =
                 ExpanderWalkRng::with_params(RngBitSource::new(GlibcRand::new(1)), params);
             b.iter(|| {
@@ -35,16 +32,28 @@ fn bench_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("neighbor_sampling");
     group.throughput(Throughput::Elements(N as u64));
     for (name, sampling, mode) in [
-        ("mask-directed", NeighborSampling::MaskWithSelfLoop, WalkMode::Directed),
-        ("rejection-directed", NeighborSampling::Rejection, WalkMode::Directed),
-        ("mask-bipartite", NeighborSampling::MaskWithSelfLoop, WalkMode::Bipartite),
+        (
+            "mask-directed",
+            NeighborSampling::MaskWithSelfLoop,
+            WalkMode::Directed,
+        ),
+        (
+            "rejection-directed",
+            NeighborSampling::Rejection,
+            WalkMode::Directed,
+        ),
+        (
+            "mask-bipartite",
+            NeighborSampling::MaskWithSelfLoop,
+            WalkMode::Bipartite,
+        ),
     ] {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            let params = WalkParams {
-                sampling,
-                mode,
-                ..WalkParams::default()
-            };
+            let params = WalkParams::builder()
+                .sampling(sampling)
+                .mode(mode)
+                .build()
+                .unwrap();
             let mut rng =
                 ExpanderWalkRng::with_params(RngBitSource::new(GlibcRand::new(1)), params);
             b.iter(|| {

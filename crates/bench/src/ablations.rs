@@ -17,10 +17,7 @@ pub fn ablate_walk_len(lens: &[u32], scale: f64, seed: u64) {
     let rows: Vec<Vec<String>> = lens
         .iter()
         .map(|&l| {
-            let params = WalkParams {
-                walk_len: l,
-                ..WalkParams::default()
-            };
+            let params = WalkParams::builder().walk_len(l).build().unwrap();
             let mut rng = ExpanderWalkRng::with_params(
                 RngBitSource::new(GlibcRand::new(seed as u32)),
                 params,
@@ -114,7 +111,10 @@ pub fn ablate_bit_source(scale: f64, seed: u64) {
 
     // Raw sources directly (full state / raw words — the streams the walk
     // actually consumes)…
-    run("glibc rand() raw", &mut RawGlibcWords(GlibcRand::new(seed as u32)));
+    run(
+        "glibc rand() raw",
+        &mut RawGlibcWords(GlibcRand::new(seed as u32)),
+    );
     run("LCG64 state raw", &mut RawLcgState(Lcg64::new(seed)));
     run("SplitMix64 raw", &mut SplitMix64::new(seed));
     // KISS: the classical *combination* approach to quality (three weak
@@ -156,19 +156,35 @@ pub fn ablate_bit_source(scale: f64, seed: u64) {
 pub fn ablate_sampling(scale: f64, seed: u64) {
     let battery = diehard_battery(scale);
     let variants = [
-        ("mask+directed (paper)", NeighborSampling::MaskWithSelfLoop, WalkMode::Directed),
-        ("rejection+directed", NeighborSampling::Rejection, WalkMode::Directed),
-        ("mask+bipartite", NeighborSampling::MaskWithSelfLoop, WalkMode::Bipartite),
-        ("rejection+bipartite", NeighborSampling::Rejection, WalkMode::Bipartite),
+        (
+            "mask+directed (paper)",
+            NeighborSampling::MaskWithSelfLoop,
+            WalkMode::Directed,
+        ),
+        (
+            "rejection+directed",
+            NeighborSampling::Rejection,
+            WalkMode::Directed,
+        ),
+        (
+            "mask+bipartite",
+            NeighborSampling::MaskWithSelfLoop,
+            WalkMode::Bipartite,
+        ),
+        (
+            "rejection+bipartite",
+            NeighborSampling::Rejection,
+            WalkMode::Bipartite,
+        ),
     ];
     let rows: Vec<Vec<String>> = variants
         .iter()
         .map(|&(name, sampling, mode)| {
-            let params = WalkParams {
-                sampling,
-                mode,
-                ..WalkParams::default()
-            };
+            let params = WalkParams::builder()
+                .sampling(sampling)
+                .mode(mode)
+                .build()
+                .unwrap();
             let mut rng = ExpanderWalkRng::with_params(
                 RngBitSource::new(GlibcRand::new(seed as u32)),
                 params,

@@ -13,9 +13,14 @@
 //! repro fig8 [--photons a,b,c]        photon migration
 //! repro headline                      GNumbers/s
 //! repro ablate-walk-len | ablate-bit-source | ablate-sampling
+//! repro trace                         instrumented run only
+//!
+//! Global flags: `--trace-out <path>` writes a merged Chrome-trace
+//! (Perfetto) JSON of an instrumented run; `--metrics-out <path>` writes
+//! the telemetry counters/histograms as JSON (`-` prints to stdout).
 //! ```
 
-use hprng_bench::{ablations, figures, tables};
+use hprng_bench::{ablations, figures, tables, trace};
 
 struct Args {
     cmd: String,
@@ -24,6 +29,8 @@ struct Args {
     photons: Option<Vec<u64>>,
     n: usize,
     seed: u64,
+    trace_out: Option<std::path::PathBuf>,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +41,8 @@ fn parse_args() -> Args {
         photons: None,
         n: 1_000_000,
         seed: 20120521, // the paper's IPDPSW year+month+day
+        trace_out: None,
+        metrics_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -83,6 +92,20 @@ fn parse_args() -> Args {
                 args.seed = argv[i + 1].parse().expect("--seed takes an integer");
                 i += 2;
             }
+            "--trace-out" => {
+                args.trace_out = Some(std::path::PathBuf::from(
+                    argv.get(i + 1).expect("--trace-out takes a path"),
+                ));
+                i += 2;
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(
+                    argv.get(i + 1)
+                        .expect("--metrics-out takes a path (or - for stdout)")
+                        .clone(),
+                );
+                i += 2;
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -124,7 +147,10 @@ fn main() {
     if run("table2") {
         let rows = tables::table2(args.scale, args.seed);
         tables::print_table2(&rows);
-        println!("(battery scale {}; paper runs the full-size DIEHARD)", args.scale);
+        println!(
+            "(battery scale {}; paper runs the full-size DIEHARD)",
+            args.scale
+        );
     }
     if run("table3") {
         let rows = tables::table3(args.scale.min(0.5), args.seed);
@@ -142,7 +168,10 @@ fn main() {
         figures::fig7_device(&sizes, args.seed);
     }
     if run("fig8") {
-        let photons = args.photons.clone().unwrap_or_else(|| photon_counts.clone());
+        let photons = args
+            .photons
+            .clone()
+            .unwrap_or_else(|| photon_counts.clone());
         figures::print_fig8(&figures::fig8(&photons, args.seed));
     }
     if run("headline") {
@@ -160,5 +189,29 @@ fn main() {
     }
     if run("ablate-sampling") || args.cmd == "ablate" {
         ablations::ablate_sampling(args.scale, args.seed);
+    }
+
+    // Observability: an instrumented run feeding the Chrome-trace and
+    // metrics exports. Triggered by the `trace` subcommand or by either
+    // flag alongside any other command.
+    if args.cmd == "trace" || args.trace_out.is_some() || args.metrics_out.is_some() {
+        let run = trace::trace_run(args.n.min(1_000_000), args.seed);
+        if let Some(path) = &args.trace_out {
+            let bytes = trace::write_trace(&run, path).expect("writing trace file");
+            println!(
+                "wrote Chrome trace ({bytes} bytes) to {} — open in Perfetto or chrome://tracing",
+                path.display()
+            );
+        }
+        let metrics = trace::metrics_report(&run).to_json();
+        match args.metrics_out.as_deref() {
+            Some("-") => println!("{metrics}"),
+            Some(path) => {
+                std::fs::write(path, &metrics).expect("writing metrics file");
+                println!("wrote metrics JSON to {path}");
+            }
+            None if args.cmd == "trace" => println!("{metrics}"),
+            None => {}
+        }
     }
 }

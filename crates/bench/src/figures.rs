@@ -6,8 +6,7 @@ use crate::simsupport::{
 };
 use crate::{ms, print_table};
 use hprng_core::{
-    simulate_curand_device, simulate_mt_batch, CostModel, CpuParallelPrng, HybridParams,
-    HybridPrng,
+    simulate_curand_device, simulate_mt_batch, CostModel, CpuParallelPrng, HybridParams, HybridPrng,
 };
 use hprng_gpu_sim::DeviceConfig;
 use hprng_listrank::hybrid::{rank_list, RandomnessStrategy};
@@ -208,8 +207,8 @@ pub fn fig6(sizes: &[usize], seed: u64) -> Vec<Fig6Row> {
             let t1 = Instant::now();
             let mut acc = 0u64;
             for _ in 0..n {
-                let hi = ((g.next_rand() >> 15) as u64) << 48
-                    | ((g.next_rand() >> 15) as u64) << 32;
+                let hi =
+                    ((g.next_rand() >> 15) as u64) << 48 | ((g.next_rand() >> 15) as u64) << 32;
                 let lo = ((g.next_rand() >> 15) as u64) << 16 | (g.next_rand() >> 15) as u64;
                 acc = acc.wrapping_add(hi | lo);
             }
@@ -337,7 +336,13 @@ pub fn fig7(sizes: &[usize], seed: u64) -> Vec<Fig7Row> {
             let (_, od) = rank_list(&list, RandomnessStrategy::OnDemandExpander, seed);
             Fig7Row {
                 n,
-                mt_ns: fig7_sim_ns(&cfg, &cost, &mt.live_history, n, RandomnessStrategy::BatchMt),
+                mt_ns: fig7_sim_ns(
+                    &cfg,
+                    &cost,
+                    &mt.live_history,
+                    n,
+                    RandomnessStrategy::BatchMt,
+                ),
                 glibc_ns: fig7_sim_ns(
                     &cfg,
                     &cost,
@@ -455,8 +460,7 @@ pub fn fig8(photon_counts: &[u64], seed: u64) -> Vec<Fig8Row> {
             let hybrid_sim_ns = device_ns_for_cycles(
                 &cfg,
                 interaction_cycles(&hyb)
-                    + hyb.randoms_used as f64
-                        * (cost.walk_cycles_per_step * 64) as f64
+                    + hyb.randoms_used as f64 * (cost.walk_cycles_per_step * 64) as f64
                     + hyb.clashes as f64 * CLASH_PENALTY_CYCLES as f64,
             );
             Fig8Row {
@@ -515,11 +519,8 @@ pub fn fig7_device(sizes: &[usize], seed: u64) {
         .map(|&n| {
             let list = LinkedList::random(n, &mut hprng_baselines::SplitMix64::new(seed));
             let target = ((n as f64) / (n as f64).log2()).ceil() as usize;
-            let mut prng = HybridPrng::new(
-                DeviceConfig::tesla_c1060(),
-                HybridParams::default(),
-                seed,
-            );
+            let mut prng =
+                HybridPrng::new(DeviceConfig::tesla_c1060(), HybridParams::default(), seed);
             let red = reduce_on_device(&list, target, &mut prng);
             vec![
                 format!("{:.2}", n as f64 / 1e6),
@@ -589,7 +590,12 @@ mod tests {
         let r = &rows[0];
         // Paper: Pure-GPU-MT slowest, hybrid-glibc next, on-demand fastest
         // by roughly 40%.
-        assert!(r.mt_ns > r.glibc_ns, "MT {} vs glibc {}", r.mt_ns, r.glibc_ns);
+        assert!(
+            r.mt_ns > r.glibc_ns,
+            "MT {} vs glibc {}",
+            r.mt_ns,
+            r.glibc_ns
+        );
         assert!(
             r.ondemand_ns < r.glibc_ns,
             "on-demand {} vs batch {}",

@@ -12,6 +12,7 @@ pub mod ablations;
 pub mod figures;
 pub mod simsupport;
 pub mod tables;
+pub mod trace;
 
 /// Pretty-prints a table: header plus aligned rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
@@ -33,7 +34,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         "{}",
         line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", line(row));
     }

@@ -49,8 +49,8 @@ pub const MT_INKERNEL_CYCLES_PER_WORD: u64 = 1_000;
 /// Converts a total per-lane cycle count into device nanoseconds assuming
 /// perfect occupancy: every SM issues warps back to back.
 pub fn device_ns_for_cycles(cfg: &DeviceConfig, total_lane_cycles: f64) -> f64 {
-    let per_sm = total_lane_cycles * cfg.issue_factor() as f64
-        / (cfg.warp_size as f64 * cfg.num_sms as f64);
+    let per_sm =
+        total_lane_cycles * cfg.issue_factor() as f64 / (cfg.warp_size as f64 * cfg.num_sms as f64);
     per_sm / cfg.core_clock_ghz
 }
 

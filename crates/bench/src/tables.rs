@@ -4,8 +4,7 @@ use crate::print_table;
 use crate::simsupport::simulate_cudpp_md5;
 use hprng_baselines::{GlibcRand, GlibcVariant, Md5Rand, Mt19937_64, Xorwow};
 use hprng_core::{
-    simulate_curand_device, simulate_mt_batch, CostModel, ExpanderWalkRng, HybridParams,
-    HybridPrng,
+    simulate_curand_device, simulate_mt_batch, CostModel, ExpanderWalkRng, HybridParams, HybridPrng,
 };
 use hprng_gpu_sim::DeviceConfig;
 use hprng_stattests::crush::{crush_battery, CrushLevel};
@@ -255,7 +254,11 @@ mod tests {
                 .map(|(_, r)| r.passed)
                 .unwrap()
         };
-        assert!(get("Hybrid PRNG") >= 13, "hybrid passed {}", get("Hybrid PRNG"));
+        assert!(
+            get("Hybrid PRNG") >= 13,
+            "hybrid passed {}",
+            get("Hybrid PRNG")
+        );
         assert!(get("M.Twister") >= 13);
     }
 }

@@ -1,0 +1,102 @@
+//! Observability runs behind `repro --trace-out` / `--metrics-out`.
+//!
+//! Runs an instrumented slice of the full system — an on-demand hybrid
+//! session, one list ranking, one photon-migration batch — and exports a
+//! merged Chrome-trace (Perfetto) file plus a metrics-JSON report from the
+//! collected telemetry.
+
+use hprng_core::HybridPrng;
+use hprng_listrank::hybrid::{rank_list_with_telemetry, RandomnessStrategy};
+use hprng_listrank::LinkedList;
+use hprng_montecarlo::{run_simulation_with_telemetry, RandomSupply, SimConfig, Tissue};
+use hprng_telemetry::{chrome_trace, json, Recorder};
+
+/// The result of an instrumented run: the simulated timeline and every
+/// recorder merged into one.
+pub struct TraceRun {
+    /// The hybrid session's simulated device timeline.
+    pub timeline: hprng_gpu_sim::Timeline,
+    /// Merged host telemetry (session + list ranking + Monte Carlo).
+    pub recorder: Recorder,
+}
+
+/// Runs the instrumented workload: `numbers` on-demand numbers through a
+/// Tesla-shaped hybrid session (variable batch sizes, exercising the
+/// on-demand contract), a 200k-node list ranking, and a 20k-photon
+/// migration.
+pub fn trace_run(numbers: usize, seed: u64) -> TraceRun {
+    let mut prng = HybridPrng::tesla(seed);
+    let threads = prng.params().batch_size.max(1) as usize * 64;
+    let mut session = prng
+        .try_session(threads)
+        .expect("threads is positive by construction");
+    let mut remaining = numbers.max(1);
+    // Vary the batch size call-to-call: the on-demand interface at work.
+    let mut step = threads;
+    while remaining > 0 {
+        let take = remaining.min(step).max(1);
+        session
+            .try_next_batch(take)
+            .expect("take is within the session's walks");
+        remaining -= take;
+        step = (step / 2).max(64).min(threads);
+    }
+    let timeline = session.timeline();
+    let mut recorder = session.take_telemetry();
+
+    let list = LinkedList::random(200_000, &mut hprng_baselines::SplitMix64::new(seed));
+    let mut rank_recorder = Recorder::new();
+    let (_, _) = rank_list_with_telemetry(
+        &list,
+        RandomnessStrategy::OnDemandExpander,
+        seed,
+        &mut rank_recorder,
+    );
+    recorder.absorb(rank_recorder);
+
+    let tissue = Tissue::three_layer();
+    let config = SimConfig {
+        seed,
+        supply: RandomSupply::InlineHybrid,
+        chunk_size: 4096,
+        grid: None,
+    };
+    let mut mc_recorder = Recorder::new();
+    run_simulation_with_telemetry(&tissue, 20_000, &config, &mut mc_recorder);
+    recorder.absorb(mc_recorder);
+
+    TraceRun { timeline, recorder }
+}
+
+/// Writes the Chrome-trace file for a run; returns the serialized length in
+/// bytes.
+pub fn write_trace(run: &TraceRun, path: &std::path::Path) -> std::io::Result<usize> {
+    let doc = chrome_trace(Some(&run.timeline), Some(&run.recorder));
+    let text = doc.to_json();
+    std::fs::write(path, &text)?;
+    Ok(text.len())
+}
+
+/// The metrics-JSON report for a run.
+pub fn metrics_report(run: &TraceRun) -> json::Value {
+    run.recorder.metrics_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprng_telemetry::busy_fractions;
+
+    #[test]
+    fn trace_run_collects_all_subsystems() {
+        let run = trace_run(10_000, 7);
+        assert!(run.timeline.makespan_ns() > 0.0);
+        assert!(run.recorder.counter("numbers") >= 10_000.0);
+        assert!(run.recorder.counter("random_bits_consumed") > 0.0);
+        assert!(run.recorder.counter("photons") == 20_000.0);
+        let doc = chrome_trace(Some(&run.timeline), Some(&run.recorder));
+        let parsed = json::parse(&doc.to_json()).expect("valid JSON");
+        let busy = busy_fractions(&parsed).unwrap();
+        assert!(busy.cpu > 0.0 && busy.gpu > 0.0);
+    }
+}

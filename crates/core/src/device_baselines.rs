@@ -61,12 +61,18 @@ pub fn simulate_mt_batch(config: &DeviceConfig, cost: &CostModel, n: usize) -> D
 
     stream.wait_until(cost.kernel_launch_ns);
     let mt_cycles = cost.mt_cycles_per_output;
-    stream.launch_zip(WorkUnit::Generate, &mut states, &mut out, per_thread, |ctx, mt, span| {
-        for slot in span.iter_mut() {
-            *slot = mt.next();
-        }
-        ctx.charge(Op::Alu, mt_cycles * span.len() as u64);
-    });
+    stream.launch_zip(
+        WorkUnit::Generate,
+        &mut states,
+        &mut out,
+        per_thread,
+        |ctx, mt, span| {
+            for slot in span.iter_mut() {
+                *slot = mt.next();
+            }
+            ctx.charge(Op::Alu, mt_cycles * span.len() as u64);
+        },
+    );
 
     // The sample's D2H copy of the full batch.
     let dev_out = DeviceBuffer::from_host(out);

@@ -1,0 +1,104 @@
+//! The crate's error type for fallible construction and generation.
+
+use hprng_gpu_sim::ConfigError;
+use std::fmt;
+
+/// Why a generator operation was rejected.
+///
+/// Returned by the `try_*` API surface ([`crate::HybridPrng::try_session`],
+/// [`crate::HybridPrng::try_generate`],
+/// [`crate::HybridSession::try_next_batch`]) and the parameter builders.
+/// The legacy panicking methods are thin wrappers that panic with this
+/// type's `Display` message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HprngError {
+    /// A session was opened with zero device-resident walks.
+    EmptySession,
+    /// A request for zero numbers (nothing to do is treated as a usage
+    /// error, matching the historical `assert!`).
+    EmptyRequest,
+    /// A batch request exceeding the session's walk count.
+    BatchTooLarge {
+        /// Numbers requested.
+        requested: usize,
+        /// Device-resident walks available.
+        available: usize,
+    },
+    /// A walk or pipeline parameter failed builder validation.
+    InvalidParam {
+        /// Which parameter was rejected.
+        field: &'static str,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// The simulated device configuration was rejected.
+    Config(ConfigError),
+}
+
+impl fmt::Display for HprngError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HprngError::EmptySession => write!(f, "a session needs at least one walk"),
+            HprngError::EmptyRequest => write!(f, "cannot generate zero numbers"),
+            HprngError::BatchTooLarge {
+                requested,
+                available,
+            } => write!(
+                f,
+                "batch of {requested} exceeds the session's {available} walks"
+            ),
+            HprngError::InvalidParam { field, reason } => {
+                write!(f, "invalid parameter {field}: {reason}")
+            }
+            HprngError::Config(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for HprngError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HprngError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for HprngError {
+    fn from(e: ConfigError) -> Self {
+        HprngError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_match_legacy_asserts() {
+        assert_eq!(
+            HprngError::EmptySession.to_string(),
+            "a session needs at least one walk"
+        );
+        assert_eq!(
+            HprngError::BatchTooLarge {
+                requested: 9,
+                available: 8
+            }
+            .to_string(),
+            "batch of 9 exceeds the session's 8 walks"
+        );
+    }
+
+    #[test]
+    fn config_errors_convert_and_chain() {
+        let cfg_err = ConfigError::InvalidField {
+            field: "num_sms",
+            reason: "must be positive",
+        };
+        let err: HprngError = cfg_err.clone().into();
+        assert_eq!(err, HprngError::Config(cfg_err));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -8,11 +8,13 @@
 //! [`PipelineStats`] and the device timeline reproduce Figure 4 (overlap and
 //! idle fractions) and Figure 5 (batch-size sweep).
 
+use crate::error::HprngError;
 use crate::params::HybridParams;
 use hprng_baselines::GlibcRand;
 use hprng_expander::bits::{SliceBitSource, TriBitReader};
 use hprng_expander::{Vertex, Walk};
 use hprng_gpu_sim::{Device, DeviceBuffer, DeviceConfig, Op, Resource, Stream, Timeline, WorkUnit};
+use hprng_telemetry::{Recorder, Stage};
 use std::time::Instant;
 
 /// Words of raw bits a thread consumes at initialization: one 64-bit word
@@ -81,8 +83,12 @@ impl HybridPrng {
     /// (Algorithm 1 runs here). The session then serves any number of
     /// [`HybridSession::next_batch`] calls — the quantity of randomness
     /// never has to be declared up front.
-    pub fn session(&mut self, threads: usize) -> HybridSession<'_> {
-        assert!(threads > 0, "a session needs at least one walk");
+    ///
+    /// Returns [`HprngError::EmptySession`] when `threads` is zero.
+    pub fn try_session(&mut self, threads: usize) -> Result<HybridSession<'_>, HprngError> {
+        if threads == 0 {
+            return Err(HprngError::EmptySession);
+        }
         self.device.reset_timeline();
         let mut session = HybridSession {
             device: &self.device,
@@ -95,25 +101,54 @@ impl HybridPrng {
             feed_words: 0,
             numbers: 0,
             wall_start: Instant::now(),
+            recorder: Recorder::new(),
         };
         session.initialize();
-        session
+        Ok(session)
+    }
+
+    /// Panicking wrapper around [`HybridPrng::try_session`].
+    ///
+    /// Deprecated in favour of `try_session`, which reports the zero-thread
+    /// case as an [`HprngError`] instead of panicking; kept as a thin
+    /// wrapper for existing callers.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn session(&mut self, threads: usize) -> HybridSession<'_> {
+        self.try_session(threads).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Bulk generation (Figure 3's workload): produces exactly `n` numbers
     /// using `ceil(n / S)` threads generating `S` numbers each.
-    pub fn generate(&mut self, n: usize) -> (Vec<u64>, PipelineStats) {
-        assert!(n > 0, "cannot generate zero numbers");
+    ///
+    /// Returns [`HprngError::EmptyRequest`] when `n` is zero.
+    pub fn try_generate(&mut self, n: usize) -> Result<(Vec<u64>, PipelineStats), HprngError> {
+        if n == 0 {
+            return Err(HprngError::EmptyRequest);
+        }
         let s = self.params.batch_size as usize;
         let threads = n.div_ceil(s);
-        let mut session = self.session(threads);
+        let mut session = self.try_session(threads)?;
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
             let take = (n - out.len()).min(threads);
-            out.extend_from_slice(&session.next_batch(take));
+            out.extend_from_slice(&session.try_next_batch(take)?);
         }
         let stats = session.stats();
-        (out, stats)
+        Ok((out, stats))
+    }
+
+    /// Panicking wrapper around [`HybridPrng::try_generate`].
+    ///
+    /// Deprecated in favour of `try_generate`, which reports the zero-count
+    /// case as an [`HprngError`] instead of panicking; kept as a thin
+    /// wrapper for existing callers.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn generate(&mut self, n: usize) -> (Vec<u64>, PipelineStats) {
+        self.try_generate(n).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -146,6 +181,10 @@ pub struct HybridSession<'a> {
     feed_words: u64,
     numbers: usize,
     wall_start: Instant,
+    /// Host-side observability: stage spans, counters
+    /// (`iterations`/`feed_words`/`numbers`), and the per-call
+    /// `batch_latency_ns` histogram.
+    recorder: Recorder,
 }
 
 impl HybridSession<'_> {
@@ -165,6 +204,7 @@ impl HybridSession<'_> {
     /// buffer and records the FEED interval ending at the returned
     /// simulated time.
     fn feed(&mut self, words: usize) -> Vec<u64> {
+        let feed_span = self.recorder.start_span(Stage::Feed, "feed");
         let mut buf = vec![0u64; words];
         for slot in buf.iter_mut() {
             // Two 31-bit rand() values and a parity draw give 64 bits; this
@@ -179,10 +219,13 @@ impl HybridSession<'_> {
         let dur = words as f64 * cost.cpu_ns_per_word / cost.feed_workers.max(1) as f64;
         let start = self.cpu_cursor_ns;
         let end = start + dur;
-        self.device.record(Resource::Cpu, WorkUnit::Feed, start, end);
+        self.device
+            .record(Resource::Cpu, WorkUnit::Feed, start, end);
         self.cpu_cursor_ns = end;
         self.pending_feed_end_ns = end;
         self.feed_words += words as u64;
+        self.recorder.finish_span(feed_span);
+        self.recorder.add("feed_words", words as f64);
         buf
     }
 
@@ -192,6 +235,7 @@ impl HybridSession<'_> {
         let threads = self.states.len();
         let words_per_thread = init_words_per_thread(&self.params);
         let bits_host = self.feed(threads * words_per_thread);
+        let gen_span = self.recorder.start_span(Stage::Generate, "initialize");
 
         let mut stream = Stream::new(self.device);
         let mut bits_dev = DeviceBuffer::zeroed(bits_host.len());
@@ -201,42 +245,60 @@ impl HybridSession<'_> {
 
         let params = self.params;
         let bits = bits_dev.as_slice().to_vec();
-        stream.launch_map(WorkUnit::Generate, self.states.as_mut_slice(), |ctx, state| {
-            let t = ctx.global_id();
-            let span = &bits[t * words_per_thread..(t + 1) * words_per_thread];
-            // First word = the 64-bit start label.
-            let mut walk = Walk::new(
-                Vertex::unpack(span[0]),
-                params.walk.sampling,
-                params.walk.mode,
-            );
-            let mut reader =
-                TriBitReader::with_buffer(SliceBitSource::new(&span[1..]), words_per_thread - 1);
-            walk.advance(params.walk.warmup_len, &mut reader);
-            *state = walk.position().pack();
-            ctx.charge(
-                Op::Alu,
-                params.cost.walk_cycles_per_step * params.walk.warmup_len as u64,
-            );
-            ctx.charge(Op::Mem, words_per_thread as u64);
-        });
+        stream.launch_map(
+            WorkUnit::Generate,
+            self.states.as_mut_slice(),
+            |ctx, state| {
+                let t = ctx.global_id();
+                let span = &bits[t * words_per_thread..(t + 1) * words_per_thread];
+                // First word = the 64-bit start label.
+                let mut walk = Walk::new(
+                    Vertex::unpack(span[0]),
+                    params.walk.sampling,
+                    params.walk.mode,
+                );
+                // warmup_len == 0 is a valid configuration (no warm-up walk);
+                // the bit source cannot be built over the empty span.
+                if params.walk.warmup_len > 0 {
+                    let mut reader = TriBitReader::with_buffer(
+                        SliceBitSource::new(&span[1..]),
+                        words_per_thread - 1,
+                    );
+                    walk.advance(params.walk.warmup_len, &mut reader);
+                }
+                *state = walk.position().pack();
+                ctx.charge(
+                    Op::Alu,
+                    params.cost.walk_cycles_per_step * params.walk.warmup_len as u64,
+                );
+                ctx.charge(Op::Mem, words_per_thread as u64);
+            },
+        );
         self.iterations += 1;
+        self.recorder.finish_span(gen_span);
+        self.recorder.add("iterations", 1.0);
     }
 
     /// Algorithm 2, vectorized: the first `count` walks each produce one
     /// number. `count` may vary per call — this is the on-demand interface.
     ///
-    /// # Panics
-    /// Panics if `count` is zero or exceeds the session's thread count.
-    pub fn next_batch(&mut self, count: usize) -> Vec<u64> {
-        assert!(count > 0, "batch must be positive");
-        assert!(
-            count <= self.states.len(),
-            "batch of {count} exceeds the session's {} walks",
-            self.states.len()
-        );
+    /// Returns [`HprngError::EmptyRequest`] when `count` is zero and
+    /// [`HprngError::BatchTooLarge`] when it exceeds the session's thread
+    /// count.
+    pub fn try_next_batch(&mut self, count: usize) -> Result<Vec<u64>, HprngError> {
+        if count == 0 {
+            return Err(HprngError::EmptyRequest);
+        }
+        if count > self.states.len() {
+            return Err(HprngError::BatchTooLarge {
+                requested: count,
+                available: self.states.len(),
+            });
+        }
+        let batch_start_ns = self.recorder.now_ns();
         let words_per_thread = self.params.walk.words_per_number();
         let bits_host = self.feed(count * words_per_thread);
+        let gen_span = self.recorder.start_span(Stage::Generate, "next_batch");
 
         let mut stream = Stream::new(self.device);
         let mut bits_dev = DeviceBuffer::zeroed(bits_host.len());
@@ -272,14 +334,33 @@ impl HybridSession<'_> {
                 ctx.charge(Op::Mem, words_per_thread as u64 + 1);
             },
         );
+        self.recorder.finish_span(gen_span);
         if self.params.copy_back {
+            let copy_span = self.recorder.start_span(Stage::Transfer, "copy_back");
             let dev_out = DeviceBuffer::from_host(out.clone());
             let mut host_out = vec![0u64; count];
             stream.d2h(&dev_out, &mut host_out);
+            self.recorder.finish_span(copy_span);
         }
         self.iterations += 1;
         self.numbers += count;
-        out
+        self.recorder.add("iterations", 1.0);
+        self.recorder.add("numbers", count as f64);
+        let batch_ns = self.recorder.now_ns() - batch_start_ns;
+        self.recorder.observe("batch_latency_ns", batch_ns);
+        Ok(out)
+    }
+
+    /// Panicking wrapper around [`HybridSession::try_next_batch`].
+    ///
+    /// Deprecated in favour of `try_next_batch`, which reports invalid
+    /// batch sizes as an [`HprngError`] instead of panicking; kept as a
+    /// thin wrapper for existing callers.
+    ///
+    /// # Panics
+    /// Panics if `count` is zero or exceeds the session's thread count.
+    pub fn next_batch(&mut self, count: usize) -> Vec<u64> {
+        self.try_next_batch(count).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The session's statistics so far.
@@ -305,6 +386,28 @@ impl HybridSession<'_> {
     /// The device timeline (Figure 4's raw material).
     pub fn timeline(&self) -> Timeline {
         self.device.timeline()
+    }
+
+    /// The session's telemetry so far: FEED/GENERATE/TRANSFER host spans,
+    /// the `iterations`/`feed_words`/`numbers` counters, and the per-call
+    /// `batch_latency_ns` histogram.
+    pub fn telemetry(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Takes the telemetry recorder out of the session, first syncing the
+    /// stage-busy gauges (`cpu_busy`, `gpu_busy`, `sim_ns`,
+    /// `gnumbers_per_s`) from the current [`PipelineStats`]. Pair the
+    /// result with [`HybridSession::timeline`] and
+    /// `hprng_telemetry::chrome_trace` for a merged host + device trace.
+    pub fn take_telemetry(&mut self) -> Recorder {
+        let stats = self.stats();
+        self.recorder.set_gauge("cpu_busy", stats.cpu_busy);
+        self.recorder.set_gauge("gpu_busy", stats.gpu_busy);
+        self.recorder.set_gauge("sim_ns", stats.sim_ns);
+        self.recorder
+            .set_gauge("gnumbers_per_s", stats.gnumbers_per_s);
+        std::mem::take(&mut self.recorder)
     }
 }
 
@@ -417,5 +520,77 @@ mod tests {
         let (_, stats) = prng.generate(2000);
         assert!(stats.cpu_busy > 0.0 && stats.cpu_busy <= 1.0);
         assert!(stats.gpu_busy > 0.0 && stats.gpu_busy <= 1.0);
+    }
+
+    #[test]
+    fn try_session_rejects_zero_threads() {
+        let mut prng = tiny_prng(1);
+        let err = prng.try_session(0).err().expect("zero threads must fail");
+        assert_eq!(err, HprngError::EmptySession);
+    }
+
+    #[test]
+    fn try_generate_rejects_zero_numbers() {
+        let mut prng = tiny_prng(1);
+        assert_eq!(prng.try_generate(0).unwrap_err(), HprngError::EmptyRequest);
+    }
+
+    #[test]
+    fn try_next_batch_reports_oversized_batches() {
+        let mut prng = tiny_prng(3);
+        let mut session = prng.try_session(8).unwrap();
+        assert_eq!(
+            session.try_next_batch(9).unwrap_err(),
+            HprngError::BatchTooLarge {
+                requested: 9,
+                available: 8
+            }
+        );
+        assert_eq!(
+            session.try_next_batch(0).unwrap_err(),
+            HprngError::EmptyRequest
+        );
+        // The session stays usable after a rejected request.
+        assert_eq!(session.try_next_batch(8).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn try_and_panicking_paths_agree() {
+        let (a, _) = tiny_prng(11).try_generate(300).unwrap();
+        let (b, _) = tiny_prng(11).generate(300);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn telemetry_counters_match_stats() {
+        let mut prng = tiny_prng(5);
+        let mut session = prng.session(32);
+        session.next_batch(32);
+        session.next_batch(7);
+        let stats = session.stats();
+        let telemetry = session.take_telemetry();
+        assert_eq!(telemetry.counter("iterations"), stats.iterations as f64);
+        assert_eq!(telemetry.counter("feed_words"), stats.feed_words as f64);
+        assert_eq!(telemetry.counter("numbers"), stats.numbers as f64);
+        assert_eq!(
+            telemetry.histogram("batch_latency_ns").unwrap().count(),
+            2 // one sample per next_batch call, init excluded
+        );
+        assert_eq!(telemetry.gauge("cpu_busy"), Some(stats.cpu_busy));
+        assert_eq!(telemetry.gauge("gpu_busy"), Some(stats.gpu_busy));
+        // FEED and GENERATE host spans were recorded for init + 2 batches.
+        use hprng_telemetry::Stage;
+        let feeds = telemetry
+            .spans()
+            .iter()
+            .filter(|s| s.stage == Stage::Feed)
+            .count();
+        let gens = telemetry
+            .spans()
+            .iter()
+            .filter(|s| s.stage == Stage::Generate)
+            .count();
+        assert_eq!(feeds, 3);
+        assert_eq!(gens, 3);
     }
 }

@@ -34,6 +34,7 @@ mod bitsource;
 mod cpu_parallel;
 mod device_baselines;
 pub mod dist;
+mod error;
 mod hybrid;
 mod params;
 mod rng;
@@ -41,6 +42,7 @@ mod rng;
 pub use bitsource::{CountingBitSource, RngBitSource};
 pub use cpu_parallel::CpuParallelPrng;
 pub use device_baselines::{simulate_curand_device, simulate_mt_batch, DeviceSimResult};
+pub use error::HprngError;
 pub use hybrid::{HybridPrng, HybridSession, PipelineStats};
-pub use params::{CostModel, HybridParams, WalkParams};
+pub use params::{CostModel, HybridParams, HybridParamsBuilder, WalkParams, WalkParamsBuilder};
 pub use rng::ExpanderWalkRng;

@@ -1,9 +1,15 @@
 //! Tunable parameters of the generator and of the simulated pipeline.
 
+use crate::error::HprngError;
 use hprng_expander::{NeighborSampling, WalkMode};
 
 /// Parameters of the random walk itself (Algorithms 1 and 2).
+///
+/// Construct with [`WalkParams::default`] (the paper's 64/64 walk) or the
+/// validating [`WalkParams::builder`]; the struct is `#[non_exhaustive]`
+/// so new knobs can be added without breaking downstream code.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct WalkParams {
     /// Warm-up walk length performed at initialization (Algorithm 1; the
     /// paper uses 64).
@@ -44,6 +50,63 @@ impl WalkParams {
     #[inline]
     pub fn words_per_number(&self) -> usize {
         (self.walk_len as usize).div_ceil(hprng_expander::bits::CHUNKS_PER_WORD)
+    }
+
+    /// A fluent, validating builder seeded from the paper's defaults.
+    ///
+    /// ```
+    /// use hprng_core::WalkParams;
+    /// let params = WalkParams::builder().walk_len(16).build().unwrap();
+    /// assert_eq!(params.walk_len, 16);
+    /// assert_eq!(params.warmup_len, 64); // unset fields keep defaults
+    /// ```
+    pub fn builder() -> WalkParamsBuilder {
+        WalkParamsBuilder {
+            params: WalkParams::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`WalkParams`] (see [`WalkParams::builder`]).
+#[derive(Clone, Debug)]
+pub struct WalkParamsBuilder {
+    params: WalkParams,
+}
+
+impl WalkParamsBuilder {
+    /// Sets the warm-up walk length (zero is allowed: no warm-up).
+    pub fn warmup_len(mut self, warmup_len: u32) -> Self {
+        self.params.warmup_len = warmup_len;
+        self
+    }
+
+    /// Sets the walk length per generated number.
+    pub fn walk_len(mut self, walk_len: u32) -> Self {
+        self.params.walk_len = walk_len;
+        self
+    }
+
+    /// Sets how 3-bit values map onto the 7 neighbours.
+    pub fn sampling(mut self, sampling: NeighborSampling) -> Self {
+        self.params.sampling = sampling;
+        self
+    }
+
+    /// Sets directed or bipartite walking.
+    pub fn mode(mut self, mode: WalkMode) -> Self {
+        self.params.mode = mode;
+        self
+    }
+
+    /// Validates and produces the parameters.
+    pub fn build(self) -> Result<WalkParams, HprngError> {
+        if self.params.walk_len == 0 {
+            return Err(HprngError::InvalidParam {
+                field: "walk_len",
+                reason: "must be positive (each number needs at least one step)",
+            });
+        }
+        Ok(self.params)
     }
 }
 
@@ -99,7 +162,13 @@ impl Default for CostModel {
 }
 
 /// Parameters of the full hybrid pipeline.
+///
+/// Construct with [`HybridParams::default`] (the paper's configuration) or
+/// the validating [`HybridParams::builder`]; the struct is
+/// `#[non_exhaustive]` so new knobs can be added without breaking
+/// downstream code.
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
 pub struct HybridParams {
     /// Walk configuration.
     pub walk: WalkParams,
@@ -126,12 +195,86 @@ impl Default for HybridParams {
 
 impl HybridParams {
     /// Convenience: default parameters with a specific batch size.
+    ///
+    /// Deprecated in favour of
+    /// `HybridParams::builder().batch_size(s).build()?`, which reports the
+    /// zero-batch case as an [`HprngError`] instead of panicking; kept as a
+    /// thin wrapper for existing callers.
+    ///
+    /// # Panics
+    /// Panics if `batch_size` is zero.
     pub fn with_batch_size(batch_size: u32) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
         Self {
             batch_size,
             ..Self::default()
         }
+    }
+
+    /// A fluent, validating builder seeded from the paper's defaults.
+    ///
+    /// ```
+    /// use hprng_core::HybridParams;
+    /// let params = HybridParams::builder()
+    ///     .batch_size(64)
+    ///     .copy_back(true)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(params.batch_size, 64);
+    /// ```
+    pub fn builder() -> HybridParamsBuilder {
+        HybridParamsBuilder {
+            params: HybridParams::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`HybridParams`] (see [`HybridParams::builder`]).
+#[derive(Clone, Debug)]
+pub struct HybridParamsBuilder {
+    params: HybridParams,
+}
+
+impl HybridParamsBuilder {
+    /// Sets the walk configuration.
+    pub fn walk(mut self, walk: WalkParams) -> Self {
+        self.params.walk = walk;
+        self
+    }
+
+    /// Sets the batch size `S` (numbers per thread per kernel launch).
+    pub fn batch_size(mut self, batch_size: u32) -> Self {
+        self.params.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the cost-model calibration.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.params.cost = cost;
+        self
+    }
+
+    /// Sets whether `generate` copies results back to the host.
+    pub fn copy_back(mut self, copy_back: bool) -> Self {
+        self.params.copy_back = copy_back;
+        self
+    }
+
+    /// Validates and produces the parameters.
+    pub fn build(self) -> Result<HybridParams, HprngError> {
+        if self.params.batch_size == 0 {
+            return Err(HprngError::InvalidParam {
+                field: "batch_size",
+                reason: "must be positive",
+            });
+        }
+        if self.params.walk.walk_len == 0 {
+            return Err(HprngError::InvalidParam {
+                field: "walk.walk_len",
+                reason: "must be positive (each number needs at least one step)",
+            });
+        }
+        Ok(self.params)
     }
 }
 
@@ -169,5 +312,32 @@ mod tests {
     #[should_panic(expected = "batch size must be positive")]
     fn zero_batch_size_rejected() {
         let _ = HybridParams::with_batch_size(0);
+    }
+
+    #[test]
+    fn builders_validate() {
+        let err = WalkParams::builder().walk_len(0).build().unwrap_err();
+        assert!(matches!(
+            err,
+            HprngError::InvalidParam {
+                field: "walk_len",
+                ..
+            }
+        ));
+        let err = HybridParams::builder().batch_size(0).build().unwrap_err();
+        assert!(matches!(
+            err,
+            HprngError::InvalidParam {
+                field: "batch_size",
+                ..
+            }
+        ));
+        let params = HybridParams::builder()
+            .walk(WalkParams::builder().walk_len(21).build().unwrap())
+            .batch_size(7)
+            .build()
+            .unwrap();
+        assert_eq!(params.walk.words_per_number(), 1);
+        assert_eq!(params.batch_size, 7);
     }
 }

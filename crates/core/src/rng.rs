@@ -83,7 +83,9 @@ impl<S: BitSource> ExpanderWalkRng<S> {
     #[inline]
     pub fn get_next_rand(&mut self) -> u64 {
         self.generated += 1;
-        self.walk.advance(self.params.walk_len, &mut self.bits).pack()
+        self.walk
+            .advance(self.params.walk_len, &mut self.bits)
+            .pack()
     }
 
     /// The current walk position without advancing (diagnostics).
@@ -174,8 +176,7 @@ mod tests {
             sampling: NeighborSampling::MaskWithSelfLoop,
             mode: WalkMode::Directed,
         };
-        let mut rng =
-            ExpanderWalkRng::with_params(RngBitSource::new(SplitMix64::new(5)), params);
+        let mut rng = ExpanderWalkRng::with_params(RngBitSource::new(SplitMix64::new(5)), params);
         let before = rng.chunks_consumed();
         rng.next_u64();
         assert_eq!(rng.chunks_consumed() - before, 16);
@@ -201,8 +202,12 @@ mod tests {
         // each take many distinct values (the full batteries live in
         // hprng-stattests).
         let mut rng = ExpanderWalkRng::from_seed_u64(1234);
-        let mut seen = [std::collections::HashSet::new(), Default::default(),
-                        Default::default(), Default::default()];
+        let mut seen = [
+            std::collections::HashSet::new(),
+            Default::default(),
+            Default::default(),
+            Default::default(),
+        ];
         for _ in 0..10_000 {
             let v = rng.next_u64();
             for (f, set) in seen.iter_mut().enumerate() {

@@ -3,8 +3,7 @@
 
 use hprng_core::dist;
 use hprng_core::{
-    CostModel, CpuParallelPrng, ExpanderWalkRng, HybridParams, HybridPrng, RngBitSource,
-    WalkParams,
+    CostModel, CpuParallelPrng, ExpanderWalkRng, HybridParams, HybridPrng, RngBitSource, WalkParams,
 };
 use hprng_gpu_sim::DeviceConfig;
 use rand::Rng;
@@ -32,11 +31,11 @@ fn seedable_rng_contract() {
 
 #[test]
 fn custom_walk_parameters_flow_through() {
-    let params = WalkParams {
-        walk_len: 32,
-        warmup_len: 16,
-        ..WalkParams::default()
-    };
+    let params = WalkParams::builder()
+        .walk_len(32)
+        .warmup_len(16)
+        .build()
+        .unwrap();
     let mut rng = ExpanderWalkRng::with_params(
         RngBitSource::new(hprng_baselines::SplitMix64::new(4)),
         params,
@@ -50,15 +49,15 @@ fn custom_walk_parameters_flow_through() {
 #[test]
 fn hybrid_configuration_surface() {
     // All knobs reachable and effective.
-    let params = HybridParams {
-        batch_size: 64,
-        cost: CostModel {
+    let params = HybridParams::builder()
+        .batch_size(64)
+        .cost(CostModel {
             kernel_launch_ns: 1_000.0,
             ..CostModel::default()
-        },
-        copy_back: true,
-        ..HybridParams::default()
-    };
+        })
+        .copy_back(true)
+        .build()
+        .unwrap();
     let mut prng = HybridPrng::new(DeviceConfig::test_tiny(), params, 5);
     let (nums, stats) = prng.generate(500);
     assert_eq!(nums.len(), 500);
@@ -73,14 +72,21 @@ fn cpu_parallel_is_a_drop_in_bulk_source() {
     // Mean of uniform u64 ≈ 2^63.
     let mean = nums.iter().map(|&v| v as f64).sum::<f64>() / nums.len() as f64;
     let expect = (u64::MAX / 2) as f64;
-    assert!((mean / expect - 1.0).abs() < 0.05, "mean ratio {}", mean / expect);
+    assert!(
+        (mean / expect - 1.0).abs() < 0.05,
+        "mean ratio {}",
+        mean / expect
+    );
 }
 
 #[test]
 fn distributions_compose_with_the_generator() {
     let mut rng = ExpanderWalkRng::from_seed_u64(21);
     let n = 5_000;
-    let exp_mean: f64 = (0..n).map(|_| dist::exponential(&mut rng, 4.0)).sum::<f64>() / n as f64;
+    let exp_mean: f64 = (0..n)
+        .map(|_| dist::exponential(&mut rng, 4.0))
+        .sum::<f64>()
+        / n as f64;
     assert!((exp_mean - 0.25).abs() < 0.03, "exp mean {exp_mean}");
     let normals: Vec<f64> = (0..n).map(|_| dist::standard_normal(&mut rng)).collect();
     let nm = normals.iter().sum::<f64>() / n as f64;

@@ -147,7 +147,10 @@ mod tests {
         };
         let short = error_rate(3);
         let long = error_rate(31);
-        assert!(long <= short.max(1), "short-walk errors {short}, long-walk errors {long}");
+        assert!(
+            long <= short.max(1),
+            "short-walk errors {short}, long-walk errors {long}"
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub fn undirected_bipartite_adjacency(g: GabberGalilGeneric) -> Vec<Vec<usize>> 
 pub fn exact_edge_expansion(g: GabberGalilGeneric) -> f64 {
     let side = g.side_len();
     let n = 2 * side;
-    assert!(n <= 24, "exact expansion is only feasible for tiny graphs (2m² ≤ 24)");
+    assert!(
+        n <= 24,
+        "exact expansion is only feasible for tiny graphs (2m² ≤ 24)"
+    );
     let adj = undirected_bipartite_adjacency(g);
 
     let mut best = f64::INFINITY;

@@ -49,9 +49,7 @@ pub fn lazy_walk_second_eigenvalue(g: GabberGalilGeneric, iters: usize) -> f64 {
 pub fn lazy_walk_second_eigenvalue_adj(adj: &[Vec<usize>], iters: usize) -> f64 {
     let n = adj.len();
     // Deterministic, non-uniform start vector orthogonalized against 1.
-    let mut x: Vec<f64> = (0..n)
-        .map(|i| (i as f64 * 0.754_877 + 0.1).sin())
-        .collect();
+    let mut x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.754_877 + 0.1).sin()).collect();
     let mut scratch = vec![0.0; n];
     let mut lambda = 0.0;
     for _ in 0..iters {

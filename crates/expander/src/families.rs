@@ -42,7 +42,10 @@ impl ChordalCycle {
     /// Panics if `p` is not prime (the inverse map needs a field) or
     /// `p < 3`.
     pub fn new(p: u64) -> Self {
-        assert!(p >= 3 && is_prime(p), "chordal cycle needs a prime p ≥ 3, got {p}");
+        assert!(
+            p >= 3 && is_prime(p),
+            "chordal cycle needs a prime p ≥ 3, got {p}"
+        );
         Self { p }
     }
 
@@ -83,13 +86,13 @@ pub fn is_prime(n: u64) -> bool {
         return false;
     }
     for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return n == p;
         }
     }
     let mut d = n - 1;
     let mut r = 0;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -204,10 +207,7 @@ mod tests {
         }
         let chordal = spectral_gap_of(&ChordalCycle::new(499), 600);
         let plain = spectral_gap_of(&PlainCycle(499), 600);
-        assert!(
-            chordal > 10.0 * plain,
-            "chordal {chordal} vs plain {plain}"
-        );
+        assert!(chordal > 10.0 * plain, "chordal {chordal} vs plain {plain}");
     }
 
     #[test]

@@ -75,8 +75,13 @@ impl GabberGalil {
         let c = chunk as u32;
         let Vertex { x, y } = v;
         // Candidate updates for the two non-trivial classes.
-        let ny = x.wrapping_mul(2).wrapping_add(y).wrapping_add(c.wrapping_sub(1));
-        let nx = x.wrapping_add(y.wrapping_mul(2)).wrapping_add(c.wrapping_sub(4));
+        let ny = x
+            .wrapping_mul(2)
+            .wrapping_add(y)
+            .wrapping_add(c.wrapping_sub(1));
+        let nx = x
+            .wrapping_add(y.wrapping_mul(2))
+            .wrapping_add(c.wrapping_sub(4));
         // Class selectors: c ∈ 1..=3 updates y, c ∈ 4..=6 updates x,
         // c ∈ {0, 7} keeps the vertex.
         let mask_y = 0u32.wrapping_sub(u32::from(c.wrapping_sub(1) < 3));
@@ -146,12 +151,30 @@ impl GabberGalilGeneric {
         let add = |a: u64, b: u64| (a + b) % m;
         match k {
             0 => v,
-            1 => GenVertex { x, y: add(2 * x % m, y) },
-            2 => GenVertex { x, y: add(add(2 * x % m, y), 1) },
-            3 => GenVertex { x, y: add(add(2 * x % m, y), 2) },
-            4 => GenVertex { x: add(x, 2 * y % m), y },
-            5 => GenVertex { x: add(add(x, 2 * y % m), 1), y },
-            6 => GenVertex { x: add(add(x, 2 * y % m), 2), y },
+            1 => GenVertex {
+                x,
+                y: add(2 * x % m, y),
+            },
+            2 => GenVertex {
+                x,
+                y: add(add(2 * x % m, y), 1),
+            },
+            3 => GenVertex {
+                x,
+                y: add(add(2 * x % m, y), 2),
+            },
+            4 => GenVertex {
+                x: add(x, 2 * y % m),
+                y,
+            },
+            5 => GenVertex {
+                x: add(add(x, 2 * y % m), 1),
+                y,
+            },
+            6 => GenVertex {
+                x: add(add(x, 2 * y % m), 2),
+                y,
+            },
             _ => panic!("Gabber-Galil vertex degree is 7, got neighbour index {k}"),
         }
     }
@@ -167,12 +190,30 @@ impl GabberGalilGeneric {
         let sub = |a: u64, b: u64| (a + m - b % m) % m;
         match k {
             0 => v,
-            1 => GenVertex { x, y: sub(y, 2 * x % m) },
-            2 => GenVertex { x, y: sub(sub(y, 2 * x % m), 1) },
-            3 => GenVertex { x, y: sub(sub(y, 2 * x % m), 2) },
-            4 => GenVertex { x: sub(x, 2 * y % m), y },
-            5 => GenVertex { x: sub(sub(x, 2 * y % m), 1), y },
-            6 => GenVertex { x: sub(sub(x, 2 * y % m), 2), y },
+            1 => GenVertex {
+                x,
+                y: sub(y, 2 * x % m),
+            },
+            2 => GenVertex {
+                x,
+                y: sub(sub(y, 2 * x % m), 1),
+            },
+            3 => GenVertex {
+                x,
+                y: sub(sub(y, 2 * x % m), 2),
+            },
+            4 => GenVertex {
+                x: sub(x, 2 * y % m),
+                y,
+            },
+            5 => GenVertex {
+                x: sub(sub(x, 2 * y % m), 1),
+                y,
+            },
+            6 => GenVertex {
+                x: sub(sub(x, 2 * y % m), 2),
+                y,
+            },
             _ => panic!("Gabber-Galil vertex degree is 7, got neighbour index {k}"),
         }
     }
@@ -229,7 +270,10 @@ mod tests {
         let gg = GabberGalilGeneric::new(m);
         let prod = GabberGalil;
         for &(x, y) in &[(0u32, 0u32), (1, 2), (65535, 65535), (12345, 54321)] {
-            let gv = GenVertex { x: x as u64, y: y as u64 };
+            let gv = GenVertex {
+                x: x as u64,
+                y: y as u64,
+            };
             for k in 0..DEGREE {
                 let a = gg.neighbor(gv, k);
                 let b = prod.neighbor(Vertex::new(x, y), k);

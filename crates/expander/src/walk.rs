@@ -122,7 +122,7 @@ impl Walk {
         self.pos = match self.mode {
             WalkMode::Directed => self.graph.neighbor(self.pos, choice),
             WalkMode::Bipartite => {
-                if self.steps % 2 == 0 {
+                if self.steps.is_multiple_of(2) {
                     self.graph.neighbor(self.pos, choice)
                 } else {
                     self.graph.inv_neighbor(self.pos, choice)

@@ -1,5 +1,32 @@
 //! Machine descriptions for the simulated platform.
 
+use std::fmt;
+
+/// A rejected device configuration (see [`DeviceConfigBuilder::build`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A field failed validation.
+    InvalidField {
+        /// Which field was rejected.
+        field: &'static str,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidField { field, reason } => {
+                write!(f, "invalid device config: {field} {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// PCI-Express link model: a fixed per-transfer latency plus a bandwidth
 /// term.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -19,7 +46,12 @@ impl PcieConfig {
 }
 
 /// Description of the simulated GPU and its host link.
+///
+/// Construct via a preset ([`DeviceConfig::tesla_c1060`] etc.) or the
+/// fluent [`DeviceConfig::builder`]; the struct is `#[non_exhaustive]` so
+/// new cost knobs can be added without breaking downstream code.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub struct DeviceConfig {
     /// Human-readable device name (appears in reports).
     pub name: &'static str,
@@ -115,6 +147,114 @@ impl DeviceConfig {
     pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
         cycles as f64 / self.core_clock_ghz
     }
+
+    /// A fluent, validating builder seeded from the paper's Tesla C1060
+    /// preset; override only the fields an experiment varies.
+    pub fn builder() -> DeviceConfigBuilder {
+        DeviceConfigBuilder {
+            config: Self::tesla_c1060(),
+        }
+    }
+}
+
+/// Fluent builder for [`DeviceConfig`] (see [`DeviceConfig::builder`]).
+///
+/// ```
+/// use hprng_gpu_sim::DeviceConfig;
+/// let config = DeviceConfig::builder()
+///     .name("wide device")
+///     .num_sms(60)
+///     .core_clock_ghz(1.5)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.num_sms, 60);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DeviceConfigBuilder {
+    config: DeviceConfig,
+}
+
+impl DeviceConfigBuilder {
+    /// Sets the human-readable device name.
+    pub fn name(mut self, name: &'static str) -> Self {
+        self.config.name = name;
+        self
+    }
+
+    /// Sets the number of streaming multiprocessors.
+    pub fn num_sms(mut self, num_sms: usize) -> Self {
+        self.config.num_sms = num_sms;
+        self
+    }
+
+    /// Sets the scalar cores per SM.
+    pub fn cores_per_sm(mut self, cores_per_sm: usize) -> Self {
+        self.config.cores_per_sm = cores_per_sm;
+        self
+    }
+
+    /// Sets the threads per warp.
+    pub fn warp_size(mut self, warp_size: usize) -> Self {
+        self.config.warp_size = warp_size;
+        self
+    }
+
+    /// Sets the core clock in GHz.
+    pub fn core_clock_ghz(mut self, ghz: f64) -> Self {
+        self.config.core_clock_ghz = ghz;
+        self
+    }
+
+    /// Sets the cycles charged per ALU instruction.
+    pub fn alu_cycles(mut self, cycles: u64) -> Self {
+        self.config.alu_cycles = cycles;
+        self
+    }
+
+    /// Sets the cycles charged per amortized global-memory access.
+    pub fn mem_cycles(mut self, cycles: u64) -> Self {
+        self.config.mem_cycles = cycles;
+        self
+    }
+
+    /// Sets the cycles charged per special-function op.
+    pub fn sfu_cycles(mut self, cycles: u64) -> Self {
+        self.config.sfu_cycles = cycles;
+        self
+    }
+
+    /// Sets the host-link model.
+    pub fn pcie(mut self, pcie: PcieConfig) -> Self {
+        self.config.pcie = pcie;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<DeviceConfig, ConfigError> {
+        let c = &self.config;
+        let invalid = |field: &'static str, reason: &'static str| {
+            Err(ConfigError::InvalidField { field, reason })
+        };
+        if c.num_sms == 0 {
+            return invalid("num_sms", "must be positive");
+        }
+        if c.cores_per_sm == 0 {
+            return invalid("cores_per_sm", "must be positive");
+        }
+        if c.warp_size == 0 {
+            return invalid("warp_size", "must be positive");
+        }
+        if !(c.core_clock_ghz > 0.0 && c.core_clock_ghz.is_finite()) {
+            return invalid("core_clock_ghz", "must be positive and finite");
+        }
+        if !(c.pcie.bandwidth_gb_s > 0.0 && c.pcie.bandwidth_gb_s.is_finite()) {
+            return invalid("pcie.bandwidth_gb_s", "must be positive and finite");
+        }
+        if !(c.pcie.latency_us >= 0.0 && c.pcie.latency_us.is_finite()) {
+            return invalid("pcie.latency_us", "must be non-negative and finite");
+        }
+        Ok(self.config)
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +290,41 @@ mod tests {
         let c = DeviceConfig::fermi_c2050();
         assert_eq!(c.num_sms * c.cores_per_sm, 448);
         assert_eq!(c.issue_factor(), 1); // 32 cores per SM issue a full warp
+    }
+
+    #[test]
+    fn builder_overrides_and_validates() {
+        let config = DeviceConfig::builder()
+            .name("custom")
+            .num_sms(4)
+            .cores_per_sm(16)
+            .warp_size(32)
+            .core_clock_ghz(2.0)
+            .pcie(PcieConfig {
+                bandwidth_gb_s: 16.0,
+                latency_us: 5.0,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(config.name, "custom");
+        assert_eq!(config.num_sms, 4);
+        assert_eq!(config.issue_factor(), 2);
+        // Unset fields keep the C1060 preset values.
+        assert_eq!(config.alu_cycles, DeviceConfig::tesla_c1060().alu_cycles);
+
+        let err = DeviceConfig::builder().num_sms(0).build().unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::InvalidField {
+                field: "num_sms",
+                ..
+            }
+        ));
+        assert!(DeviceConfig::builder().core_clock_ghz(0.0).build().is_err());
+        assert!(DeviceConfig::builder()
+            .core_clock_ghz(f64::NAN)
+            .build()
+            .is_err());
     }
 
     #[test]

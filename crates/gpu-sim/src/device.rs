@@ -121,7 +121,9 @@ impl Device {
     /// Records a host-side interval (FEED workers and application phases
     /// use this to appear on the same chart as device work).
     pub fn record(&self, resource: Resource, unit: WorkUnit, start_ns: f64, end_ns: f64) {
-        self.timeline.lock().record(resource, unit, start_ns, end_ns);
+        self.timeline
+            .lock()
+            .record(resource, unit, start_ns, end_ns);
     }
 
     /// Executes the kernel body over the grid and returns its cost, without
@@ -250,8 +252,10 @@ impl Device {
             .map(|(w, (a_chunk, b_chunk))| {
                 let mut max_cycles = 0u64;
                 let cycles = Cell::new(0u64);
-                for (lane, (item, span)) in
-                    a_chunk.iter_mut().zip(b_chunk.chunks_mut(chunk)).enumerate()
+                for (lane, (item, span)) in a_chunk
+                    .iter_mut()
+                    .zip(b_chunk.chunks_mut(chunk))
+                    .enumerate()
                 {
                     cycles.set(0);
                     let ctx = KernelCtx {
@@ -386,21 +390,31 @@ mod tests {
     #[test]
     fn warps_distribute_across_sms() {
         let dev = tiny(); // 2 SMs
-        // Two warps of equal cost should land on different SMs: total time
-        // equals one warp's time.
-        let one = dev.launch(WorkUnit::Other, Grid::new(1, 8), |ctx| ctx.charge(Op::Alu, 50));
-        let two = dev.launch(WorkUnit::Other, Grid::new(2, 8), |ctx| ctx.charge(Op::Alu, 50));
+                          // Two warps of equal cost should land on different SMs: total time
+                          // equals one warp's time.
+        let one = dev.launch(WorkUnit::Other, Grid::new(1, 8), |ctx| {
+            ctx.charge(Op::Alu, 50)
+        });
+        let two = dev.launch(WorkUnit::Other, Grid::new(2, 8), |ctx| {
+            ctx.charge(Op::Alu, 50)
+        });
         assert_eq!(one.sim_ns, two.sim_ns);
         // Three warps: one SM gets two.
-        let three = dev.launch(WorkUnit::Other, Grid::new(3, 8), |ctx| ctx.charge(Op::Alu, 50));
+        let three = dev.launch(WorkUnit::Other, Grid::new(3, 8), |ctx| {
+            ctx.charge(Op::Alu, 50)
+        });
         assert_eq!(three.sim_ns, 2.0 * one.sim_ns);
     }
 
     #[test]
     fn default_stream_serializes_on_timeline() {
         let dev = tiny();
-        dev.launch(WorkUnit::Generate, Grid::new(1, 8), |ctx| ctx.charge(Op::Alu, 10));
-        dev.launch(WorkUnit::Generate, Grid::new(1, 8), |ctx| ctx.charge(Op::Alu, 10));
+        dev.launch(WorkUnit::Generate, Grid::new(1, 8), |ctx| {
+            ctx.charge(Op::Alu, 10)
+        });
+        dev.launch(WorkUnit::Generate, Grid::new(1, 8), |ctx| {
+            ctx.charge(Op::Alu, 10)
+        });
         let tl = dev.timeline();
         let iv = tl.intervals();
         assert_eq!(iv.len(), 2);
@@ -410,7 +424,9 @@ mod tests {
     #[test]
     fn reset_clears_everything() {
         let dev = tiny();
-        dev.launch(WorkUnit::Other, Grid::new(1, 8), |ctx| ctx.charge(Op::Alu, 10));
+        dev.launch(WorkUnit::Other, Grid::new(1, 8), |ctx| {
+            ctx.charge(Op::Alu, 10)
+        });
         dev.reset_timeline();
         assert_eq!(dev.timeline().intervals().len(), 0);
         assert_eq!(dev.clocks.lock().gpu_free_ns, 0.0);

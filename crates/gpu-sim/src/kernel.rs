@@ -18,7 +18,10 @@ impl Grid {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn new(blocks: u32, threads_per_block: u32) -> Self {
-        assert!(blocks > 0 && threads_per_block > 0, "grid dimensions must be positive");
+        assert!(
+            blocks > 0 && threads_per_block > 0,
+            "grid dimensions must be positive"
+        );
         Self {
             blocks,
             threads_per_block,

@@ -40,7 +40,7 @@ mod kernel;
 mod stream;
 mod timeline;
 
-pub use config::{DeviceConfig, PcieConfig};
+pub use config::{ConfigError, DeviceConfig, DeviceConfigBuilder, PcieConfig};
 pub use device::{Device, DeviceBuffer, KernelStats};
 pub use kernel::{Grid, KernelCtx, Op};
 pub use stream::{Event, Stream};

@@ -235,7 +235,10 @@ mod tests {
         let kernel = &tl.intervals()[0];
         let xfer = &tl.intervals()[1];
         assert_eq!(xfer.start_ns, 0.0);
-        assert!(xfer.end_ns < kernel.end_ns, "transfer did not overlap the kernel");
+        assert!(
+            xfer.end_ns < kernel.end_ns,
+            "transfer did not overlap the kernel"
+        );
     }
 
     #[test]
@@ -246,8 +249,12 @@ mod tests {
         let dev = tiny();
         let mut a = Stream::new(&dev);
         let mut b = Stream::new(&dev);
-        a.launch(WorkUnit::Generate, Grid::new(1, 8), |ctx| ctx.charge(Op::Alu, 100));
-        b.launch(WorkUnit::Generate, Grid::new(1, 8), |ctx| ctx.charge(Op::Alu, 100));
+        a.launch(WorkUnit::Generate, Grid::new(1, 8), |ctx| {
+            ctx.charge(Op::Alu, 100)
+        });
+        b.launch(WorkUnit::Generate, Grid::new(1, 8), |ctx| {
+            ctx.charge(Op::Alu, 100)
+        });
         let tl = dev.timeline();
         assert_eq!(tl.intervals()[1].start_ns, tl.intervals()[0].end_ns);
     }

@@ -68,8 +68,7 @@ pub(crate) fn helman_jaja_engine(
             let mut acc = 0u32;
             loop {
                 local_rank[cur as usize].store(acc, Ordering::Relaxed);
-                sublist_of[cur as usize]
-                    .store(splitter_index[start as usize], Ordering::Relaxed);
+                sublist_of[cur as usize].store(splitter_index[start as usize], Ordering::Relaxed);
                 acc += weight(cur);
                 let nxt = succ[cur as usize];
                 if nxt == NIL || is_splitter[nxt as usize] {

@@ -21,6 +21,7 @@ use crate::list::{LinkedList, NIL};
 use crate::sequential::sequential_rank;
 use hprng_baselines::{GlibcRand, Mt19937_64};
 use hprng_core::ExpanderWalkRng;
+use hprng_telemetry::{Recorder, Stage};
 use rand_core::SeedableRng;
 use std::time::Instant;
 
@@ -82,6 +83,21 @@ pub fn rank_list(
     strategy: RandomnessStrategy,
     seed: u64,
 ) -> (Vec<u32>, RankStats) {
+    let mut recorder = Recorder::new();
+    rank_list_with_telemetry(list, strategy, seed, &mut recorder)
+}
+
+/// [`rank_list`] with observability: each phase is recorded as a
+/// [`Stage::App`] span, the per-round FIS live-set size lands in the
+/// `fis_live` series (x = round index), and the bits the selection consumed
+/// and the provider produced land in the `random_bits_consumed` /
+/// `random_bits_produced` counters.
+pub fn rank_list_with_telemetry(
+    list: &LinkedList,
+    strategy: RandomnessStrategy,
+    seed: u64,
+    recorder: &mut Recorder,
+) -> (Vec<u32>, RankStats) {
     let n = list.len();
     if n < 64 {
         // Too small for the machinery to pay off; the measured phases are
@@ -109,19 +125,24 @@ pub fn rank_list(
         RandomnessStrategy::BatchGlibc => {
             Box::new(BatchBits::new(GlibcRand::seed_from_u64(seed), n))
         }
-        RandomnessStrategy::BatchMt => {
-            Box::new(BatchBits::new(Mt19937_64::seed_from_u64(seed), n))
-        }
+        RandomnessStrategy::BatchMt => Box::new(BatchBits::new(Mt19937_64::seed_from_u64(seed), n)),
     };
 
     // Phase I: FIS reduction.
     let t1 = Instant::now();
+    let span = recorder.start_span(Stage::App, "phase1_fis_reduce");
     let red = reduce_list(list, target, provider.as_mut());
+    recorder.finish_span(span);
     let phase1_ns = t1.elapsed().as_nanos() as f64;
+    for (round, &live) in red.live_history.iter().enumerate() {
+        recorder.push_point("fis_live", round as f64, live as f64);
+    }
+    recorder.add("random_bits_consumed", red.bits_consumed as f64);
 
     // Phase II: Helman–JáJà over the live chain, weighted by the reduced
     // distances.
     let t2 = Instant::now();
+    let span = recorder.start_span(Stage::App, "phase2_helman_jaja");
     let live_nodes: Vec<u32> = (0..n as u32).filter(|&v| red.live[v as usize]).collect();
     let sublists = 4 * rayon::current_num_threads();
     let mut splitter_rng = hprng_baselines::SplitMix64::new(seed ^ 0xFEED);
@@ -134,12 +155,16 @@ pub fn rank_list(
         sublists,
         &mut splitter_rng,
     );
+    recorder.finish_span(span);
     let phase2_ns = t2.elapsed().as_nanos() as f64;
 
     // Phase III: reinsertion in reverse removal order.
     let t3 = Instant::now();
+    let span = recorder.start_span(Stage::App, "phase3_reinsert");
     reinsert_ranks(&red, &mut ranks);
+    recorder.finish_span(span);
     let phase3_ns = t3.elapsed().as_nanos() as f64;
+    recorder.add("random_bits_produced", provider.bits_produced() as f64);
 
     let stats = RankStats {
         phase1_ns,
@@ -230,6 +255,40 @@ mod tests {
         let (a, _) = rank_list(&list, RandomnessStrategy::OnDemandExpander, 5);
         let (b, _) = rank_list(&list, RandomnessStrategy::OnDemandExpander, 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn telemetry_mirrors_rank_stats() {
+        let list = LinkedList::random(20_000, &mut SplitMix64::new(6));
+        let mut recorder = Recorder::new();
+        let (ranks, stats) = rank_list_with_telemetry(
+            &list,
+            RandomnessStrategy::OnDemandExpander,
+            11,
+            &mut recorder,
+        );
+        assert!(verify_ranks(&list, &ranks));
+        // Per-round FIS size series matches the live history.
+        let series = recorder.series("fis_live").unwrap();
+        assert_eq!(series.len(), stats.live_history.len());
+        for (i, &(x, y)) in series.iter().enumerate() {
+            assert_eq!(x, i as f64);
+            assert_eq!(y, stats.live_history[i] as f64);
+        }
+        assert_eq!(
+            recorder.counter("random_bits_consumed"),
+            stats.bits_consumed as f64
+        );
+        assert_eq!(
+            recorder.counter("random_bits_produced"),
+            stats.bits_produced as f64
+        );
+        // All three phases appear as App spans.
+        let phases: Vec<&str> = recorder.spans().iter().map(|s| s.name.as_str()).collect();
+        assert!(phases.contains(&"phase1_fis_reduce"));
+        assert!(phases.contains(&"phase2_helman_jaja"));
+        assert!(phases.contains(&"phase3_reinsert"));
+        assert!(recorder.spans().iter().all(|s| s.stage == Stage::App));
     }
 
     #[test]

@@ -29,8 +29,8 @@
 
 pub mod device;
 pub mod fis;
-pub mod hybrid;
 mod helman_jaja;
+pub mod hybrid;
 mod list;
 mod sequential;
 mod wyllie;

@@ -35,9 +35,17 @@ impl LinkedList {
     /// Panics if `n == 0` or `n >= NIL as usize`.
     pub fn ordered(n: usize) -> Self {
         assert!(n > 0 && n < NIL as usize, "list size out of range");
-        let succ: Vec<u32> = (0..n).map(|i| if i + 1 < n { i as u32 + 1 } else { NIL }).collect();
-        let pred: Vec<u32> = (0..n).map(|i| if i == 0 { NIL } else { i as u32 - 1 }).collect();
-        Self { succ, pred, head: 0 }
+        let succ: Vec<u32> = (0..n)
+            .map(|i| if i + 1 < n { i as u32 + 1 } else { NIL })
+            .collect();
+        let pred: Vec<u32> = (0..n)
+            .map(|i| if i == 0 { NIL } else { i as u32 - 1 })
+            .collect();
+        Self {
+            succ,
+            pred,
+            head: 0,
+        }
     }
 
     /// A random list: the nodes form one chain whose order is a uniformly

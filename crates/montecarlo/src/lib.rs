@@ -21,5 +21,7 @@ pub mod photon;
 pub mod sim;
 mod tissue;
 
-pub use sim::{run_simulation, RandomSupply, ScoringGrid, SimConfig, SimOutput};
+pub use sim::{
+    run_simulation, run_simulation_with_telemetry, RandomSupply, ScoringGrid, SimConfig, SimOutput,
+};
 pub use tissue::{Layer, Tissue};

@@ -1,15 +1,13 @@
 //! The transport loop and the parallel simulation driver.
 
 use crate::photon::{
-    fresnel_reflectance, henyey_greenstein_cos, spin, Photon, ROULETTE_CHANCE,
-    ROULETTE_THRESHOLD,
+    fresnel_reflectance, henyey_greenstein_cos, spin, Photon, ROULETTE_CHANCE, ROULETTE_THRESHOLD,
 };
 use crate::tissue::Tissue;
 use hprng_baselines::Mwc64;
 use hprng_core::ExpanderWalkRng;
 use rand_core::RngCore;
 use rayon::prelude::*;
-use serde::Serialize;
 use std::time::Instant;
 
 /// How the uniform variates reach the transport kernel — the Figure 8
@@ -152,7 +150,7 @@ impl Default for SimConfig {
 }
 
 /// Aggregated simulation results and work counters.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SimOutput {
     /// Photons simulated.
     pub photons: u64,
@@ -366,7 +364,25 @@ fn trace_photon(
 /// # Panics
 /// Panics if `photons == 0`.
 pub fn run_simulation(tissue: &Tissue, photons: u64, config: &SimConfig) -> SimOutput {
+    let mut recorder = hprng_telemetry::Recorder::new();
+    run_simulation_with_telemetry(tissue, photons, config, &mut recorder)
+}
+
+/// [`run_simulation`] with observability: the whole run is an
+/// [`hprng_telemetry::Stage::App`] span, photon count / weight clashes /
+/// randoms drawn land in counters, and the achieved photon rate lands in
+/// the `photons_per_s` gauge.
+///
+/// # Panics
+/// Panics if `photons == 0`.
+pub fn run_simulation_with_telemetry(
+    tissue: &Tissue,
+    photons: u64,
+    config: &SimConfig,
+    recorder: &mut hprng_telemetry::Recorder,
+) -> SimOutput {
     assert!(photons > 0, "need at least one photon");
+    let span = recorder.start_span(hprng_telemetry::Stage::App, "montecarlo");
     let wall = Instant::now();
     let chunk = config.chunk_size.max(1) as u64;
     let chunks = photons.div_ceil(chunk);
@@ -380,11 +396,19 @@ pub fn run_simulation(tissue: &Tissue, photons: u64, config: &SimConfig) -> SimO
                 abs_depth: config.grid.map(|g| vec![0.0; g.nz + 1]).unwrap_or_default(),
                 ..SimOutput::default()
             };
-            let mut src = Source::new(config.supply, config.seed ^ (c.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let mut src = Source::new(
+                config.supply,
+                config.seed ^ (c.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
             let count = chunk.min(photons - c * chunk);
             let mut tags = Vec::with_capacity(count as usize);
             for _ in 0..count {
-                tags.push(trace_photon(tissue, config.grid.as_ref(), &mut out, &mut src));
+                tags.push(trace_photon(
+                    tissue,
+                    config.grid.as_ref(),
+                    &mut out,
+                    &mut src,
+                ));
             }
             out.photons = count;
             if let Source::Buffered { refills, .. } = src {
@@ -415,6 +439,14 @@ pub fn run_simulation(tissue: &Tissue, photons: u64, config: &SimConfig) -> SimO
     let mut out = partial;
     out.clashes = clashes;
     out.wall_ns = wall.elapsed().as_nanos() as f64;
+    recorder.finish_span(span);
+    recorder.add("photons", out.photons as f64);
+    recorder.add("weight_clashes", out.clashes as f64);
+    recorder.add("randoms_used", out.randoms_used as f64);
+    recorder.add("refills", out.refills as f64);
+    if out.wall_ns > 0.0 {
+        recorder.set_gauge("photons_per_s", out.photons as f64 / (out.wall_ns / 1e9));
+    }
     out
 }
 
@@ -449,6 +481,24 @@ mod tests {
         let b = run_simulation(&tissue, 10_000, &cfg);
         assert_eq!(a.diffuse_reflectance, b.diffuse_reflectance);
         assert_eq!(a.interactions, b.interactions);
+    }
+
+    #[test]
+    fn telemetry_mirrors_sim_output() {
+        let tissue = Tissue::three_layer();
+        let mut recorder = hprng_telemetry::Recorder::new();
+        let out = run_simulation_with_telemetry(
+            &tissue,
+            10_000,
+            &quick_config(RandomSupply::InlineHybrid),
+            &mut recorder,
+        );
+        assert_eq!(recorder.counter("photons"), out.photons as f64);
+        assert_eq!(recorder.counter("weight_clashes"), out.clashes as f64);
+        assert_eq!(recorder.counter("randoms_used"), out.randoms_used as f64);
+        assert!(recorder.gauge("photons_per_s").unwrap() > 0.0);
+        assert_eq!(recorder.spans().len(), 1);
+        assert_eq!(recorder.spans()[0].name, "montecarlo");
     }
 
     #[test]

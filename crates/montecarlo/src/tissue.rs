@@ -1,10 +1,8 @@
 //! The layered optical medium.
 
-use serde::Serialize;
-
 /// One tissue layer with MCML's optical parameters (lengths in cm,
 /// coefficients in 1/cm).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Layer {
     /// Absorption coefficient μa.
     pub mua: f64,
@@ -27,7 +25,7 @@ impl Layer {
 }
 
 /// A stack of layers with ambient media above and below.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Tissue {
     /// The layers, top to bottom.
     pub layers: Vec<Layer>,
@@ -45,7 +43,10 @@ impl Tissue {
     pub fn new(layers: Vec<Layer>, n_above: f64, n_below: f64) -> Self {
         assert!(!layers.is_empty(), "tissue needs at least one layer");
         for (i, l) in layers.iter().enumerate() {
-            assert!(l.mua >= 0.0 && l.mus >= 0.0, "layer {i}: negative coefficients");
+            assert!(
+                l.mua >= 0.0 && l.mus >= 0.0,
+                "layer {i}: negative coefficients"
+            );
             assert!(l.mut_total() > 0.0, "layer {i}: μt must be positive");
             assert!(l.g > -1.0 && l.g < 1.0, "layer {i}: g out of range");
             assert!(l.n >= 1.0, "layer {i}: refractive index below 1");
@@ -74,9 +75,27 @@ impl Tissue {
     pub fn three_layer() -> Self {
         Self::new(
             vec![
-                Layer { mua: 1.0, mus: 100.0, g: 0.9, n: 1.37, thickness: 0.1 },
-                Layer { mua: 1.0, mus: 10.0, g: 0.0, n: 1.37, thickness: 0.1 },
-                Layer { mua: 2.0, mus: 10.0, g: 0.7, n: 1.37, thickness: 0.2 },
+                Layer {
+                    mua: 1.0,
+                    mus: 100.0,
+                    g: 0.9,
+                    n: 1.37,
+                    thickness: 0.1,
+                },
+                Layer {
+                    mua: 1.0,
+                    mus: 10.0,
+                    g: 0.0,
+                    n: 1.37,
+                    thickness: 0.1,
+                },
+                Layer {
+                    mua: 2.0,
+                    mus: 10.0,
+                    g: 0.7,
+                    n: 1.37,
+                    thickness: 0.2,
+                },
             ],
             1.0,
             1.0,
@@ -87,7 +106,13 @@ impl Tissue {
     /// checks.
     pub fn single_layer(mua: f64, mus: f64, g: f64, thickness: f64) -> Self {
         Self::new(
-            vec![Layer { mua, mus, g, n: 1.0, thickness }],
+            vec![Layer {
+                mua,
+                mus,
+                g,
+                n: 1.0,
+                thickness,
+            }],
             1.0,
             1.0,
         )
@@ -109,7 +134,13 @@ mod tests {
 
     #[test]
     fn mut_total_is_sum() {
-        let l = Layer { mua: 1.5, mus: 2.5, g: 0.0, n: 1.4, thickness: 1.0 };
+        let l = Layer {
+            mua: 1.5,
+            mus: 2.5,
+            g: 0.0,
+            n: 1.4,
+            thickness: 1.0,
+        };
         assert_eq!(l.mut_total(), 4.0);
     }
 
@@ -123,7 +154,13 @@ mod tests {
     #[should_panic(expected = "g out of range")]
     fn bad_anisotropy_rejected() {
         let _ = Tissue::new(
-            vec![Layer { mua: 1.0, mus: 1.0, g: 1.0, n: 1.4, thickness: 1.0 }],
+            vec![Layer {
+                mua: 1.0,
+                mus: 1.0,
+                g: 1.0,
+                n: 1.4,
+                thickness: 1.0,
+            }],
             1.0,
             1.0,
         );

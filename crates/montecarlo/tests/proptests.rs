@@ -2,8 +2,8 @@
 
 use hprng_baselines::SplitMix64;
 use hprng_montecarlo::photon::{fresnel_reflectance, henyey_greenstein_cos, spin};
-use hprng_montecarlo::{run_simulation, RandomSupply, SimConfig, Tissue};
 use hprng_montecarlo::sim::ScoringGrid;
+use hprng_montecarlo::{run_simulation, RandomSupply, SimConfig, Tissue};
 use proptest::prelude::*;
 use rand_core::RngCore;
 

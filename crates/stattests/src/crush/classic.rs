@@ -189,7 +189,7 @@ impl CouponCollector {
         let mut state = [0.0f64; D + 1];
         state[1] = 1.0;
         let mut dist = vec![0.0; t_max + 1];
-        for t in 2..=t_max {
+        for slot in dist.iter_mut().take(t_max + 1).skip(2) {
             let mut next = [0.0f64; D + 1];
             for (s, &mass) in state.iter().enumerate().take(D) {
                 if mass == 0.0 {
@@ -199,7 +199,7 @@ impl CouponCollector {
                 next[s] += mass * stay;
                 next[s + 1] += mass * (1.0 - stay);
             }
-            dist[t] = next[D];
+            *slot = next[D];
             next[D] = 0.0; // absorb: completed collections leave the chain
             state = next;
         }

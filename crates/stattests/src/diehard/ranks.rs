@@ -193,7 +193,7 @@ mod tests {
             }
             fn next_u64(&mut self) -> u64 {
                 self.0 = self.0.wrapping_add(1);
-                if self.0 % 2 == 0 {
+                if self.0.is_multiple_of(2) {
                     0xAAAA_AAAA_AAAA_AAAA
                 } else {
                     0x5555_5555_5555_5555

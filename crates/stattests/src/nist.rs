@@ -51,15 +51,15 @@ impl StatTest for Cusum {
         let mut p = 1.0;
         for k in k_lo..=k_hi {
             let k = k as f64;
-            p -= normal_cdf((4.0 * k + 1.0) * z / sqrt_n)
-                - normal_cdf((4.0 * k - 1.0) * z / sqrt_n);
+            p -=
+                normal_cdf((4.0 * k + 1.0) * z / sqrt_n) - normal_cdf((4.0 * k - 1.0) * z / sqrt_n);
         }
         let k_lo2 = ((-nf / z - 3.0) / 4.0).floor() as i64;
         let k_hi2 = ((nf / z - 1.0) / 4.0).floor() as i64;
         for k in k_lo2..=k_hi2 {
             let k = k as f64;
-            p += normal_cdf((4.0 * k + 3.0) * z / sqrt_n)
-                - normal_cdf((4.0 * k + 1.0) * z / sqrt_n);
+            p +=
+                normal_cdf((4.0 * k + 3.0) * z / sqrt_n) - normal_cdf((4.0 * k + 1.0) * z / sqrt_n);
         }
         TestResult::new(self.name(), vec![p])
     }
@@ -92,8 +92,8 @@ impl ApproximateEntropy {
         let mut counts = vec![0u64; cells];
         let mask = cells - 1;
         let mut window = 0usize;
-        for i in 0..(m as usize - 1) {
-            window = (window << 1) | seq[i] as usize;
+        for &b in seq.iter().take(m as usize - 1) {
+            window = (window << 1) | b as usize;
         }
         for i in 0..n {
             let next = seq[(i + m as usize - 1) % n] as usize;
@@ -159,9 +159,7 @@ impl StatTest for Autocorrelation {
             .lags
             .iter()
             .map(|&d| {
-                let diff: u64 = (0..self.bits)
-                    .map(|i| (seq[i] ^ seq[i + d]) as u64)
-                    .sum();
+                let diff: u64 = (0..self.bits).map(|i| (seq[i] ^ seq[i + d]) as u64).sum();
                 let n = self.bits as f64;
                 let z = 2.0 * (diff as f64 - n / 2.0) / n.sqrt();
                 normal_two_sided_p(z)

@@ -3,7 +3,6 @@
 
 use crate::special::ks_uniform;
 use rand_core::RngCore;
-use serde::Serialize;
 
 /// The paper's pass window: "the test statistic p should lie between 0.01
 /// and 0.99 to pass the test".
@@ -12,7 +11,7 @@ pub const PASS_LO: f64 = 0.01;
 pub const PASS_HI: f64 = 0.99;
 
 /// Outcome of one statistical test: one or more p-values.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct TestResult {
     /// Test name.
     pub name: String,
@@ -32,7 +31,9 @@ impl TestResult {
 
     /// A test passes when *every* p-value falls inside the window.
     pub fn passed(&self) -> bool {
-        self.p_values.iter().all(|&p| (PASS_LO..=PASS_HI).contains(&p))
+        self.p_values
+            .iter()
+            .all(|&p| (PASS_LO..=PASS_HI).contains(&p))
     }
 }
 
@@ -45,7 +46,7 @@ pub trait StatTest: Send + Sync {
 }
 
 /// Aggregated battery outcome.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct BatteryReport {
     /// Battery name.
     pub battery: String,

@@ -18,8 +18,10 @@ fn main() {
     println!("exact edge expansion (tiny instances, subset enumeration):");
     for m in [2u64, 3] {
         let alpha = exact_edge_expansion(GabberGalilGeneric::new(m));
-        println!("  m = {m}: α(G) = {alpha:.4}  (≥ theoretical bound: {})",
-            alpha >= GABBER_GALIL_ALPHA);
+        println!(
+            "  m = {m}: α(G) = {alpha:.4}  (≥ theoretical bound: {})",
+            alpha >= GABBER_GALIL_ALPHA
+        );
     }
 
     println!("\nlazy-walk spectral gap vs size (an expander family keeps it bounded):");
@@ -39,7 +41,10 @@ fn main() {
     let curve = mixing_curve(g, GenVertex::new(0, 0, 16), 64);
     for (t, tv) in curve.iter().enumerate() {
         if t % 8 == 7 || t == 0 {
-            println!("  after {:>2} steps: TV distance to uniform = {tv:.6}", t + 1);
+            println!(
+                "  after {:>2} steps: TV distance to uniform = {tv:.6}",
+                t + 1
+            );
         }
     }
     println!(

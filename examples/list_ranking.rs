@@ -26,10 +26,20 @@ fn main() {
         let (ranks, stats) = rank_list(&list, strategy, 42);
         assert!(verify_ranks(&list, &ranks), "ranking bug!");
         println!("\n{} —", strategy.label());
-        println!("  phase I  (FIS reduce)   : {:>9.3} ms, {} iterations, {} live left",
-            stats.phase1_ns / 1e6, stats.iterations, stats.live_after_reduce);
-        println!("  phase II (Helman–JáJà)  : {:>9.3} ms", stats.phase2_ns / 1e6);
-        println!("  phase III (reinsert)    : {:>9.3} ms", stats.phase3_ns / 1e6);
+        println!(
+            "  phase I  (FIS reduce)   : {:>9.3} ms, {} iterations, {} live left",
+            stats.phase1_ns / 1e6,
+            stats.iterations,
+            stats.live_after_reduce
+        );
+        println!(
+            "  phase II (Helman–JáJà)  : {:>9.3} ms",
+            stats.phase2_ns / 1e6
+        );
+        println!(
+            "  phase III (reinsert)    : {:>9.3} ms",
+            stats.phase3_ns / 1e6
+        );
         println!(
             "  random bits produced    : {:>9} (consumed {}, waste {:.1}%)",
             stats.bits_produced,

@@ -15,7 +15,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(200_000);
     let tissue = Tissue::three_layer();
-    println!("simulating {photons} photons through {} layers…", tissue.layers.len());
+    println!(
+        "simulating {photons} photons through {} layers…",
+        tissue.layers.len()
+    );
 
     for supply in [
         RandomSupply::BufferedMwc { chunk: 4096 },
@@ -34,7 +37,10 @@ fn main() {
         let n = out.photons as f64;
         println!("\n{} —", supply.label());
         println!("  specular reflectance : {:.4}", out.specular / n);
-        println!("  diffuse reflectance  : {:.4}", out.diffuse_reflectance / n);
+        println!(
+            "  diffuse reflectance  : {:.4}",
+            out.diffuse_reflectance / n
+        );
         println!("  transmittance        : {:.4}", out.transmittance / n);
         for (i, a) in out.absorbed.iter().enumerate() {
             println!("  absorbed in layer {i}  : {:.4}", a / n);
@@ -63,11 +69,21 @@ fn main() {
     println!("\ndiffuse reflectance vs radius (Rd(r), 0.01 cm bins):");
     for (i, w) in out.rd_radial.iter().take(10).enumerate() {
         let bar = "#".repeat((w / n * 2000.0) as usize);
-        println!("  r = {:>4.2} cm | {:<40} {:.5}", i as f64 * 0.01, bar, w / n);
+        println!(
+            "  r = {:>4.2} cm | {:<40} {:.5}",
+            i as f64 * 0.01,
+            bar,
+            w / n
+        );
     }
     println!("\nabsorbed weight vs depth (A(z), 0.01 cm bins):");
     for (i, w) in out.abs_depth.iter().take(10).enumerate() {
         let bar = "#".repeat((w / n * 200.0) as usize);
-        println!("  z = {:>4.2} cm | {:<40} {:.5}", i as f64 * 0.01, bar, w / n);
+        println!(
+            "  z = {:>4.2} cm | {:<40} {:.5}",
+            i as f64 * 0.01,
+            bar,
+            w / n
+        );
     }
 }

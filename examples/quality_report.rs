@@ -19,11 +19,20 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.1);
     let battery = diehard_battery(scale);
-    println!("DIEHARD-style battery at scale {scale} ({} tests)\n", battery.len());
-    println!("{:<22} {:>8} {:>9} {:>8}", "generator", "passed", "KS D", "KS p");
+    println!(
+        "DIEHARD-style battery at scale {scale} ({} tests)\n",
+        battery.len()
+    );
+    println!(
+        "{:<22} {:>8} {:>9} {:>8}",
+        "generator", "passed", "KS D", "KS p"
+    );
 
     let mut generators: Vec<(&str, Box<dyn RngCore>)> = vec![
-        ("Hybrid PRNG", Box::new(ExpanderWalkRng::from_seed_u64(20120521))),
+        (
+            "Hybrid PRNG",
+            Box::new(ExpanderWalkRng::from_seed_u64(20120521)),
+        ),
         ("MT19937-64", Box::new(Mt19937_64::seed_from_u64(20120521))),
         ("XORWOW (CURAND)", Box::new(Xorwow::new(20120521))),
         ("MD5 (CUDPP)", Box::new(Md5Rand::new(20120521))),

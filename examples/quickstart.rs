@@ -39,7 +39,10 @@ fn main() {
     let (numbers, stats) = hybrid.generate(1_000_000);
     println!("hybrid pipeline: {} numbers", numbers.len());
     println!("  simulated time  : {:.3} ms", stats.sim_ns / 1e6);
-    println!("  simulated rate  : {:.3} GNumbers/s (paper: 0.07)", stats.gnumbers_per_s);
+    println!(
+        "  simulated rate  : {:.3} GNumbers/s (paper: 0.07)",
+        stats.gnumbers_per_s
+    );
     println!("  CPU busy        : {:.1}%", stats.cpu_busy * 100.0);
     println!("  GPU busy        : {:.1}%", stats.gpu_busy * 100.0);
     println!("  FEED volume     : {} raw 64-bit words", stats.feed_words);

@@ -24,17 +24,56 @@
 //! * [`stattests`] — DIEHARD-style and Crush-style quality batteries.
 //! * [`listrank`] — Application I: hybrid list ranking.
 //! * [`montecarlo`] — Application II: photon migration.
+//! * [`telemetry`] — pipeline observability: span/counter recorder and a
+//!   Chrome-trace (Perfetto) exporter for the merged host + device chart.
+//!
+//! The most common types are also re-exported flat at the crate root:
+//! [`ExpanderWalkRng`], [`HybridPrng`], [`HybridSession`], [`HprngError`],
+//! the [`WalkParams`]/[`HybridParams`]/[`DeviceConfig`] builders, and the
+//! telemetry [`Recorder`].
 //!
 //! # Quickstart
 //!
 //! ```
-//! use hybrid_prng::prng::ExpanderWalkRng;
+//! use hybrid_prng::ExpanderWalkRng;
 //! use rand_core::RngCore;
 //!
 //! let mut rng = ExpanderWalkRng::from_seed_u64(42);
 //! let sample: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
 //! assert_eq!(sample.len(), 4);
 //! ```
+//!
+//! # The on-demand `GetNextRand` contract
+//!
+//! The paper's interface (§III, Algorithm 2) is a single call the
+//! application issues *whenever it discovers it needs more randomness* —
+//! no total demand has to be declared up front. This workspace spells that
+//! contract out as follows:
+//!
+//! 1. **Sessions own walks, calls consume steps.** Opening a session
+//!    ([`HybridPrng::try_session`]) runs Algorithm 1: every device thread
+//!    gets an independent walk position on the `2^64`-vertex Gabber–Galil
+//!    expander, warmed up by `warmup_len` steps. The session then serves
+//!    any number of [`HybridSession::try_next_batch`] calls; each call
+//!    advances the first `count` walks by `walk_len` steps and returns one
+//!    64-bit number per walk.
+//! 2. **Batch size is per-call, not per-session.** `count` may vary
+//!    call-to-call between 1 and the session's thread count — this is what
+//!    "on demand" means, and what the batch baselines (which must
+//!    provision the worst case) cannot do. List ranking (Algorithm 3)
+//!    exploits exactly this: round `k` requests one bit per *live* node,
+//!    and the live set shrinks geometrically.
+//! 3. **Numbers are walk endpoints.** Each returned `u64` is the packed
+//!    label of the vertex the walk reached; the next call continues from
+//!    it. Streams from different threads are independent walks and never
+//!    synchronize — the paper's thread-safety argument.
+//! 4. **Feeding is pipelined, not blocking.** The CPU produces the raw
+//!    3-bit steps for call `k+1` while the GPU walks call `k`; the session
+//!    accounts both on the same [`gpu::Timeline`], which [`telemetry`]
+//!    can export as a Chrome trace.
+//! 5. **Misuse is an `Err`, not UB.** Zero threads, zero-count batches,
+//!    and oversized batches return [`HprngError`] from the `try_*`
+//!    variants; the historical panicking methods remain as thin wrappers.
 
 #![forbid(unsafe_code)]
 
@@ -45,3 +84,11 @@ pub use hprng_gpu_sim as gpu;
 pub use hprng_listrank as listrank;
 pub use hprng_montecarlo as montecarlo;
 pub use hprng_stattests as stattests;
+pub use hprng_telemetry as telemetry;
+
+pub use hprng_core::{
+    CpuParallelPrng, ExpanderWalkRng, HprngError, HybridParams, HybridParamsBuilder, HybridPrng,
+    HybridSession, PipelineStats, WalkParams, WalkParamsBuilder,
+};
+pub use hprng_gpu_sim::{ConfigError, DeviceConfig, DeviceConfigBuilder};
+pub use hprng_telemetry::{Recorder, Stage};

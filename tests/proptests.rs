@@ -1,14 +1,14 @@
 //! Cross-crate property tests: invariants that must hold for arbitrary
 //! inputs, spanning the generator, the applications and the device model.
 
+use hybrid_prng::baselines::GlibcRand;
 use hybrid_prng::baselines::SplitMix64;
+use hybrid_prng::gpu::DeviceConfig;
 use hybrid_prng::listrank::hybrid::{rank_list, RandomnessStrategy};
 use hybrid_prng::listrank::{sequential_rank, wyllie_rank, LinkedList};
 use hybrid_prng::montecarlo::{run_simulation, RandomSupply, SimConfig, Tissue};
-use hybrid_prng::prng::{ExpanderWalkRng, HybridParams, HybridPrng, WalkParams};
 use hybrid_prng::prng::RngBitSource;
-use hybrid_prng::gpu::DeviceConfig;
-use hybrid_prng::baselines::GlibcRand;
+use hybrid_prng::prng::{ExpanderWalkRng, HybridParams, HybridPrng, WalkParams};
 use proptest::prelude::*;
 use rand_core::RngCore;
 
@@ -84,7 +84,7 @@ proptest! {
     /// (never stuck, never repeating short cycles).
     #[test]
     fn walk_outputs_have_no_short_cycles(seed in any::<u64>(), l in 4u32..128) {
-        let params = WalkParams { walk_len: l, ..WalkParams::default() };
+        let params = WalkParams::builder().walk_len(l).build().unwrap();
         let mut rng = ExpanderWalkRng::with_params(
             RngBitSource::new(GlibcRand::new(seed as u32)),
             params,

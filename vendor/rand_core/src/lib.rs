@@ -1,0 +1,208 @@
+//! Offline stand-in for the `rand_core` crate (0.6 API subset).
+//!
+//! See `vendor/README.md` for why this exists. The trait definitions and
+//! the default `seed_from_u64` expansion match upstream `rand_core` 0.6
+//! exactly, so generators seeded through either implementation produce
+//! identical streams.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Error type for fallible RNG operations.
+///
+/// The in-tree generators are infallible; this type exists so that
+/// `try_fill_bytes` signatures match the upstream trait.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Wraps an arbitrary error message.
+    pub fn new<E: fmt::Display>(err: E) -> Self {
+        Self {
+            msg: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RNG error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fills `dest` with random data, or fails.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A random number generator that can be explicitly seeded.
+pub trait SeedableRng: Sized {
+    /// Seed type, typically a byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a new instance from the given seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a new instance, seeded from a `u64`.
+    ///
+    /// Matches upstream `rand_core` 0.6: the seed bytes are expanded from
+    /// `state` with a PCG32 step per 4-byte chunk.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Creates a new instance seeded from another generator.
+    fn from_rng<R: RngCore>(mut rng: R) -> Result<Self, Error> {
+        let mut seed = Self::Seed::default();
+        rng.try_fill_bytes(seed.as_mut())?;
+        Ok(Self::from_seed(seed))
+    }
+}
+
+/// Helper implementations for `RngCore` methods.
+pub mod impls {
+    use super::RngCore;
+
+    /// Implements `fill_bytes` via `next_u64`, little-endian order.
+    pub fn fill_bytes_via_next<R: RngCore + ?Sized>(rng: &mut R, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = rng.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+
+    /// Implements `next_u32` via `next_u64`, using the low bits.
+    pub fn next_u32_via_u64<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u64() as u32
+    }
+
+    /// Implements `next_u64` via two `next_u32` calls, low word first.
+    pub fn next_u64_via_u32<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        let lo = rng.next_u32() as u64;
+        let hi = rng.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct Lcg(u64);
+
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            impls::fill_bytes_via_next(self, dest);
+        }
+    }
+
+    impl SeedableRng for Lcg {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Lcg(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_matches_upstream_pcg32_expansion() {
+        // Golden value computed with the real rand_core 0.6 algorithm.
+        let rng = Lcg::seed_from_u64(0);
+        let mut state = 0u64;
+        let mut expect = [0u8; 8];
+        for chunk in expect.chunks_mut(4) {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(11634580027462260723);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            chunk.copy_from_slice(&xorshifted.rotate_right(rot).to_le_bytes());
+        }
+        assert_eq!(rng.0, u64::from_le_bytes(expect));
+    }
+
+    #[test]
+    fn fill_bytes_handles_odd_lengths() {
+        let mut rng = Lcg(42);
+        for len in [0usize, 1, 7, 8, 9, 17] {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+        }
+        // Non-empty tails are actually written.
+        let mut a = Lcg(7);
+        let mut buf = [0u8; 9];
+        a.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

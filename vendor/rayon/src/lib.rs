@@ -1,0 +1,331 @@
+//! Offline stand-in for the `rayon` crate (the subset this workspace uses).
+//!
+//! Data-parallel iterators backed by `std::thread::scope`. Unlike real
+//! rayon's work-stealing pool, work is split into one contiguous chunk per
+//! available core, and results are recombined **in input order** — so
+//! `collect` preserves ordering and `reduce` folds left-to-right, making
+//! floating-point reductions bit-reproducible run-to-run. See
+//! `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::thread;
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every item, in parallel, returning results in input
+/// order. Worker panics are propagated to the caller.
+fn drive<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let per_chunk: Vec<Vec<R>> = thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// A parallel iterator over an already-materialized item list.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Zips two parallel iterators item-wise.
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Keeps only items matching the predicate (evaluated in parallel),
+    /// preserving order.
+    pub fn filter<P>(self, pred: P) -> ParIter<T>
+    where
+        P: Fn(&T) -> bool + Sync,
+    {
+        let kept = drive(self.items, |t| {
+            let keep = pred(&t);
+            (t, keep)
+        });
+        ParIter {
+            items: kept
+                .into_iter()
+                .filter_map(|(t, keep)| keep.then_some(t))
+                .collect(),
+        }
+    }
+
+    /// Lazily maps each item; the closure runs in parallel at the terminal
+    /// operation.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        drive(self.items, |t| f(t));
+    }
+
+    /// Collects the items (already materialized) in order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+impl<'a, T: Copy + Sync + 'a> ParIter<&'a T> {
+    /// Copies out of references, like `Iterator::copied`.
+    pub fn copied(self) -> ParIter<T>
+    where
+        T: Send,
+    {
+        ParIter {
+            items: self.items.into_iter().copied().collect(),
+        }
+    }
+}
+
+/// A mapped parallel iterator: the map closure runs in parallel when a
+/// terminal operation is invoked.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Maps all items in parallel and collects in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        drive(self.items, self.f).into_iter().collect()
+    }
+
+    /// Maps all items in parallel and discards the results.
+    pub fn for_each(self) {
+        drive(self.items, self.f);
+    }
+
+    /// Maps in parallel, then folds the results left-to-right starting
+    /// from `identity()` (deterministic, unlike rayon's tree reduction).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R,
+        OP: Fn(R, R) -> R,
+    {
+        drive(self.items, self.f).into_iter().fold(identity(), op)
+    }
+}
+
+/// `into_par_iter()` — mirrors `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The produced item type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// `par_iter()` — mirrors `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The produced item type (a shared reference).
+    type Item: Send;
+    /// Iterates by reference, in parallel.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+    <&'a C as IntoIterator>::Item: Send,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+    fn par_iter(&'a self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// `par_iter_mut()` — mirrors `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The produced item type (an exclusive reference).
+    type Item: Send;
+    /// Iterates by mutable reference, in parallel.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoIterator,
+    <&'a mut C as IntoIterator>::Item: Send,
+{
+    type Item = <&'a mut C as IntoIterator>::Item;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut()` — mirrors `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into mutable chunks of `chunk_size` (the last may
+    /// be shorter) and iterates them in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// `par_chunks()` — mirrors `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    /// Splits the slice into chunks of `chunk_size` (the last may be
+    /// shorter) and iterates them in parallel.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// The customary glob-import module.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..1000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_sees_every_element_once() {
+        let mut data = vec![0u32; 103];
+        data.par_chunks_mut(8).enumerate().for_each(|(w, chunk)| {
+            for (lane, x) in chunk.iter_mut().enumerate() {
+                *x = (w * 8 + lane) as u32;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn filter_and_copied_compose() {
+        let v = vec![1u32, 2, 3, 4, 5, 6];
+        let even: Vec<u32> = v.par_iter().copied().filter(|x| x % 2 == 0).collect();
+        assert_eq!(even, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn reduce_folds_in_order() {
+        // String concatenation is order-sensitive: proves determinism.
+        let s: String = (0..10u32)
+            .into_par_iter()
+            .map(|x| x.to_string())
+            .reduce(String::new, |a, b| a + &b);
+        assert_eq!(s, "0123456789");
+    }
+
+    #[test]
+    fn zip_pairs_mutable_slices() {
+        let mut a = vec![0u32; 16];
+        let mut b = vec![0u32; 16];
+        a.par_iter_mut()
+            .zip(b.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, (x, y))| {
+                *x = i as u32;
+                *y = 2 * i as u32;
+            });
+        assert_eq!(a[7], 7);
+        assert_eq!(b[7], 14);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            (0..64u32).into_par_iter().map(|_| panic!("boom")).collect::<Vec<u32>>()
+        });
+        assert!(result.is_err());
+    }
+}
