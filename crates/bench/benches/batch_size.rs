@@ -16,7 +16,7 @@ fn bench_batch_size(c: &mut Criterion) {
                     HybridParams::with_batch_size(s),
                     7,
                 );
-                hybrid.generate(200_000).1.sim_ns
+                hybrid.try_generate(200_000).unwrap().1.sim_ns
             })
         });
     }

@@ -1,0 +1,238 @@
+//! Machine-readable benchmark export behind `repro bench --json-out`.
+//!
+//! Produces one JSON document with per-generator host throughput,
+//! hybrid-pipeline batch-latency quantiles (from the telemetry
+//! [`Histogram`](hprng_telemetry::Histogram)), simulated busy fractions,
+//! and the measured monitor-tap overhead — the numbers regression
+//! dashboards want without scraping the pretty-printed tables.
+
+use hprng_baselines::{Kiss, Mt19937, Mt19937_64, Mwc64, SplitMix64, Xorwow};
+use hprng_core::{CpuParallelPrng, ExpanderWalkRng, HybridPrng};
+use hprng_monitor::{MonitorConfig, MonitorHandle};
+use hprng_telemetry::{busy_fractions, chrome_trace, json, Recorder, Stage};
+use rand_core::RngCore;
+use std::time::Instant;
+
+fn words_per_s(mut next: impl FnMut() -> u64, words: usize) -> f64 {
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..words {
+        acc = acc.wrapping_add(next());
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-12);
+    // Keep the accumulator observable so the loop cannot be elided.
+    std::hint::black_box(acc);
+    words as f64 / secs
+}
+
+/// Sums the GENERATE-stage span time of one session run, with the
+/// quality tap attached at 1-in-`sample_every` when given.
+///
+/// This is the denominator of the monitor-overhead acceptance check: the
+/// tap runs in its own `monitor_tap` span *after* each GENERATE span, so
+/// any regression seen here is pipeline interference, not tap time.
+pub fn generate_stage_ns(seed: u64, words: usize, sample_every: Option<u64>) -> f64 {
+    let mut prng = HybridPrng::tesla(seed);
+    let threads = prng.params().batch_size.max(1) as usize * 64;
+    let mut session = prng
+        .try_session(threads)
+        .expect("threads is positive by construction");
+    if let Some(every) = sample_every {
+        let handle = MonitorHandle::new(MonitorConfig::sampling(every));
+        session.set_tap(handle.tap());
+    }
+    let mut remaining = words.max(1);
+    while remaining > 0 {
+        let take = remaining.min(threads);
+        session
+            .try_next_batch(take)
+            .expect("take is within the session's walks");
+        remaining -= take;
+    }
+    let recorder = session.take_telemetry();
+    recorder
+        .spans()
+        .iter()
+        .filter(|s| s.stage == Stage::Generate)
+        .map(|s| s.duration_ns())
+        .sum()
+}
+
+/// Measures GENERATE-stage time with the monitor off and on
+/// (1-in-`sample_every` sampling): returns `(off_ns, on_ns)`, each the
+/// minimum of two runs after a warm-up pass.
+pub fn measure_monitor_overhead(seed: u64, words: usize, sample_every: u64) -> (f64, f64) {
+    // Warm up caches and the allocator before timing anything.
+    let _ = generate_stage_ns(seed, words / 4, None);
+    let best = |every: Option<u64>| {
+        (0..2)
+            .map(|i| generate_stage_ns(seed.wrapping_add(i), words, every))
+            .fold(f64::INFINITY, f64::min)
+    };
+    (best(None), best(Some(sample_every)))
+}
+
+fn quantiles_json(recorder: &Recorder, name: &str) -> json::Value {
+    let mut obj = json::Value::object();
+    if let Some(h) = recorder.histogram(name) {
+        obj.set("count", json::Value::Number(h.count() as f64));
+        obj.set("mean_ns", json::Value::Number(h.mean_ns()));
+        obj.set("min_ns", json::Value::Number(h.min_ns()));
+        obj.set("max_ns", json::Value::Number(h.max_ns()));
+        obj.set("p50_ns", json::Value::Number(h.quantile_ns(0.50)));
+        obj.set("p90_ns", json::Value::Number(h.quantile_ns(0.90)));
+        obj.set("p99_ns", json::Value::Number(h.quantile_ns(0.99)));
+    }
+    obj
+}
+
+/// Runs the benchmark suite and returns the JSON document.
+pub fn bench_json(seed: u64, words: usize) -> json::Value {
+    let words = words.max(1);
+
+    // Host throughput of every sequential generator.
+    let mut generators = Vec::new();
+    let mut push = |name: &str, wps: f64| {
+        let mut g = json::Value::object();
+        g.set("name", json::Value::String(name.to_string()));
+        g.set("words_per_s", json::Value::Number(wps));
+        generators.push(g);
+    };
+    let mut expander = ExpanderWalkRng::from_seed_u64(seed);
+    push("expander_walk", words_per_s(|| expander.next_u64(), words));
+    let mut mt64 = Mt19937_64::new(seed);
+    push("mt19937_64", words_per_s(|| mt64.next_u64(), words));
+    let mut mt = Mt19937::new(seed as u32 | 1);
+    push("mt19937", words_per_s(|| mt.next_u64(), words));
+    let mut sm = SplitMix64::new(seed);
+    push("splitmix64", words_per_s(|| sm.next_u64(), words));
+    let mut mwc = Mwc64::new(seed);
+    push("mwc64", words_per_s(|| mwc.next_u64(), words));
+    let mut kiss = Kiss::new(seed);
+    push("kiss", words_per_s(|| kiss.next_u64(), words));
+    let mut xw = Xorwow::new(seed);
+    push("xorwow", words_per_s(|| xw.next_u64(), words));
+    let cpu = CpuParallelPrng::new(seed, 0);
+    push("cpu_parallel", {
+        let start = Instant::now();
+        let mut produced = 0usize;
+        while produced < words {
+            let take = (words - produced).min(65_536);
+            std::hint::black_box(cpu.generate(take));
+            produced += take;
+        }
+        words as f64 / start.elapsed().as_secs_f64().max(1e-12)
+    });
+
+    // Hybrid pipeline: host wall, simulated throughput, batch-latency
+    // quantiles, busy fractions.
+    let mut hybrid = HybridPrng::tesla(seed);
+    let threads = hybrid.params().batch_size.max(1) as usize * 64;
+    let mut session = hybrid
+        .try_session(threads)
+        .expect("threads is positive by construction");
+    let wall = Instant::now();
+    let mut remaining = words;
+    while remaining > 0 {
+        let take = remaining.min(threads);
+        session
+            .try_next_batch(take)
+            .expect("take is within the session's walks");
+        remaining -= take;
+    }
+    let host_secs = wall.elapsed().as_secs_f64().max(1e-12);
+    let stats = session.stats();
+    let timeline = session.timeline();
+    let recorder = session.take_telemetry();
+
+    let mut hybrid_obj = json::Value::object();
+    hybrid_obj.set(
+        "host_words_per_s",
+        json::Value::Number(words as f64 / host_secs),
+    );
+    hybrid_obj.set(
+        "sim_gnumbers_per_s",
+        json::Value::Number(stats.gnumbers_per_s),
+    );
+    hybrid_obj.set(
+        "batch_latency",
+        quantiles_json(&recorder, "batch_latency_ns"),
+    );
+    let trace = chrome_trace(Some(&timeline), Some(&recorder));
+    if let Ok(busy) = busy_fractions(&trace) {
+        let mut b = json::Value::object();
+        b.set("cpu", json::Value::Number(busy.cpu));
+        b.set("gpu", json::Value::Number(busy.gpu));
+        hybrid_obj.set("busy_fractions", b);
+    }
+
+    // Monitor-tap overhead at the default 1-in-64 sampling.
+    let (off_ns, on_ns) = measure_monitor_overhead(seed, words.min(1 << 20), 64);
+    let mut overhead = json::Value::object();
+    overhead.set("sample_every", json::Value::Number(64.0));
+    overhead.set("generate_ns_monitor_off", json::Value::Number(off_ns));
+    overhead.set("generate_ns_monitor_on", json::Value::Number(on_ns));
+    overhead.set(
+        "generate_overhead_fraction",
+        json::Value::Number((on_ns - off_ns).max(0.0) / off_ns.max(1.0)),
+    );
+
+    let mut doc = json::Value::object();
+    doc.set("schema", json::Value::String("hprng-bench-v1".to_string()));
+    doc.set("seed", json::Value::Number(seed as f64));
+    doc.set("words", json::Value::Number(words as f64));
+    doc.set("generators", json::Value::Array(generators));
+    doc.set("hybrid", hybrid_obj);
+    doc.set("monitor_overhead", overhead);
+    doc
+}
+
+/// Runs [`bench_json`] and writes the document to `path`; returns the
+/// serialized length in bytes.
+pub fn write_bench_json(path: &std::path::Path, seed: u64, words: usize) -> std::io::Result<usize> {
+    let text = bench_json(seed, words).to_json();
+    std::fs::write(path, &text)?;
+    Ok(text.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_has_every_section() {
+        let doc = bench_json(3, 50_000);
+        let text = doc.to_json();
+        let parsed = json::parse(&text).expect("self-parseable");
+        let gens = parsed.get("generators").and_then(|g| g.as_array()).unwrap();
+        assert!(gens.len() >= 8);
+        for g in gens {
+            assert!(g.get("words_per_s").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        }
+        let hybrid = parsed.get("hybrid").unwrap();
+        assert!(
+            hybrid
+                .get("batch_latency")
+                .and_then(|b| b.get("count"))
+                .and_then(|v| v.as_f64())
+                .unwrap()
+                > 0.0
+        );
+        let busy = hybrid.get("busy_fractions").unwrap();
+        assert!(busy.get("cpu").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        let overhead = parsed.get("monitor_overhead").unwrap();
+        assert!(
+            overhead
+                .get("generate_ns_monitor_off")
+                .and_then(|v| v.as_f64())
+                .unwrap()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn overhead_measurement_returns_positive_times() {
+        let (off, on) = measure_monitor_overhead(5, 1 << 14, 64);
+        assert!(off > 0.0 && on > 0.0);
+    }
+}

@@ -14,13 +14,19 @@
 //! repro headline                      GNumbers/s
 //! repro ablate-walk-len | ablate-bit-source | ablate-sampling
 //! repro trace                         instrumented run only
+//! repro bench --json-out <path>       machine-readable benchmark export
+//! repro monitor [--generator hybrid|mt|glibc-low|constant]
+//!               [--words W] [--sample-every N] [--prom-out <path>]
+//!               [--assert-clean | --assert-alerts]
+//!                                     streaming quality sentinels
 //!
 //! Global flags: `--trace-out <path>` writes a merged Chrome-trace
 //! (Perfetto) JSON of an instrumented run; `--metrics-out <path>` writes
 //! the telemetry counters/histograms as JSON (`-` prints to stdout).
 //! ```
 
-use hprng_bench::{ablations, figures, tables, trace};
+use hprng_bench::monitor_cmd::{MonitorGenerator, MonitorRunConfig};
+use hprng_bench::{ablations, benchjson, figures, monitor_cmd, tables, trace};
 
 struct Args {
     cmd: String,
@@ -31,6 +37,13 @@ struct Args {
     seed: u64,
     trace_out: Option<std::path::PathBuf>,
     metrics_out: Option<String>,
+    json_out: Option<std::path::PathBuf>,
+    generator: String,
+    words: u64,
+    sample_every: u64,
+    assert_clean: bool,
+    assert_alerts: bool,
+    prom_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -43,6 +56,13 @@ fn parse_args() -> Args {
         seed: 20120521, // the paper's IPDPSW year+month+day
         trace_out: None,
         metrics_out: None,
+        json_out: None,
+        generator: "hybrid".to_string(),
+        words: 1 << 20,
+        sample_every: 64,
+        assert_clean: false,
+        assert_alerts: false,
+        prom_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -104,6 +124,43 @@ fn parse_args() -> Args {
                         .expect("--metrics-out takes a path (or - for stdout)")
                         .clone(),
                 );
+                i += 2;
+            }
+            "--json-out" => {
+                args.json_out = Some(std::path::PathBuf::from(
+                    argv.get(i + 1).expect("--json-out takes a path"),
+                ));
+                i += 2;
+            }
+            "--generator" => {
+                args.generator = argv
+                    .get(i + 1)
+                    .expect("--generator takes hybrid|mt|glibc-low|constant")
+                    .clone();
+                i += 2;
+            }
+            "--words" => {
+                args.words = argv[i + 1].parse().expect("--words takes an integer");
+                i += 2;
+            }
+            "--sample-every" => {
+                args.sample_every = argv[i + 1]
+                    .parse()
+                    .expect("--sample-every takes an integer");
+                i += 2;
+            }
+            "--assert-clean" => {
+                args.assert_clean = true;
+                i += 1;
+            }
+            "--assert-alerts" => {
+                args.assert_alerts = true;
+                i += 1;
+            }
+            "--prom-out" => {
+                args.prom_out = Some(std::path::PathBuf::from(
+                    argv.get(i + 1).expect("--prom-out takes a path"),
+                ));
                 i += 2;
             }
             other => {
@@ -189,6 +246,77 @@ fn main() {
     }
     if run("ablate-sampling") || args.cmd == "ablate" {
         ablations::ablate_sampling(args.scale, args.seed);
+    }
+
+    // Machine-readable benchmark export (not part of `all`: it re-times
+    // everything and is meant for regression dashboards, not reading).
+    if args.cmd == "bench" {
+        let words = args.n.max(50_000);
+        match &args.json_out {
+            Some(path) => {
+                let bytes = benchjson::write_bench_json(path, args.seed, words)
+                    .expect("writing benchmark JSON");
+                println!("wrote benchmark JSON ({bytes} bytes) to {}", path.display());
+            }
+            None => println!("{}", benchjson::bench_json(args.seed, words).to_json()),
+        }
+    }
+
+    // Streaming quality sentinels over a live generator.
+    if args.cmd == "monitor" {
+        use std::io::IsTerminal;
+        let generator = MonitorGenerator::parse(&args.generator).unwrap_or_else(|| {
+            eprintln!(
+                "unknown --generator {} (expected hybrid|mt|glibc-low|constant)",
+                args.generator
+            );
+            std::process::exit(2);
+        });
+        let cfg = MonitorRunConfig {
+            generator,
+            words: args.words,
+            sample_every: args.sample_every,
+            seed: args.seed,
+            live: std::io::stdout().is_terminal(),
+        };
+        let report = monitor_cmd::run_monitor(&cfg);
+        if !cfg.live {
+            println!(
+                "repro monitor — {} (1-in-{} sampling)\n{}",
+                generator.label(),
+                cfg.sample_every,
+                report.status.render()
+            );
+        }
+        for alert in &report.alerts {
+            println!("ALERT [window {}] {}", alert.window, alert.message);
+        }
+        if let Some(path) = &args.prom_out {
+            let bytes = hprng_telemetry::prometheus::write_prometheus(path, &report.recorder)
+                .expect("writing Prometheus exposition");
+            println!(
+                "wrote Prometheus exposition ({bytes} bytes) to {}",
+                path.display()
+            );
+        }
+        if args.assert_clean && !report.status.healthy() {
+            eprintln!(
+                "FAIL: expected a clean stream but {} alert(s) fired",
+                report.status.alerts
+            );
+            std::process::exit(1);
+        }
+        if args.assert_alerts && report.status.healthy() {
+            eprintln!("FAIL: expected alerts but the sentinels stayed silent");
+            std::process::exit(1);
+        }
+        if args.assert_clean || args.assert_alerts {
+            println!(
+                "OK: {} behaved as expected ({} alerts)",
+                generator.label(),
+                report.status.alerts
+            );
+        }
     }
 
     // Observability: an instrumented run feeding the Chrome-trace and

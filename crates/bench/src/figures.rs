@@ -35,7 +35,7 @@ pub fn fig3(sizes: &[usize], seed: u64) -> Vec<Fig3Row> {
         .iter()
         .map(|&n| {
             let mut hybrid = HybridPrng::new(cfg.clone(), HybridParams::default(), seed);
-            let (_, stats) = hybrid.generate(n);
+            let (_, stats) = hybrid.try_generate(n).expect("n > 0");
             let mt = simulate_mt_batch(&cfg, &cost, n);
             let curand = simulate_curand_device(&cfg, &cost, n, 100);
             Fig3Row {
@@ -80,7 +80,7 @@ pub fn print_fig3(rows: &[Fig3Row]) {
 /// Figure 4: the work-unit overlap at batch size 100.
 pub fn fig4(seed: u64) -> String {
     let mut hybrid = HybridPrng::tesla(seed);
-    let (_, stats) = hybrid.generate(1_000_000);
+    let (_, stats) = hybrid.try_generate(1_000_000).expect("non-zero request");
     let timeline = hybrid.device().timeline();
     let mut out = String::new();
     out.push_str("\n=== Figure 4: overlapped execution of the work units ===\n");
@@ -121,7 +121,7 @@ pub fn fig5(n: usize, batches: &[u32], seed: u64) -> Vec<Fig5Row> {
                 HybridParams::with_batch_size(s),
                 seed,
             );
-            let (_, stats) = hybrid.generate(n);
+            let (_, stats) = hybrid.try_generate(n).expect("n > 0");
             Fig5Row {
                 batch: s,
                 sim_ns: stats.sim_ns,
@@ -551,7 +551,7 @@ pub fn fig7_device(sizes: &[usize], seed: u64) {
 /// The headline number: simulated GNumbers/s of the hybrid generator.
 pub fn headline(seed: u64) -> (f64, f64) {
     let mut hybrid = HybridPrng::tesla(seed);
-    let (_, stats) = hybrid.generate(4_000_000);
+    let (_, stats) = hybrid.try_generate(4_000_000).expect("non-zero request");
     (stats.gnumbers_per_s, stats.wall_ns)
 }
 

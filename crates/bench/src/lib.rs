@@ -9,7 +9,9 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod benchjson;
 pub mod figures;
+pub mod monitor_cmd;
 pub mod simsupport;
 pub mod tables;
 pub mod trace;

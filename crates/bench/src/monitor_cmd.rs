@@ -1,0 +1,291 @@
+//! The `repro monitor` subcommand: streaming quality sentinels attached
+//! to a live generator.
+//!
+//! Four stream choices cover the self-validation matrix:
+//!
+//! * `hybrid` — the full pipeline: a tapped [`HybridPrng`] session, a
+//!   tapped list ranking (the FIS coin bits) and a tapped photon
+//!   migration (the launch tags), all feeding one shared
+//!   [`MonitorHandle`]. Must stay silent.
+//! * `mt` — MT19937-64, the healthy baseline. Must stay silent.
+//! * `glibc-low` — glibc TYPE_0 LCG low bits; the serial-correlation
+//!   and runs sentinels must fire.
+//! * `constant` — a stuck stream; monobit/entropy/clash must fire.
+
+use hprng_baselines::Mt19937_64;
+use hprng_core::HybridPrng;
+use hprng_listrank::hybrid::{rank_list_monitored, RandomnessStrategy};
+use hprng_listrank::LinkedList;
+use hprng_monitor::refstreams::{ConstantStream, GlibcLowBits};
+use hprng_monitor::{Alert, MonitorConfig, MonitorHandle, MonitorStatus};
+use hprng_montecarlo::{run_simulation_monitored, RandomSupply, SimConfig, Tissue};
+use hprng_telemetry::Recorder;
+use rand_core::RngCore;
+
+/// Which stream the sentinels watch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MonitorGenerator {
+    /// The hybrid pipeline end-to-end (session + list ranking + photons).
+    Hybrid,
+    /// MT19937-64 (healthy baseline).
+    Mt,
+    /// glibc TYPE_0 LCG low bits (known bad).
+    GlibcLow,
+    /// A stuck stream (known bad).
+    Constant,
+}
+
+impl MonitorGenerator {
+    /// Parses the `--generator` flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "hybrid" => Some(Self::Hybrid),
+            "mt" => Some(Self::Mt),
+            "glibc-low" => Some(Self::GlibcLow),
+            "constant" => Some(Self::Constant),
+            _ => None,
+        }
+    }
+
+    /// Human-readable stream name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Hybrid => "hybrid PRNG pipeline",
+            Self::Mt => "MT19937-64",
+            Self::GlibcLow => "glibc LCG low bits",
+            Self::Constant => "constant stream",
+        }
+    }
+
+    /// Whether the sentinels are expected to fire on this stream.
+    pub fn expect_alerts(self) -> bool {
+        matches!(self, Self::GlibcLow | Self::Constant)
+    }
+}
+
+/// Configuration of one monitored run.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorRunConfig {
+    /// The watched stream.
+    pub generator: MonitorGenerator,
+    /// Word budget offered to the tap.
+    pub words: u64,
+    /// 1-in-N sampling policy.
+    pub sample_every: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Redraw a live dashboard while running (terminal use only).
+    pub live: bool,
+}
+
+impl Default for MonitorRunConfig {
+    fn default() -> Self {
+        Self {
+            generator: MonitorGenerator::Hybrid,
+            words: 1 << 20,
+            sample_every: 64,
+            seed: 20120521,
+            live: false,
+        }
+    }
+}
+
+/// The outcome of a monitored run.
+#[derive(Debug)]
+pub struct MonitorReport {
+    /// Final sentinel snapshot.
+    pub status: MonitorStatus,
+    /// Every retained alert.
+    pub alerts: Vec<Alert>,
+    /// Pipeline telemetry with the monitor gauges/series exported into
+    /// it — ready for the Chrome-trace or Prometheus exporters.
+    pub recorder: Recorder,
+}
+
+fn live_frame(cfg: &MonitorRunConfig, status: &MonitorStatus) {
+    if cfg.live {
+        // Clear + home, then the dashboard block.
+        print!(
+            "\x1b[H\x1b[2Jrepro monitor — {} (1-in-{} sampling)\n{}",
+            cfg.generator.label(),
+            cfg.sample_every,
+            status.render()
+        );
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+    }
+}
+
+/// Runs the sentinels over the configured stream and returns the final
+/// snapshot, alerts and telemetry.
+pub fn run_monitor(cfg: &MonitorRunConfig) -> MonitorReport {
+    let handle = MonitorHandle::new(MonitorConfig::sampling(cfg.sample_every));
+    let mut recorder = Recorder::new();
+    match cfg.generator {
+        MonitorGenerator::Hybrid => run_hybrid(cfg, &handle, &mut recorder),
+        MonitorGenerator::Mt => {
+            let mut rng = Mt19937_64::new(cfg.seed);
+            run_raw(cfg, &handle, || rng.next_u64());
+        }
+        MonitorGenerator::GlibcLow => {
+            let mut src = GlibcLowBits::new(cfg.seed as u32 | 1);
+            run_raw(cfg, &handle, || src.next_word());
+        }
+        MonitorGenerator::Constant => {
+            let mut src = ConstantStream::new(0xDEAD_BEEF_DEAD_BEEF);
+            run_raw(cfg, &handle, || src.next_word());
+        }
+    }
+    handle.check_now();
+    let status = handle.status();
+    live_frame(cfg, &status);
+    handle.export_to(&mut recorder);
+    MonitorReport {
+        status,
+        alerts: handle.drain_alerts(),
+        recorder,
+    }
+}
+
+/// Feeds `cfg.words` raw words to the tap in 256-lane batches.
+fn run_raw(cfg: &MonitorRunConfig, handle: &MonitorHandle, mut next: impl FnMut() -> u64) {
+    const LANES: usize = 256;
+    let mut tap = handle.tap();
+    let mut remaining = cfg.words;
+    let mut batch = 0u64;
+    while remaining > 0 {
+        let take = remaining.min(LANES as u64) as usize;
+        let words: Vec<u64> = (0..take).map(|_| next()).collect();
+        tap.observe(&words);
+        remaining -= take as u64;
+        batch += 1;
+        if batch.is_multiple_of(64) {
+            live_frame(cfg, &handle.status());
+        }
+    }
+}
+
+/// The full-pipeline run: session batches, then a tapped list ranking
+/// and a tapped photon migration, all into the same monitor.
+fn run_hybrid(cfg: &MonitorRunConfig, handle: &MonitorHandle, recorder: &mut Recorder) {
+    let mut prng = HybridPrng::tesla(cfg.seed);
+    let threads = prng.params().batch_size.max(1) as usize * 64;
+    let mut session = prng
+        .try_session(threads)
+        .expect("threads is positive by construction");
+    session.set_tap(handle.tap());
+    // Most of the word budget flows through the session; the two
+    // application taps below contribute the rest.
+    let session_words = cfg.words.saturating_mul(3) / 4;
+    let mut remaining = session_words;
+    let mut batch = 0u64;
+    while remaining > 0 {
+        let take = remaining.min(threads as u64) as usize;
+        session
+            .try_next_batch(take)
+            .expect("take is within the session's walks");
+        remaining -= take as u64;
+        batch += 1;
+        if batch.is_multiple_of(16) {
+            live_frame(cfg, &handle.status());
+        }
+    }
+    recorder.absorb(session.take_telemetry());
+
+    // Application tap 1: the list-ranking FIS coin bits.
+    let nodes = ((cfg.words / 8).clamp(1_000, 200_000)) as usize;
+    let list = LinkedList::random(nodes, &mut hprng_baselines::SplitMix64::new(cfg.seed));
+    let mut rank_recorder = Recorder::new();
+    let mut rank_tap = handle.tap();
+    let _ = rank_list_monitored(
+        &list,
+        RandomnessStrategy::OnDemandExpander,
+        cfg.seed,
+        &mut rank_recorder,
+        rank_tap.as_mut(),
+    );
+    recorder.absorb(rank_recorder);
+    live_frame(cfg, &handle.status());
+
+    // Application tap 2: the photon-migration launch tags.
+    let photons = (cfg.words / 32).clamp(1_000, 100_000);
+    let tissue = Tissue::three_layer();
+    let sim_cfg = SimConfig {
+        seed: cfg.seed,
+        supply: RandomSupply::InlineHybrid,
+        chunk_size: 4096,
+        grid: None,
+    };
+    let mut mc_recorder = Recorder::new();
+    let mut mc_tap = handle.tap();
+    run_simulation_monitored(
+        &tissue,
+        photons,
+        &sim_cfg,
+        &mut mc_recorder,
+        mc_tap.as_mut(),
+    );
+    recorder.absorb(mc_recorder);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(generator: MonitorGenerator) -> MonitorRunConfig {
+        MonitorRunConfig {
+            generator,
+            words: 1 << 16,
+            sample_every: 4,
+            seed: 7,
+            live: false,
+        }
+    }
+
+    #[test]
+    fn hybrid_pipeline_stays_silent() {
+        let report = run_monitor(&quick(MonitorGenerator::Hybrid));
+        assert!(
+            report.status.healthy(),
+            "alerts on healthy pipeline: {:?}",
+            report.alerts
+        );
+        // All three tap points contributed.
+        assert!(report.recorder.counter("tap_words") > 0.0);
+        assert!(report.recorder.gauge("monitor_words_seen").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn mt_stays_silent() {
+        let report = run_monitor(&quick(MonitorGenerator::Mt));
+        assert!(report.status.healthy(), "alerts: {:?}", report.alerts);
+    }
+
+    #[test]
+    fn known_bad_streams_trip_alerts() {
+        for generator in [MonitorGenerator::GlibcLow, MonitorGenerator::Constant] {
+            let report = run_monitor(&quick(generator));
+            assert!(
+                !report.status.healthy(),
+                "{} should alert",
+                generator.label()
+            );
+            assert!(!report.alerts.is_empty());
+        }
+    }
+
+    #[test]
+    fn generator_flag_round_trips() {
+        for (s, g) in [
+            ("hybrid", MonitorGenerator::Hybrid),
+            ("mt", MonitorGenerator::Mt),
+            ("glibc-low", MonitorGenerator::GlibcLow),
+            ("constant", MonitorGenerator::Constant),
+        ] {
+            assert_eq!(MonitorGenerator::parse(s), Some(g));
+        }
+        assert_eq!(MonitorGenerator::parse("xorshift"), None);
+        assert!(MonitorGenerator::GlibcLow.expect_alerts());
+        assert!(!MonitorGenerator::Hybrid.expect_alerts());
+    }
+}

@@ -88,7 +88,7 @@ pub fn table1(seed: u64) {
     let mt_ns = simulate_mt_batch(&cfg, &cost, n).sim_ns;
     let hybrid_ns = {
         let mut h = HybridPrng::new(cfg, HybridParams::default(), seed);
-        h.generate(n).1.sim_ns
+        h.try_generate(n).expect("n > 0").1.sim_ns
     };
 
     let mut times = [

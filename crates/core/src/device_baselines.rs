@@ -163,7 +163,7 @@ mod tests {
         let mt = simulate_mt_batch(&cfg, &cost, n);
         let curand = simulate_curand_device(&cfg, &cost, n, 100);
         let mut hybrid = HybridPrng::new(cfg, HybridParams::default(), 1);
-        let (_, hstats) = hybrid.generate(n);
+        let (_, hstats) = hybrid.try_generate(n).unwrap();
         assert!(
             hstats.sim_ns < mt.sim_ns,
             "hybrid {} vs MT {}",

@@ -14,7 +14,7 @@ use hprng_baselines::GlibcRand;
 use hprng_expander::bits::{SliceBitSource, TriBitReader};
 use hprng_expander::{Vertex, Walk};
 use hprng_gpu_sim::{Device, DeviceBuffer, DeviceConfig, Op, Resource, Stream, Timeline, WorkUnit};
-use hprng_telemetry::{Recorder, Stage};
+use hprng_telemetry::{Recorder, Stage, WordTap};
 use std::time::Instant;
 
 /// Words of raw bits a thread consumes at initialization: one 64-bit word
@@ -102,6 +102,7 @@ impl HybridPrng {
             numbers: 0,
             wall_start: Instant::now(),
             recorder: Recorder::new(),
+            tap: None,
         };
         session.initialize();
         Ok(session)
@@ -115,6 +116,10 @@ impl HybridPrng {
     ///
     /// # Panics
     /// Panics if `threads` is zero.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_session`, which reports misuse as HprngError"
+    )]
     pub fn session(&mut self, threads: usize) -> HybridSession<'_> {
         self.try_session(threads).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -147,6 +152,10 @@ impl HybridPrng {
     ///
     /// # Panics
     /// Panics if `n` is zero.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_generate`, which reports misuse as HprngError"
+    )]
     pub fn generate(&mut self, n: usize) -> (Vec<u64>, PipelineStats) {
         self.try_generate(n).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -185,6 +194,8 @@ pub struct HybridSession<'a> {
     /// (`iterations`/`feed_words`/`numbers`), and the per-call
     /// `batch_latency_ns` histogram.
     recorder: Recorder,
+    /// Optional streaming observer of generated words (quality monitor).
+    tap: Option<Box<dyn WordTap>>,
 }
 
 impl HybridSession<'_> {
@@ -198,6 +209,21 @@ impl HybridSession<'_> {
     /// (Algorithm 3 interleaves ranking kernels with GetNextRand batches).
     pub fn device(&self) -> &Device {
         self.device
+    }
+
+    /// Attaches a streaming word tap (e.g. a quality monitor's sampling
+    /// handle): every subsequent [`HybridSession::try_next_batch`] output
+    /// is offered to it before being returned. Tap time is recorded as an
+    /// `App`-stage `monitor_tap` span — outside the GENERATE spans — plus
+    /// a `tap_words` counter, so its overhead is measurable and does not
+    /// contaminate pipeline-stage timings.
+    pub fn set_tap(&mut self, tap: Box<dyn WordTap>) {
+        self.tap = Some(tap);
+    }
+
+    /// Detaches and returns the tap, if one was set.
+    pub fn take_tap(&mut self) -> Option<Box<dyn WordTap>> {
+        self.tap.take()
     }
 
     /// CPU-side production of `words` raw 64-bit words. Returns the bit
@@ -348,6 +374,12 @@ impl HybridSession<'_> {
         self.recorder.add("numbers", count as f64);
         let batch_ns = self.recorder.now_ns() - batch_start_ns;
         self.recorder.observe("batch_latency_ns", batch_ns);
+        if let Some(tap) = self.tap.as_mut() {
+            let tap_span = self.recorder.start_span(Stage::App, "monitor_tap");
+            tap.observe(&out);
+            self.recorder.finish_span(tap_span);
+            self.recorder.add("tap_words", out.len() as f64);
+        }
         Ok(out)
     }
 
@@ -359,6 +391,10 @@ impl HybridSession<'_> {
     ///
     /// # Panics
     /// Panics if `count` is zero or exceeds the session's thread count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_next_batch`, which reports misuse as HprngError"
+    )]
     pub fn next_batch(&mut self, count: usize) -> Vec<u64> {
         self.try_next_batch(count).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -413,6 +449,9 @@ impl HybridSession<'_> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated panicking wrappers are exercised on purpose here to
+    // keep their behaviour pinned until removal.
+    #![allow(deprecated)]
     use super::*;
     use hprng_gpu_sim::DeviceConfig;
 

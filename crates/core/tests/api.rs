@@ -59,7 +59,7 @@ fn hybrid_configuration_surface() {
         .build()
         .unwrap();
     let mut prng = HybridPrng::new(DeviceConfig::test_tiny(), params, 5);
-    let (nums, stats) = prng.generate(500);
+    let (nums, stats) = prng.try_generate(500).unwrap();
     assert_eq!(nums.len(), 500);
     assert!(stats.sim_ns > 0.0);
     assert_eq!(prng.params().batch_size, 64);
@@ -102,8 +102,8 @@ fn distributions_compose_with_the_generator() {
 fn sessions_expose_the_device_for_co_scheduled_kernels() {
     use hprng_gpu_sim::{Op, WorkUnit};
     let mut prng = HybridPrng::new(DeviceConfig::test_tiny(), HybridParams::default(), 6);
-    let mut session = prng.session(32);
-    let _nums = session.next_batch(32);
+    let mut session = prng.try_session(32).unwrap();
+    let _nums = session.try_next_batch(32).unwrap();
     // An application kernel on the same device shares the timeline.
     let mut data = vec![0u32; 32];
     session

@@ -73,7 +73,7 @@ pub fn reduce_on_device(
     // One device-resident walk per node (Algorithm 3 line 2 initializes
     // the graph for all threads; the session records FEED/TRANSFER and the
     // warm-up GENERATE).
-    let mut session = prng.session(n);
+    let mut session = prng.try_session(n).expect("n > 0 was asserted above");
 
     let succ: Vec<AtomicU32> = list.succ.iter().map(|&s| AtomicU32::new(s)).collect();
     let pred: Vec<AtomicU32> = list.pred.iter().map(|&p| AtomicU32::new(p)).collect();
@@ -89,7 +89,9 @@ pub fn reduce_on_device(
 
         // Line 4/6: the CPU streams bits, each live node calls
         // GetNextRand() — one walk number per live node, on the device.
-        let numbers = session.next_batch(count);
+        let numbers = session
+            .try_next_batch(count)
+            .expect("live count never exceeds the session threads");
 
         // Coin per *node* (dead nodes read as 0, as do NIL boundaries).
         let mut coins = vec![0u8; n];

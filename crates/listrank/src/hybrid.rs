@@ -21,7 +21,7 @@ use crate::list::{LinkedList, NIL};
 use crate::sequential::sequential_rank;
 use hprng_baselines::{GlibcRand, Mt19937_64};
 use hprng_core::ExpanderWalkRng;
-use hprng_telemetry::{Recorder, Stage};
+use hprng_telemetry::{Recorder, Stage, WordTap};
 use rand_core::SeedableRng;
 use std::time::Instant;
 
@@ -98,6 +98,66 @@ pub fn rank_list_with_telemetry(
     seed: u64,
     recorder: &mut Recorder,
 ) -> (Vec<u32>, RankStats) {
+    rank_list_impl(list, strategy, seed, recorder, None)
+}
+
+/// [`rank_list_with_telemetry`] with a quality tap on the FIS rounds: the
+/// coin bits Phase I consumes are repacked into 64-bit words (LSB first,
+/// carrying remainders across rounds so no padding biases the stream) and
+/// offered to `tap`. This watches the randomness *at the point of use* —
+/// after provider batching — which is exactly where correlated sub-streams
+/// would corrupt the reduction.
+pub fn rank_list_monitored(
+    list: &LinkedList,
+    strategy: RandomnessStrategy,
+    seed: u64,
+    recorder: &mut Recorder,
+    tap: &mut dyn WordTap,
+) -> (Vec<u32>, RankStats) {
+    rank_list_impl(list, strategy, seed, recorder, Some(tap))
+}
+
+/// Repacks the coin bits flowing through a [`BitProvider`] into words for
+/// a [`WordTap`], preserving order across rounds.
+struct TappedBits<'a> {
+    inner: Box<dyn BitProvider>,
+    tap: &'a mut dyn WordTap,
+    acc: u64,
+    acc_bits: u32,
+    words: Vec<u64>,
+}
+
+impl BitProvider for TappedBits<'_> {
+    fn provide(&mut self, out: &mut [u8], count: usize) -> u64 {
+        let produced = self.inner.provide(out, count);
+        self.words.clear();
+        for &coin in &out[..count] {
+            self.acc |= ((coin & 1) as u64) << self.acc_bits;
+            self.acc_bits += 1;
+            if self.acc_bits == 64 {
+                self.words.push(self.acc);
+                self.acc = 0;
+                self.acc_bits = 0;
+            }
+        }
+        if !self.words.is_empty() {
+            self.tap.observe(&self.words);
+        }
+        produced
+    }
+
+    fn bits_produced(&self) -> u64 {
+        self.inner.bits_produced()
+    }
+}
+
+fn rank_list_impl(
+    list: &LinkedList,
+    strategy: RandomnessStrategy,
+    seed: u64,
+    recorder: &mut Recorder,
+    tap: Option<&mut dyn WordTap>,
+) -> (Vec<u32>, RankStats) {
     let n = list.len();
     if n < 64 {
         // Too small for the machinery to pay off; the measured phases are
@@ -118,7 +178,7 @@ pub fn rank_list_with_telemetry(
     }
 
     let target = ((n as f64) / (n as f64).log2()).ceil() as usize;
-    let mut provider: Box<dyn BitProvider> = match strategy {
+    let base: Box<dyn BitProvider> = match strategy {
         RandomnessStrategy::OnDemandExpander => {
             Box::new(OnDemandBits::new(ExpanderWalkRng::from_seed_u64(seed)))
         }
@@ -126,6 +186,16 @@ pub fn rank_list_with_telemetry(
             Box::new(BatchBits::new(GlibcRand::seed_from_u64(seed), n))
         }
         RandomnessStrategy::BatchMt => Box::new(BatchBits::new(Mt19937_64::seed_from_u64(seed), n)),
+    };
+    let mut provider: Box<dyn BitProvider + '_> = match tap {
+        Some(tap) => Box::new(TappedBits {
+            inner: base,
+            tap,
+            acc: 0,
+            acc_bits: 0,
+            words: Vec::new(),
+        }),
+        None => base,
     };
 
     // Phase I: FIS reduction.
@@ -289,6 +359,35 @@ mod tests {
         assert!(phases.contains(&"phase2_helman_jaja"));
         assert!(phases.contains(&"phase3_reinsert"));
         assert!(recorder.spans().iter().all(|s| s.stage == Stage::App));
+    }
+
+    #[test]
+    fn monitored_ranking_taps_exactly_the_consumed_coins() {
+        struct CountingTap {
+            words: u64,
+        }
+        impl WordTap for CountingTap {
+            fn observe(&mut self, words: &[u64]) {
+                self.words += words.len() as u64;
+            }
+        }
+        let list = LinkedList::random(20_000, &mut SplitMix64::new(8));
+        let mut recorder = Recorder::new();
+        let mut tap = CountingTap { words: 0 };
+        let (ranks, stats) = rank_list_monitored(
+            &list,
+            RandomnessStrategy::OnDemandExpander,
+            11,
+            &mut recorder,
+            &mut tap,
+        );
+        assert!(verify_ranks(&list, &ranks));
+        // One bit per live node per round, packed 64 to a word with the
+        // remainder carried — the tap sees the consumed stream exactly.
+        assert_eq!(tap.words, stats.bits_consumed / 64);
+        // The tap is an observer: rankings are unchanged by monitoring.
+        let (plain, _) = rank_list(&list, RandomnessStrategy::OnDemandExpander, 11);
+        assert_eq!(ranks, plain);
     }
 
     #[test]

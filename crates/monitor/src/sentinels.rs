@@ -1,0 +1,486 @@
+//! The streaming sentinels: incrementally-updatable versions of the
+//! bit-level tests in `hprng-stattests`, sharing its special-function
+//! kernels (`erfc`, the incomplete gamma) for p-values.
+//!
+//! Each sentinel keeps two sets of sufficient statistics over the sampled
+//! word stream: a *cumulative* set since attach, and a *windowed* set
+//! reset every monitor window. Cumulative scores catch slow drift;
+//! windowed scores catch bursts a long healthy history would average
+//! away. All state is O(1) per sentinel (the entropy sentinel's 256-bin
+//! table included), so a tap costs a few dozen ALU ops per sampled word.
+
+use hprng_stattests::special::{chi_square_sf, erfc};
+
+/// A sentinel verdict: the test statistic as a z-score (or chi-square
+/// deviate mapped to z-like magnitude), its two-sided p-value, and the
+/// sample size it was computed over.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Score {
+    /// Standardized test statistic (0 when undefined, e.g. empty window).
+    pub z: f64,
+    /// Two-sided p-value in [0, 1] (1 when undefined).
+    pub p: f64,
+    /// Number of elementary observations (bits, bit pairs or bytes).
+    pub n: u64,
+}
+
+impl Score {
+    fn undefined() -> Score {
+        Score {
+            z: 0.0,
+            p: 1.0,
+            n: 0,
+        }
+    }
+
+    fn from_z(z: f64, n: u64) -> Score {
+        Score {
+            z,
+            p: erfc(z.abs() / std::f64::consts::SQRT_2),
+            n,
+        }
+    }
+}
+
+/// Monobit (frequency) sentinel: NIST SP 800-22 §2.1 kept as running
+/// popcounts. `z = (2·ones − n)/√n`.
+#[derive(Clone, Debug, Default)]
+pub struct Monobit {
+    ones: u64,
+    bits: u64,
+    win_ones: u64,
+    win_bits: u64,
+}
+
+impl Monobit {
+    /// Folds one sampled word into the cumulative and windowed state.
+    pub fn push_word(&mut self, w: u64) {
+        let ones = w.count_ones() as u64;
+        self.ones += ones;
+        self.bits += 64;
+        self.win_ones += ones;
+        self.win_bits += 64;
+    }
+
+    /// Clears the windowed statistics; cumulative state is kept.
+    pub fn reset_window(&mut self) {
+        self.win_ones = 0;
+        self.win_bits = 0;
+    }
+
+    fn score(ones: u64, bits: u64) -> Score {
+        if bits == 0 {
+            return Score::undefined();
+        }
+        let n = bits as f64;
+        let z = (2.0 * ones as f64 - n) / n.sqrt();
+        Score::from_z(z, bits)
+    }
+
+    /// Score over everything seen since attach.
+    pub fn cumulative(&self) -> Score {
+        Self::score(self.ones, self.bits)
+    }
+
+    /// Score over the current window.
+    pub fn window(&self) -> Score {
+        Self::score(self.win_ones, self.win_bits)
+    }
+}
+
+/// Runs sentinel: NIST SP 800-22 §2.3 as running transition counts.
+/// With `V` the number of runs and `π` the ones fraction,
+/// `z = (V − 2nπ(1−π)) / (2√n·π(1−π))`. Degenerates when the stream is
+/// (near-)constant — `π(1−π) → 0` — in which case the sentinel abstains
+/// and the monobit sentinel fires instead.
+#[derive(Clone, Debug, Default)]
+pub struct Runs {
+    prev_bit: Option<u8>,
+    transitions: u64,
+    ones: u64,
+    bits: u64,
+    win_transitions: u64,
+    win_ones: u64,
+    win_bits: u64,
+}
+
+impl Runs {
+    /// Folds one sampled word into the cumulative and windowed state.
+    pub fn push_word(&mut self, w: u64) {
+        // Transitions inside the word: bit i vs bit i+1, LSB-first.
+        let internal = (w ^ (w >> 1)) & 0x7fff_ffff_ffff_ffff;
+        let mut t = internal.count_ones() as u64;
+        if let Some(prev) = self.prev_bit {
+            t += (prev ^ (w & 1) as u8) as u64;
+        }
+        self.prev_bit = Some((w >> 63) as u8);
+        let ones = w.count_ones() as u64;
+        self.transitions += t;
+        self.ones += ones;
+        self.bits += 64;
+        self.win_transitions += t;
+        self.win_ones += ones;
+        self.win_bits += 64;
+    }
+
+    /// Clears the windowed statistics; cumulative state is kept.
+    pub fn reset_window(&mut self) {
+        self.win_transitions = 0;
+        self.win_ones = 0;
+        self.win_bits = 0;
+    }
+
+    fn score(transitions: u64, ones: u64, bits: u64) -> Score {
+        if bits < 2 {
+            return Score::undefined();
+        }
+        let n = bits as f64;
+        let pi = ones as f64 / n;
+        let pq = pi * (1.0 - pi);
+        // Constant or near-constant stream: the runs statistic is
+        // undefined; monobit flags the bias.
+        if pq < 1e-4 {
+            return Score::undefined();
+        }
+        let v = (transitions + 1) as f64;
+        let z = (v - 2.0 * n * pq) / (2.0 * n.sqrt() * pq);
+        Score::from_z(z, bits)
+    }
+
+    /// Score over everything seen since attach.
+    pub fn cumulative(&self) -> Score {
+        Self::score(self.transitions, self.ones, self.bits)
+    }
+
+    /// Score over the current window.
+    pub fn window(&self) -> Score {
+        Self::score(self.win_transitions, self.win_ones, self.win_bits)
+    }
+}
+
+/// Maximum serial-correlation lag tracked.
+pub const MAX_LAG: usize = 8;
+
+/// Serial-correlation sentinel: for each lag `d` in 1..=8, the stream
+/// XORed with itself shifted by `d` bits must again be balanced
+/// (`diff ~ Binomial(n, ½)`), the same statistic as the offline
+/// `Autocorrelation` test but streamed with cross-word carries:
+/// `z_d = 2(diff_d − n_d/2)/√n_d`.
+#[derive(Clone, Debug, Default)]
+pub struct SerialCorrelation {
+    prev: Option<u64>,
+    diff: [u64; MAX_LAG],
+    pairs: [u64; MAX_LAG],
+    win_diff: [u64; MAX_LAG],
+    win_pairs: [u64; MAX_LAG],
+}
+
+impl SerialCorrelation {
+    /// Folds one sampled word into the cumulative and windowed state.
+    pub fn push_word(&mut self, w: u64) {
+        for (lag0, ((diff, pairs), (win_diff, win_pairs))) in self
+            .diff
+            .iter_mut()
+            .zip(self.pairs.iter_mut())
+            .zip(self.win_diff.iter_mut().zip(self.win_pairs.iter_mut()))
+            .enumerate()
+        {
+            let d = lag0 as u32 + 1;
+            // Bits 0..64-d of w pair with bits d..64 of w.
+            let internal_mask = u64::MAX >> d;
+            let mut delta = ((w ^ (w >> d)) & internal_mask).count_ones() as u64;
+            let mut n = 64 - d as u64;
+            if let Some(prev) = self.prev {
+                // The top d bits of the previous word pair with the low d
+                // bits of this one.
+                let boundary_mask = (1u64 << d) - 1;
+                delta += (((prev >> (64 - d)) ^ w) & boundary_mask).count_ones() as u64;
+                n += d as u64;
+            }
+            *diff += delta;
+            *pairs += n;
+            *win_diff += delta;
+            *win_pairs += n;
+        }
+        self.prev = Some(w);
+    }
+
+    /// Clears the windowed statistics; cumulative state is kept.
+    pub fn reset_window(&mut self) {
+        self.win_diff = [0; MAX_LAG];
+        self.win_pairs = [0; MAX_LAG];
+    }
+
+    fn score(diff: u64, pairs: u64) -> Score {
+        if pairs == 0 {
+            return Score::undefined();
+        }
+        let n = pairs as f64;
+        let z = 2.0 * (diff as f64 - n / 2.0) / n.sqrt();
+        Score::from_z(z, pairs)
+    }
+
+    /// The worst (largest |z|) lag's cumulative score and its lag.
+    pub fn cumulative(&self) -> (usize, Score) {
+        Self::worst(&self.diff, &self.pairs)
+    }
+
+    /// The worst lag's windowed score and its lag.
+    pub fn window(&self) -> (usize, Score) {
+        Self::worst(&self.win_diff, &self.win_pairs)
+    }
+
+    fn worst(diff: &[u64; MAX_LAG], pairs: &[u64; MAX_LAG]) -> (usize, Score) {
+        let mut best = (1, Score::undefined());
+        for (i, (&d, &n)) in diff.iter().zip(pairs.iter()).enumerate() {
+            let s = Self::score(d, n);
+            if s.z.abs() > best.1.z.abs() {
+                best = (i + 1, s);
+            }
+        }
+        best
+    }
+
+    /// Cumulative score for one specific lag (1-based).
+    pub fn lag_cumulative(&self, lag: usize) -> Score {
+        Self::score(self.diff[lag - 1], self.pairs[lag - 1])
+    }
+}
+
+/// Byte-entropy sentinel: a 256-bin empirical distribution of the
+/// stream's bytes. Reports the empirical Shannon entropy (bits/byte,
+/// ideally 8.0) and flags deviation via the chi-square statistic with
+/// 255 degrees of freedom, mapped to a z-like magnitude through the
+/// normal approximation `z = (χ² − df)/√(2·df)` so it shares the common
+/// threshold with the other sentinels.
+#[derive(Clone, Debug)]
+pub struct ByteEntropy {
+    counts: [u64; 256],
+    bytes: u64,
+    win_counts: [u64; 256],
+    win_bytes: u64,
+}
+
+impl Default for ByteEntropy {
+    fn default() -> Self {
+        Self {
+            counts: [0; 256],
+            bytes: 0,
+            win_counts: [0; 256],
+            win_bytes: 0,
+        }
+    }
+}
+
+impl ByteEntropy {
+    /// Minimum bytes before a score is reported: keeps the expected count
+    /// per bin ≥ 5, where the chi-square approximation is trustworthy.
+    pub const MIN_BYTES: u64 = 1_280;
+
+    /// Folds one sampled word into the cumulative and windowed state.
+    pub fn push_word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.counts[b as usize] += 1;
+            self.win_counts[b as usize] += 1;
+        }
+        self.bytes += 8;
+        self.win_bytes += 8;
+    }
+
+    /// Clears the windowed statistics; cumulative state is kept.
+    pub fn reset_window(&mut self) {
+        self.win_counts = [0; 256];
+        self.win_bytes = 0;
+    }
+
+    fn score(counts: &[u64; 256], bytes: u64) -> Score {
+        if bytes < Self::MIN_BYTES {
+            return Score::undefined();
+        }
+        let expected = bytes as f64 / 256.0;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        let df = 255.0;
+        Score {
+            z: (chi2 - df) / (2.0 * df).sqrt(),
+            p: chi_square_sf(chi2, df),
+            n: bytes,
+        }
+    }
+
+    /// Score over everything seen since attach.
+    pub fn cumulative(&self) -> Score {
+        Self::score(&self.counts, self.bytes)
+    }
+
+    /// Score over the current window.
+    pub fn window(&self) -> Score {
+        Self::score(&self.win_counts, self.win_bytes)
+    }
+
+    fn entropy(counts: &[u64; 256], bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let n = bytes as f64;
+        -counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                p * p.log2()
+            })
+            .sum::<f64>()
+    }
+
+    /// Empirical Shannon entropy over all bytes seen, bits/byte.
+    pub fn entropy_bits(&self) -> f64 {
+        Self::entropy(&self.counts, self.bytes)
+    }
+
+    /// Empirical Shannon entropy over the current window, bits/byte.
+    pub fn window_entropy_bits(&self) -> f64 {
+        Self::entropy(&self.win_counts, self.win_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hprng_baselines::SplitMix64;
+
+    fn feed<T>(s: &mut T, push: impl Fn(&mut T, u64), n: usize, seed: u64) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..n {
+            push(s, rng.next());
+        }
+    }
+
+    #[test]
+    fn monobit_accepts_uniform_flags_biased() {
+        let mut m = Monobit::default();
+        feed(&mut m, Monobit::push_word, 4096, 7);
+        assert!(m.cumulative().z.abs() < 4.0, "z={}", m.cumulative().z);
+        let mut bad = Monobit::default();
+        for _ in 0..64 {
+            bad.push_word(u64::MAX);
+        }
+        assert!(bad.cumulative().z > 6.0);
+        assert!(bad.cumulative().p < 1e-9);
+    }
+
+    #[test]
+    fn monobit_window_resets() {
+        let mut m = Monobit::default();
+        for _ in 0..64 {
+            m.push_word(u64::MAX);
+        }
+        m.reset_window();
+        assert_eq!(m.window().n, 0);
+        assert_eq!(m.window().p, 1.0);
+        feed(&mut m, Monobit::push_word, 1024, 3);
+        // Window forgets the biased prefix; cumulative remembers.
+        assert!(m.window().z.abs() < 5.0);
+        assert!(m.cumulative().z > 6.0);
+    }
+
+    #[test]
+    fn runs_streaming_matches_batch_count() {
+        // Transition count computed streamed word-by-word equals a naive
+        // bit-loop over the concatenated stream.
+        let mut rng = SplitMix64::new(11);
+        let words: Vec<u64> = (0..64).map(|_| rng.next()).collect();
+        let mut r = Runs::default();
+        for &w in &words {
+            r.push_word(w);
+        }
+        let bits: Vec<u8> = words
+            .iter()
+            .flat_map(|&w| (0..64).map(move |i| ((w >> i) & 1) as u8))
+            .collect();
+        let naive: u64 = bits.windows(2).map(|p| (p[0] ^ p[1]) as u64).sum();
+        assert_eq!(r.transitions, naive);
+    }
+
+    #[test]
+    fn runs_flags_alternating_abstains_on_constant() {
+        let mut alt = Runs::default();
+        for _ in 0..64 {
+            alt.push_word(0xAAAA_AAAA_AAAA_AAAA);
+        }
+        // Every adjacent pair differs: far too many runs.
+        assert!(alt.cumulative().z > 6.0);
+        let mut constant = Runs::default();
+        for _ in 0..64 {
+            constant.push_word(0);
+        }
+        assert_eq!(constant.cumulative(), Score::undefined());
+    }
+
+    #[test]
+    fn serial_correlation_streaming_matches_batch() {
+        let mut rng = SplitMix64::new(13);
+        let words: Vec<u64> = (0..32).map(|_| rng.next()).collect();
+        let mut s = SerialCorrelation::default();
+        for &w in &words {
+            s.push_word(w);
+        }
+        let bits: Vec<u8> = words
+            .iter()
+            .flat_map(|&w| (0..64).map(move |i| ((w >> i) & 1) as u8))
+            .collect();
+        for d in 1..=MAX_LAG {
+            let naive: u64 = (0..bits.len() - d)
+                .map(|i| (bits[i] ^ bits[i + d]) as u64)
+                .sum();
+            assert_eq!(s.diff[d - 1], naive, "lag {d}");
+            assert_eq!(s.pairs[d - 1], (bits.len() - d) as u64, "lag {d}");
+        }
+    }
+
+    #[test]
+    fn serial_correlation_flags_period_two() {
+        // The glibc-LCG low-bit pathology: perfectly anticorrelated at
+        // lag 1, perfectly correlated at lag 2.
+        let mut s = SerialCorrelation::default();
+        for _ in 0..64 {
+            s.push_word(0xAAAA_AAAA_AAAA_AAAA);
+        }
+        assert!(s.lag_cumulative(1).z > 6.0);
+        assert!(s.lag_cumulative(2).z < -6.0);
+        let (_, worst) = s.cumulative();
+        assert!(worst.p < 1e-12);
+        // A healthy stream stays calm at every lag.
+        let mut good = SerialCorrelation::default();
+        feed(&mut good, SerialCorrelation::push_word, 4096, 5);
+        let (_, worst) = good.cumulative();
+        assert!(worst.z.abs() < 5.0, "z={}", worst.z);
+    }
+
+    #[test]
+    fn byte_entropy_near_eight_bits_for_uniform() {
+        let mut e = ByteEntropy::default();
+        feed(&mut e, ByteEntropy::push_word, 8192, 17);
+        assert!(e.entropy_bits() > 7.99);
+        assert!(e.cumulative().z.abs() < 6.0, "z={}", e.cumulative().z);
+        let mut constant = ByteEntropy::default();
+        for _ in 0..1024 {
+            constant.push_word(0x4242_4242_4242_4242);
+        }
+        assert!(constant.entropy_bits() < 0.01);
+        assert!(constant.cumulative().z > 6.0);
+        assert!(constant.cumulative().p < 1e-12);
+    }
+
+    #[test]
+    fn byte_entropy_abstains_below_minimum_sample() {
+        let mut e = ByteEntropy::default();
+        e.push_word(0);
+        assert_eq!(e.cumulative(), Score::undefined());
+    }
+}

@@ -22,6 +22,7 @@ pub mod sim;
 mod tissue;
 
 pub use sim::{
-    run_simulation, run_simulation_with_telemetry, RandomSupply, ScoringGrid, SimConfig, SimOutput,
+    run_simulation, run_simulation_monitored, run_simulation_with_telemetry, RandomSupply,
+    ScoringGrid, SimConfig, SimOutput,
 };
 pub use tissue::{Layer, Tissue};

@@ -381,6 +381,35 @@ pub fn run_simulation_with_telemetry(
     config: &SimConfig,
     recorder: &mut hprng_telemetry::Recorder,
 ) -> SimOutput {
+    run_simulation_impl(tissue, photons, config, recorder, None)
+}
+
+/// [`run_simulation_with_telemetry`] with a quality tap: every photon
+/// launch tag is forwarded to `tap` (in launch order, before the clash
+/// sort) so a streaming sentinel can judge the variates the transport
+/// kernel actually consumed. The tap runs inside its own
+/// [`hprng_telemetry::Stage::App`] span named `monitor_tap`, so its cost
+/// is visible and separable in the trace.
+///
+/// # Panics
+/// Panics if `photons == 0`.
+pub fn run_simulation_monitored(
+    tissue: &Tissue,
+    photons: u64,
+    config: &SimConfig,
+    recorder: &mut hprng_telemetry::Recorder,
+    tap: &mut dyn hprng_telemetry::WordTap,
+) -> SimOutput {
+    run_simulation_impl(tissue, photons, config, recorder, Some(tap))
+}
+
+fn run_simulation_impl(
+    tissue: &Tissue,
+    photons: u64,
+    config: &SimConfig,
+    recorder: &mut hprng_telemetry::Recorder,
+    tap: Option<&mut dyn hprng_telemetry::WordTap>,
+) -> SimOutput {
     assert!(photons > 0, "need at least one photon");
     let span = recorder.start_span(hprng_telemetry::Stage::App, "montecarlo");
     let wall = Instant::now();
@@ -431,6 +460,15 @@ pub fn run_simulation_with_telemetry(
                 (a.merge(b), ta)
             },
         );
+
+    // Quality tap: hand the launch tags over in launch order, before the
+    // clash sort destroys the sequence structure.
+    if let Some(tap) = tap {
+        let tap_span = recorder.start_span(hprng_telemetry::Stage::App, "monitor_tap");
+        tap.observe(&tags);
+        recorder.finish_span(tap_span);
+        recorder.add("tap_words", tags.len() as f64);
+    }
 
     // Clash accounting over the launch tags.
     tags.sort_unstable();
@@ -632,6 +670,29 @@ mod tests {
         let shallow: f64 = out.abs_depth[..10].iter().sum();
         let deep: f64 = out.abs_depth[30..40].iter().sum();
         assert!(shallow > 2.0 * deep, "shallow {shallow} vs deep {deep}");
+    }
+
+    #[test]
+    fn monitored_run_taps_every_launch_tag() {
+        struct CollectTap(Vec<u64>);
+        impl hprng_telemetry::WordTap for CollectTap {
+            fn observe(&mut self, words: &[u64]) {
+                self.0.extend_from_slice(words);
+            }
+        }
+        let tissue = Tissue::three_layer();
+        let cfg = quick_config(RandomSupply::InlineHybrid);
+        let mut recorder = hprng_telemetry::Recorder::new();
+        let mut tap = CollectTap(Vec::new());
+        let out = run_simulation_monitored(&tissue, 5_000, &cfg, &mut recorder, &mut tap);
+        // One launch tag per photon, and the physics is untouched.
+        assert_eq!(tap.0.len() as u64, out.photons);
+        let plain = run_simulation(&tissue, 5_000, &cfg);
+        assert_eq!(out.diffuse_reflectance, plain.diffuse_reflectance);
+        assert_eq!(out.interactions, plain.interactions);
+        // The tap cost is accounted in its own span and counter.
+        assert!(recorder.spans().iter().any(|s| s.name == "monitor_tap"));
+        assert_eq!(recorder.counter("tap_words"), out.photons as f64);
     }
 
     #[test]

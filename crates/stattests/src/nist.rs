@@ -259,4 +259,56 @@ mod tests {
         let seq = vec![0u8; 1024];
         assert_eq!(ApproximateEntropy::phi(&seq, 3), 0.0);
     }
+
+    // Known-answer tests against the worked examples published in NIST
+    // SP 800-22 rev. 1a. Each pins one of the special-function kernels the
+    // p-value helpers are built on, at the exact argument the example
+    // produces.
+
+    #[test]
+    fn kat_monobit_example_2_1() {
+        // §2.1.8: ε = the 100-bit π expansion, s_obs = 1.6,
+        // P-value = erfc(1.6/√2) = 0.109599.
+        let p = crate::special::erfc(1.6 / std::f64::consts::SQRT_2);
+        assert!((p - 0.109599).abs() < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn kat_block_frequency_example_2_2() {
+        // §2.2.8: N = 10 blocks, χ² = 7.2,
+        // P-value = igamc(N/2, χ²/2) = igamc(5, 3.6) = 0.706438.
+        let p = crate::special::gamma_q(5.0, 3.6);
+        assert!((p - 0.706438).abs() < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn kat_runs_example_2_3() {
+        // §2.3.8 (n = 100 example): π = 0.42, V_obs = 52,
+        // P-value = erfc(|52 − 2·100·0.42·0.58| / (2·√100·0.42·0.58))
+        //         = erfc(0.47606…/√2·√2) ≈ 0.500798.
+        let n = 100.0f64;
+        let pi = 0.42f64;
+        let v_obs = 52.0f64;
+        let num = (v_obs - 2.0 * n * pi * (1.0 - pi)).abs();
+        let den = 2.0 * n.sqrt() * pi * (1.0 - pi) * std::f64::consts::SQRT_2;
+        let p = crate::special::erfc(num / den);
+        assert!((p - 0.500798).abs() < 1e-5, "p = {p}");
+    }
+
+    #[test]
+    fn kat_longest_run_style_igamc_small_df() {
+        // igamc(3/2, x/2) at χ² = 4.882457 (the §2.4-family shape with
+        // K = 3 degrees of freedom): gamma_q(1.5, 2.4412285) ≈ 0.180609.
+        let p = crate::special::gamma_q(1.5, 2.441_228_5);
+        assert!((p - 0.180609).abs() < 1e-5, "p = {p}");
+    }
+
+    #[test]
+    fn kat_igamc_exponential_identity() {
+        // For a = 1 the regularized upper incomplete gamma collapses to
+        // e^{-x}: gamma_q(1, 0.4) = e^{-0.4} = 0.670320…
+        let p = crate::special::gamma_q(1.0, 0.4);
+        assert!((p - (-0.4f64).exp()).abs() < 1e-12, "p = {p}");
+        assert!((p - 0.670320).abs() < 1e-6, "p = {p}");
+    }
 }

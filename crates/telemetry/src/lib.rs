@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod prometheus;
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -78,6 +79,24 @@ impl fmt::Display for Stage {
             Stage::App => write!(f, "APP"),
         }
     }
+}
+
+/// A streaming observer of generated 64-bit words.
+///
+/// Producers (a `HybridSession`, the list-ranking coin provider, the
+/// photon-migration loop) call [`WordTap::observe`] with each batch they
+/// emit; the index of a word within the slice identifies the producing
+/// lane/stream, which clash detectors may use. Implementations own their
+/// sampling policy — producers hand over every batch and the tap decides
+/// what to keep, so a 1-in-N sampling tap costs the producer one virtual
+/// call plus whatever the tap samples.
+///
+/// The trait lives here, at the bottom of the crate graph, so `core`,
+/// `listrank` and `montecarlo` can accept taps without depending on the
+/// monitor crate that implements them.
+pub trait WordTap: Send {
+    /// Observes one batch of generated words.
+    fn observe(&mut self, words: &[u64]);
 }
 
 /// One completed host-side span, in nanoseconds relative to the
@@ -175,6 +194,23 @@ impl Histogram {
     /// Largest sample, or 0 when empty.
     pub fn max_ns(&self) -> f64 {
         self.max_ns
+    }
+
+    /// Raw bucket occupancy: `bucket_counts()[i]` samples fell in
+    /// `[2^i, 2^(i+1))` ns. Exposed for exporters (Prometheus `_bucket`
+    /// lines) that need the full distribution, not just summary quantiles.
+    pub fn bucket_counts(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
+    /// Upper edge of bucket `i` in nanoseconds (`2^(i+1)`).
+    pub fn bucket_upper_ns(i: usize) -> f64 {
+        2f64.powi(i as i32 + 1)
+    }
+
+    /// Sum of all recorded samples in nanoseconds.
+    pub fn sum_ns(&self) -> f64 {
+        self.sum_ns
     }
 
     /// Approximate quantile (`q` in [0, 1]) from the bucket boundaries.
@@ -328,6 +364,11 @@ impl Recorder {
     /// The named histogram, if any sample was recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// All histograms.
+    pub fn histograms(&self) -> &BTreeMap<String, Histogram> {
+        &self.histograms
     }
 
     /// Appends an (x, y) point to the named series (e.g. per-round FIS
@@ -718,6 +759,91 @@ mod tests {
         assert_eq!(h.max_ns(), 800.0);
         assert!(h.quantile_ns(0.5) >= 100.0 && h.quantile_ns(0.5) <= 800.0);
         assert_eq!(h.quantile_ns(1.0), 800.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_on_empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile_ns(q), 0.0);
+        }
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.min_ns(), 0.0);
+        assert_eq!(h.max_ns(), 0.0);
+        assert_eq!(h.sum_ns(), 0.0);
+        assert!(h.bucket_counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn histogram_quantile_extremes_are_exact_min_max() {
+        let mut h = Histogram::new();
+        for ns in [3.0, 900.0, 17.0, 65_000.0] {
+            h.record(ns);
+        }
+        // q=0 and q=1 return the exact observed extremes, not bucket
+        // edges; out-of-range q clamps.
+        assert_eq!(h.quantile_ns(0.0), 3.0);
+        assert_eq!(h.quantile_ns(1.0), 65_000.0);
+        assert_eq!(h.quantile_ns(-0.5), 3.0);
+        assert_eq!(h.quantile_ns(2.0), 65_000.0);
+        // Interior quantiles stay within the observed range.
+        let p50 = h.quantile_ns(0.5);
+        assert!((3.0..=65_000.0).contains(&p50));
+    }
+
+    #[test]
+    fn histogram_single_sample_quantiles() {
+        let mut h = Histogram::new();
+        h.record(1_000.0);
+        assert_eq!(h.count(), 1);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ns(q), 1_000.0, "q={q}");
+        }
+        assert_eq!(h.mean_ns(), 1_000.0);
+    }
+
+    #[test]
+    fn histogram_negative_and_subnanosecond_samples_clamp_to_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(-5.0);
+        h.record(0.25);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket_counts()[0], 2);
+        assert_eq!(h.min_ns(), 0.0);
+    }
+
+    #[test]
+    fn metrics_json_full_roundtrip() {
+        // Every section of the metrics document survives
+        // serialize → parse with values intact.
+        let mut r = Recorder::new();
+        r.add("iterations", 3.0);
+        r.set_gauge("gpu_busy", 0.25);
+        r.observe("lat", 100.0);
+        r.observe("lat", 700.0);
+        r.push_point("live", 0.0, 10.0);
+        r.push_point("live", 1.0, 4.0);
+        let parsed = json::parse(&r.metrics_json().to_json()).unwrap();
+        assert_eq!(
+            parsed
+                .get("gauges")
+                .and_then(|g| g.get("gpu_busy"))
+                .and_then(Value::as_f64),
+            Some(0.25)
+        );
+        let hist = parsed.get("histograms").and_then(|h| h.get("lat")).unwrap();
+        assert_eq!(hist.get("count").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(hist.get("mean_ns").and_then(Value::as_f64), Some(400.0));
+        assert_eq!(hist.get("min_ns").and_then(Value::as_f64), Some(100.0));
+        assert_eq!(hist.get("max_ns").and_then(Value::as_f64), Some(700.0));
+        let series = parsed
+            .get("series")
+            .and_then(|s| s.get("live"))
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[1].as_array().unwrap()[1].as_f64(), Some(4.0));
     }
 
     #[test]

@@ -1,0 +1,457 @@
+//! Prometheus text-exposition (version 0.0.4) export for a [`Recorder`].
+//!
+//! The monitor subsystem turns the pipeline into a long-running service,
+//! and services get scraped: this module renders every counter, gauge and
+//! histogram a recorder holds in the plain-text format Prometheus ingests
+//! (`# TYPE` declarations, `_bucket{le="…"}` cumulative bucket lines,
+//! `_sum`/`_count` totals). A strict line-format parser rides along so
+//! tests can prove the exposition is well-formed and lossless, and
+//! [`write_prometheus`] snapshots the exposition to disk for
+//! `node_exporter`-style textfile collection.
+//!
+//! Metric names are sanitized to `[a-zA-Z0-9_:]` and prefixed `hprng_` so
+//! recorder-internal names like `batch_latency_ns` scrape as
+//! `hprng_batch_latency_ns`. Series (which Prometheus has no native type
+//! for) export their most recent point as a `hprng_<name>_last` gauge,
+//! so nothing the Chrome-trace export covers is missing from a scrape.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{Histogram, Recorder};
+
+/// Prefix applied to every exported metric name.
+pub const METRIC_PREFIX: &str = "hprng_";
+
+/// Maps a recorder-internal metric name to its exported Prometheus name:
+/// `hprng_` prefix, invalid characters replaced with `_`.
+pub fn metric_name(raw: &str) -> String {
+    let mut out = String::with_capacity(METRIC_PREFIX.len() + raw.len());
+    out.push_str(METRIC_PREFIX);
+    for c in raw.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_infinite() {
+        return if v > 0.0 { "+Inf" } else { "-Inf" }.to_string();
+    }
+    if v.is_nan() {
+        return "NaN".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn push_type(out: &mut String, name: &str, kind: &str) {
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn push_histogram(out: &mut String, name: &str, h: &Histogram) {
+    push_type(out, name, "histogram");
+    let counts = h.bucket_counts();
+    let last_nonempty = counts.iter().rposition(|&c| c > 0);
+    let mut cumulative = 0u64;
+    if let Some(last) = last_nonempty {
+        for (i, &c) in counts.iter().enumerate().take(last + 1) {
+            cumulative += c;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                fmt_value(Histogram::bucket_upper_ns(i))
+            );
+        }
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(out, "{name}_sum {}", fmt_value(h.sum_ns()));
+    let _ = writeln!(out, "{name}_count {}", h.count());
+}
+
+/// Renders the recorder's counters, gauges, histograms and series as a
+/// Prometheus text exposition.
+pub fn exposition(recorder: &Recorder) -> String {
+    let mut out = String::new();
+    for (raw, v) in recorder.counters() {
+        let name = metric_name(raw);
+        push_type(&mut out, &name, "counter");
+        let _ = writeln!(out, "{name} {}", fmt_value(*v));
+    }
+    for (raw, v) in recorder.gauges() {
+        let name = metric_name(raw);
+        push_type(&mut out, &name, "gauge");
+        let _ = writeln!(out, "{name} {}", fmt_value(*v));
+    }
+    for (raw, points) in recorder.all_series() {
+        let Some((_, y)) = points.last() else {
+            continue;
+        };
+        let name = metric_name(&format!("{raw}_last"));
+        push_type(&mut out, &name, "gauge");
+        let _ = writeln!(out, "{name} {}", fmt_value(*y));
+    }
+    for (raw, h) in recorder.histograms() {
+        push_histogram(&mut out, &metric_name(raw), h);
+    }
+    out
+}
+
+/// Writes [`exposition`] output to `path` (a scrape-able snapshot, e.g.
+/// for the Prometheus textfile collector).
+pub fn write_prometheus(path: &std::path::Path, recorder: &Recorder) -> std::io::Result<usize> {
+    let text = exposition(recorder);
+    std::fs::write(path, &text)?;
+    Ok(text.len())
+}
+
+/// One parsed sample line: `name{labels…} value`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name (including any `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value (`+Inf`/`-Inf`/`NaN` allowed).
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of a label, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed exposition: `# TYPE` declarations plus all sample lines.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Exposition {
+    /// Metric name → declared type (`counter`, `gauge`, `histogram`, …).
+    pub types: BTreeMap<String, String>,
+    /// All samples, in source order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// The single sample with this exact name and no labels, if any.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+
+    /// All samples with this exact name.
+    pub fn samples_named(&self, name: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// Checks histogram invariants for every metric declared as a
+    /// histogram: cumulative `_bucket` counts are non-decreasing, a
+    /// `+Inf` bucket exists, and it equals `_count`.
+    pub fn validate_histograms(&self) -> Result<(), String> {
+        for (name, kind) in &self.types {
+            if kind != "histogram" {
+                continue;
+            }
+            let buckets = self.samples_named(&format!("{name}_bucket"));
+            if buckets.is_empty() {
+                return Err(format!("{name}: histogram without _bucket lines"));
+            }
+            let mut prev = 0.0f64;
+            let mut inf = None;
+            for b in &buckets {
+                let le = b
+                    .label("le")
+                    .ok_or_else(|| format!("{name}: _bucket without le label"))?;
+                if b.value < prev {
+                    return Err(format!("{name}: bucket counts decrease at le={le}"));
+                }
+                prev = b.value;
+                if le == "+Inf" {
+                    inf = Some(b.value);
+                }
+            }
+            let inf = inf.ok_or_else(|| format!("{name}: missing +Inf bucket"))?;
+            let count = self
+                .value(&format!("{name}_count"))
+                .ok_or_else(|| format!("{name}: missing _count"))?;
+            if (inf - count).abs() > 0.0 {
+                return Err(format!("{name}: +Inf bucket {inf} != _count {count}"));
+            }
+            if self.value(&format!("{name}_sum")).is_none() {
+                return Err(format!("{name}: missing _sum"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value {other:?}")),
+    }
+}
+
+fn parse_labels(text: &str) -> Result<Vec<(String, String)>, String> {
+    // `text` is the content between '{' and '}'.
+    let mut labels = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {rest:?}"))?;
+        let key = rest[..eq].trim().to_string();
+        if !valid_name(&key) {
+            return Err(format!("bad label name {key:?}"));
+        }
+        rest = rest[eq + 1..].trim_start();
+        if !rest.starts_with('"') {
+            return Err(format!("unquoted label value near {rest:?}"));
+        }
+        let mut value = String::new();
+        let mut chars = rest[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    end = Some(i + 2); // past opening and closing quote
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    _ => return Err("bad escape in label value".to_string()),
+                },
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| "unterminated label value".to_string())?;
+        labels.push((key, value));
+        rest = rest[end..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("expected ',' between labels near {rest:?}"));
+        }
+    }
+    Ok(labels)
+}
+
+/// Parses a Prometheus text exposition. Strict about line shape: every
+/// non-comment, non-blank line must be `name[{labels}] value`.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut exp = Exposition::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fail = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| fail("TYPE without metric name".to_string()))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| fail("TYPE without metric type".to_string()))?;
+                if !valid_name(name) {
+                    return Err(fail(format!("bad metric name {name:?}")));
+                }
+                exp.types.insert(name.to_string(), kind.to_string());
+            }
+            continue; // HELP and free comments are ignored
+        }
+        let (name_part, labels, value_part) = if let Some(open) = line.find('{') {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| fail("unterminated label set".to_string()))?;
+            if close < open {
+                return Err(fail("malformed label set".to_string()));
+            }
+            (
+                &line[..open],
+                parse_labels(&line[open + 1..close]).map_err(&fail)?,
+                line[close + 1..].trim(),
+            )
+        } else {
+            let (name, value) = line
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| fail("sample line without value".to_string()))?;
+            (name, Vec::new(), value.trim())
+        };
+        let name = name_part.trim();
+        if !valid_name(name) {
+            return Err(fail(format!("bad metric name {name:?}")));
+        }
+        if value_part.is_empty() {
+            return Err(fail("sample line without value".to_string()));
+        }
+        // Timestamps (a second numeric column) are not emitted by this
+        // exporter and rejected on input.
+        if value_part.split_whitespace().count() != 1 {
+            return Err(fail("unexpected trailing columns".to_string()));
+        }
+        exp.samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value: parse_value(value_part).map_err(&fail)?,
+        });
+    }
+    Ok(exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_recorder() -> Recorder {
+        let mut r = Recorder::new();
+        r.add("feed_words", 4096.0);
+        r.add("numbers", 1024.0);
+        r.set_gauge("cpu_busy", 0.931);
+        r.observe("batch_latency_ns", 900.0);
+        r.observe("batch_latency_ns", 1_800.0);
+        r.observe("batch_latency_ns", 70_000.0);
+        r.push_point("fis_live", 0.0, 100.0);
+        r.push_point("fis_live", 1.0, 37.0);
+        r
+    }
+
+    #[test]
+    fn exposition_parses_and_validates() {
+        let text = exposition(&sample_recorder());
+        let exp = parse_exposition(&text).expect("exposition must parse");
+        exp.validate_histograms().expect("histogram invariants");
+        assert_eq!(exp.value("hprng_feed_words"), Some(4096.0));
+        assert_eq!(exp.value("hprng_cpu_busy"), Some(0.931));
+        assert_eq!(exp.value("hprng_fis_live_last"), Some(37.0));
+        assert_eq!(exp.types.get("hprng_feed_words").unwrap(), "counter");
+        assert_eq!(
+            exp.types.get("hprng_batch_latency_ns").unwrap(),
+            "histogram"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_total() {
+        let text = exposition(&sample_recorder());
+        let exp = parse_exposition(&text).unwrap();
+        let buckets = exp.samples_named("hprng_batch_latency_ns_bucket");
+        assert!(buckets.len() >= 2);
+        let inf = buckets.iter().find(|b| b.label("le") == Some("+Inf"));
+        assert_eq!(inf.unwrap().value, 3.0);
+        assert_eq!(exp.value("hprng_batch_latency_ns_count"), Some(3.0));
+        assert_eq!(exp.value("hprng_batch_latency_ns_sum"), Some(72_700.0));
+        // Bucket edges are powers of two: 900 ns lands in le="1024".
+        assert!(buckets
+            .iter()
+            .any(|b| b.label("le") == Some("1024") && b.value == 1.0));
+    }
+
+    #[test]
+    fn every_chrome_trace_metric_is_scraped() {
+        // The Chrome-trace export covers counters and series (as "C"
+        // events) plus gauges/histograms via metrics_json; the scrape
+        // must cover the same names.
+        let r = sample_recorder();
+        let text = exposition(&r);
+        let exp = parse_exposition(&text).unwrap();
+        for name in r.counters().keys() {
+            assert!(
+                exp.value(&metric_name(name)).is_some(),
+                "counter {name} missing from exposition"
+            );
+        }
+        for name in r.gauges().keys() {
+            assert!(
+                exp.value(&metric_name(name)).is_some(),
+                "gauge {name} missing from exposition"
+            );
+        }
+        for name in r.histograms().keys() {
+            let base = metric_name(name);
+            assert!(exp.value(&format!("{base}_count")).is_some());
+            assert!(exp.value(&format!("{base}_sum")).is_some());
+        }
+        for name in r.all_series().keys() {
+            assert!(exp.value(&metric_name(&format!("{name}_last"))).is_some());
+        }
+    }
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        assert_eq!(metric_name("batch_latency_ns"), "hprng_batch_latency_ns");
+        assert_eq!(metric_name("weird name-1"), "hprng_weird_name_1");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_exposition("just_a_name").is_err());
+        assert!(parse_exposition("1bad_name 3").is_err());
+        assert!(parse_exposition("m{le=\"unterminated} 1").is_err());
+        assert!(parse_exposition("m 1 2 3").is_err());
+        assert!(parse_exposition("m{le=bare} 1").is_err());
+    }
+
+    #[test]
+    fn parser_handles_labels_and_special_values() {
+        let text = "m_bucket{le=\"+Inf\", path=\"a\\\\b\\\"c\"} 7\n# HELP m_bucket ignored\n";
+        let exp = parse_exposition(text).unwrap();
+        let s = &exp.samples[0];
+        assert_eq!(s.label("le"), Some("+Inf"));
+        assert_eq!(s.label("path"), Some("a\\b\"c"));
+        assert_eq!(s.value, 7.0);
+        assert!(parse_exposition("m +Inf\n").unwrap().samples[0]
+            .value
+            .is_infinite());
+    }
+
+    #[test]
+    fn empty_recorder_exports_empty_exposition() {
+        let r = Recorder::new();
+        let exp = parse_exposition(&exposition(&r)).unwrap();
+        assert!(exp.samples.is_empty());
+        assert!(exp.types.is_empty());
+    }
+
+    #[test]
+    fn snapshot_writer_roundtrips() {
+        let r = sample_recorder();
+        let path = std::env::temp_dir().join("hprng_prom_snapshot_test.prom");
+        write_prometheus(&path, &r).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let exp = parse_exposition(&text).unwrap();
+        exp.validate_histograms().unwrap();
+        assert_eq!(exp.value("hprng_numbers"), Some(1024.0));
+    }
+}

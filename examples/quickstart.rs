@@ -36,7 +36,7 @@ fn main() {
     // 3. The hybrid pipeline on the simulated Tesla C1060: FEED on the
     //    CPU, TRANSFER over PCIe, GENERATE on the device, overlapped.
     let mut hybrid = HybridPrng::tesla(42);
-    let (numbers, stats) = hybrid.generate(1_000_000);
+    let (numbers, stats) = hybrid.try_generate(1_000_000).expect("non-zero request");
     println!("hybrid pipeline: {} numbers", numbers.len());
     println!("  simulated time  : {:.3} ms", stats.sim_ns / 1e6);
     println!(

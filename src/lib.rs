@@ -24,13 +24,18 @@
 //! * [`stattests`] — DIEHARD-style and Crush-style quality batteries.
 //! * [`listrank`] — Application I: hybrid list ranking.
 //! * [`montecarlo`] — Application II: photon migration.
-//! * [`telemetry`] — pipeline observability: span/counter recorder and a
-//!   Chrome-trace (Perfetto) exporter for the merged host + device chart.
+//! * [`telemetry`] — pipeline observability: span/counter recorder, a
+//!   Chrome-trace (Perfetto) exporter for the merged host + device chart,
+//!   and a Prometheus text-exposition exporter.
+//! * [`monitor`] — streaming quality sentinels (monobit, runs, serial
+//!   correlation, byte entropy, inter-stream clash) attachable to a live
+//!   session via [`HybridSession::set_tap`].
 //!
 //! The most common types are also re-exported flat at the crate root:
 //! [`ExpanderWalkRng`], [`HybridPrng`], [`HybridSession`], [`HprngError`],
-//! the [`WalkParams`]/[`HybridParams`]/[`DeviceConfig`] builders, and the
-//! telemetry [`Recorder`].
+//! the [`WalkParams`]/[`HybridParams`]/[`DeviceConfig`] builders, the
+//! telemetry [`Recorder`], and the monitor's
+//! [`MonitorConfig`]/[`MonitorHandle`]/[`AlertSink`].
 //!
 //! # Quickstart
 //!
@@ -82,6 +87,7 @@ pub use hprng_core as prng;
 pub use hprng_expander as expander;
 pub use hprng_gpu_sim as gpu;
 pub use hprng_listrank as listrank;
+pub use hprng_monitor as monitor;
 pub use hprng_montecarlo as montecarlo;
 pub use hprng_stattests as stattests;
 pub use hprng_telemetry as telemetry;
@@ -91,4 +97,7 @@ pub use hprng_core::{
     HybridSession, PipelineStats, WalkParams, WalkParamsBuilder,
 };
 pub use hprng_gpu_sim::{ConfigError, DeviceConfig, DeviceConfigBuilder};
-pub use hprng_telemetry::{Recorder, Stage};
+pub use hprng_monitor::{
+    Alert, AlertSink, MonitorConfig, MonitorHandle, MonitorStatus, QualityMonitor,
+};
+pub use hprng_telemetry::{Recorder, Stage, WordTap};

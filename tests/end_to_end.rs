@@ -24,7 +24,7 @@ fn hybrid_pipeline_produces_quality_numbers() {
     // the host generator: same construction, different plumbing. Cheap
     // checks here; the batteries run in quality_integration.rs.
     let mut hybrid = HybridPrng::tesla(3);
-    let (numbers, stats) = hybrid.generate(100_000);
+    let (numbers, stats) = hybrid.try_generate(100_000).unwrap();
     assert_eq!(numbers.len(), 100_000);
     assert!(stats.gnumbers_per_s > 0.0);
 
@@ -45,7 +45,7 @@ fn hybrid_pipeline_produces_quality_numbers() {
 #[test]
 fn pipeline_timeline_shows_the_overlap_story() {
     let mut hybrid = HybridPrng::tesla(4);
-    let (_, stats) = hybrid.generate(500_000);
+    let (_, stats) = hybrid.try_generate(500_000).unwrap();
     let tl = hybrid.device().timeline();
     // All three work units present…
     assert!(tl.unit_total_ns(WorkUnit::Feed) > 0.0);
@@ -84,11 +84,11 @@ fn on_demand_sessions_serve_irregular_demand() {
     // The defining API property: randomness demand doesn't need to be
     // declared up front (Algorithm 3's usage pattern).
     let mut hybrid = HybridPrng::tesla(6);
-    let mut session = hybrid.session(1000);
+    let mut session = hybrid.try_session(1000).unwrap();
     let mut live = 1000usize;
     let mut total = 0usize;
     while live > 10 {
-        let batch = session.next_batch(live);
+        let batch = session.try_next_batch(live).unwrap();
         total += batch.len();
         // Shrink demand like the FIS reduction does.
         live = live * 7 / 8;

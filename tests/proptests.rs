@@ -72,8 +72,8 @@ proptest! {
         let params = HybridParams::with_batch_size(batch);
         let mut a = HybridPrng::new(DeviceConfig::test_tiny(), params, seed);
         let mut b = HybridPrng::new(DeviceConfig::test_tiny(), params, seed);
-        let (xa, sa) = a.generate(n);
-        let (xb, _) = b.generate(n);
+        let (xa, sa) = a.try_generate(n).unwrap();
+        let (xb, _) = b.try_generate(n).unwrap();
         prop_assert_eq!(xa.len(), n);
         prop_assert_eq!(xa, xb);
         prop_assert_eq!(sa.numbers, n);

@@ -39,7 +39,7 @@ fn pipeline_output_passes_diehard_too() {
     // The device pipeline must not degrade the stream: collect its bulk
     // output and replay it through the battery.
     let mut hybrid = HybridPrng::tesla(99);
-    let (numbers, _) = hybrid.generate(2_000_000);
+    let (numbers, _) = hybrid.try_generate(2_000_000).unwrap();
 
     struct Replay {
         data: Vec<u64>,
