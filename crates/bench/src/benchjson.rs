@@ -7,7 +7,9 @@
 //! dashboards want without scraping the pretty-printed tables.
 
 use hprng_baselines::{Kiss, Mt19937, Mt19937_64, Mwc64, SplitMix64, Xorwow};
-use hprng_core::{CpuParallelPrng, ExpanderWalkRng, HybridPrng};
+use hprng_core::pipeline::{Backend, CpuBackend, DeviceBackend, Engine};
+use hprng_core::{CpuParallelPrng, ExpanderWalkRng, GlibcFeed, HybridPrng, PipelineMode};
+use hprng_gpu_sim::{Device, DeviceConfig};
 use hprng_monitor::{MonitorConfig, MonitorHandle};
 use hprng_telemetry::{busy_fractions, chrome_trace, json, Recorder, Stage};
 use rand_core::RngCore;
@@ -70,6 +72,111 @@ pub fn measure_monitor_overhead(seed: u64, words: usize, sample_every: u64) -> (
             .fold(f64::INFINITY, f64::min)
     };
     (best(None), best(Some(sample_every)))
+}
+
+/// Host words/s of one engine configuration over `words` numbers.
+fn engine_words_per_s<B: Backend>(mut engine: Engine<B>, threads: usize, words: usize) -> f64 {
+    engine
+        .initialize(threads)
+        .expect("threads is positive by construction");
+    let wall = Instant::now();
+    let mut remaining = words;
+    while remaining > 0 {
+        let take = remaining.min(threads);
+        std::hint::black_box(
+            engine
+                .try_next_batch(take)
+                .expect("take is within the engine's walks"),
+        );
+        remaining -= take;
+    }
+    words as f64 / wall.elapsed().as_secs_f64().max(1e-12)
+}
+
+fn mode_name(mode: PipelineMode) -> &'static str {
+    match mode.resolve() {
+        PipelineMode::Concurrent => "concurrent",
+        _ => "synchronous",
+    }
+}
+
+/// Benchmarks the engine matrix — both backends in both modes — and
+/// reports host words/s per configuration plus what the default
+/// [`PipelineMode::Auto`] resolves to on this host.
+pub fn engine_bench(seed: u64, words: usize) -> json::Value {
+    let params = hprng_core::HybridParams::default();
+    let threads = params.batch_size.max(1) as usize * 64;
+    let mut modes = Vec::new();
+    for mode in [PipelineMode::Synchronous, PipelineMode::Concurrent] {
+        let device = Device::new(DeviceConfig::tesla_c1060());
+        let dev_wps = engine_words_per_s(
+            Engine::with_mode(
+                DeviceBackend::new(&device, params),
+                Box::new(GlibcFeed::from_master_seed(seed)),
+                mode,
+            ),
+            threads,
+            words,
+        );
+        let cpu_wps = engine_words_per_s(
+            Engine::with_mode(
+                CpuBackend::new(params),
+                Box::new(GlibcFeed::from_master_seed(seed)),
+                mode,
+            ),
+            threads,
+            words,
+        );
+        for (backend, wps) in [("gpu-sim", dev_wps), ("cpu-threads", cpu_wps)] {
+            let mut entry = json::Value::object();
+            entry.set("backend", json::Value::String(backend.to_string()));
+            entry.set("mode", json::Value::String(mode_name(mode).to_string()));
+            entry.set("words_per_s", json::Value::Number(wps));
+            modes.push(entry);
+        }
+    }
+    let mut obj = json::Value::object();
+    obj.set(
+        "default_mode",
+        json::Value::String(mode_name(PipelineMode::Auto).to_string()),
+    );
+    obj.set("modes", json::Value::Array(modes));
+    obj
+}
+
+/// Compares a current bench document against a baseline one: the hybrid
+/// pipeline's `host_words_per_s` may not drop by more than `max_drop`
+/// (a fraction, e.g. `0.2` for 20%).
+///
+/// Returns `Ok(summary)` when within budget and `Err(explanation)` on a
+/// regression or on documents missing the metric.
+pub fn compare_with_baseline(
+    current: &json::Value,
+    baseline: &json::Value,
+    max_drop: f64,
+) -> Result<String, String> {
+    let metric = |doc: &json::Value, which: &str| -> Result<f64, String> {
+        doc.get("hybrid")
+            .and_then(|h| h.get("host_words_per_s"))
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("{which} document has no hybrid.host_words_per_s"))
+    };
+    let cur = metric(current, "current")?;
+    let base = metric(baseline, "baseline")?;
+    if base <= 0.0 {
+        return Err(format!("baseline hybrid.host_words_per_s is {base}"));
+    }
+    let drop = 1.0 - cur / base;
+    let summary = format!(
+        "hybrid host_words_per_s: current {cur:.0}, baseline {base:.0} ({:+.1}% vs baseline, budget -{:.0}%)",
+        -drop * 100.0,
+        max_drop * 100.0
+    );
+    if drop > max_drop {
+        Err(format!("regression beyond budget — {summary}"))
+    } else {
+        Ok(summary)
+    }
 }
 
 fn quantiles_json(recorder: &Recorder, name: &str) -> json::Value {
@@ -183,6 +290,7 @@ pub fn bench_json(seed: u64, words: usize) -> json::Value {
     doc.set("words", json::Value::Number(words as f64));
     doc.set("generators", json::Value::Array(generators));
     doc.set("hybrid", hybrid_obj);
+    doc.set("engine", engine_bench(seed, words));
     doc.set("monitor_overhead", overhead);
     doc
 }
@@ -234,5 +342,37 @@ mod tests {
     fn overhead_measurement_returns_positive_times() {
         let (off, on) = measure_monitor_overhead(5, 1 << 14, 64);
         assert!(off > 0.0 && on > 0.0);
+    }
+
+    #[test]
+    fn engine_bench_covers_the_backend_mode_matrix() {
+        let doc = engine_bench(3, 20_000);
+        let modes = doc.get("modes").and_then(|m| m.as_array()).unwrap();
+        assert_eq!(modes.len(), 4);
+        for entry in modes {
+            assert!(
+                entry.get("words_per_s").and_then(|v| v.as_f64()).unwrap() > 0.0,
+                "zero throughput in {entry:?}"
+            );
+        }
+        let default_mode = doc.get("default_mode").and_then(|v| v.as_str()).unwrap();
+        assert!(default_mode == "synchronous" || default_mode == "concurrent");
+    }
+
+    #[test]
+    fn baseline_comparison_flags_regressions_only() {
+        let doc = |wps: f64| {
+            json::parse(&format!(r#"{{"hybrid": {{"host_words_per_s": {wps}}}}}"#)).unwrap()
+        };
+        // Equal, faster, and a small drop all pass a 20% budget.
+        assert!(compare_with_baseline(&doc(100.0), &doc(100.0), 0.2).is_ok());
+        assert!(compare_with_baseline(&doc(150.0), &doc(100.0), 0.2).is_ok());
+        assert!(compare_with_baseline(&doc(85.0), &doc(100.0), 0.2).is_ok());
+        // A 30% drop fails it.
+        assert!(compare_with_baseline(&doc(70.0), &doc(100.0), 0.2).is_err());
+        // Malformed documents are an error, not a silent pass.
+        let empty = json::parse("{}").unwrap();
+        assert!(compare_with_baseline(&empty, &doc(100.0), 0.2).is_err());
+        assert!(compare_with_baseline(&doc(100.0), &empty, 0.2).is_err());
     }
 }

@@ -15,6 +15,9 @@
 //! repro ablate-walk-len | ablate-bit-source | ablate-sampling
 //! repro trace                         instrumented run only
 //! repro bench --json-out <path>       machine-readable benchmark export
+//!             [--baseline <path>]     compare against a prior bench JSON;
+//!             [--max-drop <frac>]     fail if hybrid words/s drops by more
+//!                                     than the fraction (default 0.2)
 //! repro monitor [--generator hybrid|mt|glibc-low|constant]
 //!               [--words W] [--sample-every N] [--prom-out <path>]
 //!               [--assert-clean | --assert-alerts]
@@ -44,6 +47,8 @@ struct Args {
     assert_clean: bool,
     assert_alerts: bool,
     prom_out: Option<std::path::PathBuf>,
+    baseline: Option<std::path::PathBuf>,
+    max_drop: f64,
 }
 
 fn parse_args() -> Args {
@@ -63,6 +68,8 @@ fn parse_args() -> Args {
         assert_clean: false,
         assert_alerts: false,
         prom_out: None,
+        baseline: None,
+        max_drop: 0.2,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -163,6 +170,16 @@ fn parse_args() -> Args {
                 ));
                 i += 2;
             }
+            "--baseline" => {
+                args.baseline = Some(std::path::PathBuf::from(
+                    argv.get(i + 1).expect("--baseline takes a path"),
+                ));
+                i += 2;
+            }
+            "--max-drop" => {
+                args.max_drop = argv[i + 1].parse().expect("--max-drop takes a fraction");
+                i += 2;
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -252,13 +269,29 @@ fn main() {
     // everything and is meant for regression dashboards, not reading).
     if args.cmd == "bench" {
         let words = args.n.max(50_000);
+        let doc = benchjson::bench_json(args.seed, words);
         match &args.json_out {
             Some(path) => {
-                let bytes = benchjson::write_bench_json(path, args.seed, words)
-                    .expect("writing benchmark JSON");
-                println!("wrote benchmark JSON ({bytes} bytes) to {}", path.display());
+                let text = doc.to_json();
+                std::fs::write(path, &text).expect("writing benchmark JSON");
+                println!(
+                    "wrote benchmark JSON ({} bytes) to {}",
+                    text.len(),
+                    path.display()
+                );
             }
-            None => println!("{}", benchjson::bench_json(args.seed, words).to_json()),
+            None => println!("{}", doc.to_json()),
+        }
+        if let Some(path) = &args.baseline {
+            let text = std::fs::read_to_string(path).expect("reading baseline JSON");
+            let baseline = hprng_telemetry::json::parse(&text).expect("parsing baseline JSON");
+            match benchjson::compare_with_baseline(&doc, &baseline, args.max_drop) {
+                Ok(summary) => println!("OK: {summary}"),
+                Err(reason) => {
+                    eprintln!("FAIL: {reason}");
+                    std::process::exit(1);
+                }
+            }
         }
     }
 

@@ -9,9 +9,11 @@
 //! global state.
 
 use crate::bitsource::RngBitSource;
+use crate::error::HprngError;
 use crate::params::WalkParams;
 use crate::rng::ExpanderWalkRng;
-use hprng_baselines::{GlibcRand, SplitMix64};
+use crate::seeding;
+use hprng_baselines::GlibcRand;
 use rayon::prelude::*;
 
 /// A multicore CPU generator: `k` independent expander walks filling
@@ -24,13 +26,18 @@ pub struct CpuParallelPrng {
 }
 
 impl CpuParallelPrng {
-    /// Creates a generator with `threads` parallel walks (0 means "one per
-    /// available CPU").
+    /// Creates a generator with `threads` parallel walks.
+    ///
+    /// Legacy convention: `threads == 0` silently means "one per available
+    /// CPU", which predates the validating API. New code should say what it
+    /// means with [`CpuParallelPrng::per_cpu`] for the all-CPUs case or
+    /// [`CpuParallelPrng::try_new`] for a checked explicit count.
     pub fn new(seed: u64, threads: usize) -> Self {
         Self::with_params(seed, threads, WalkParams::default())
     }
 
-    /// Creates a generator with explicit walk parameters.
+    /// Creates a generator with explicit walk parameters (`threads == 0`
+    /// resolves as in [`CpuParallelPrng::new`]).
     pub fn with_params(seed: u64, threads: usize, params: WalkParams) -> Self {
         let threads = if threads == 0 {
             rayon::current_num_threads()
@@ -40,6 +47,47 @@ impl CpuParallelPrng {
         Self {
             seed,
             threads,
+            params,
+        }
+    }
+
+    /// Creates a generator with a checked walk count: zero is rejected
+    /// through the same [`HprngError::InvalidParam`] path the parameter
+    /// builders use, instead of being silently reinterpreted.
+    pub fn try_new(seed: u64, threads: usize) -> Result<Self, HprngError> {
+        Self::try_with_params(seed, threads, WalkParams::default())
+    }
+
+    /// Checked variant of [`CpuParallelPrng::with_params`].
+    pub fn try_with_params(
+        seed: u64,
+        threads: usize,
+        params: WalkParams,
+    ) -> Result<Self, HprngError> {
+        if threads == 0 {
+            return Err(HprngError::InvalidParam {
+                field: "threads",
+                reason: "must be positive (use per_cpu() for one walk per available CPU)",
+            });
+        }
+        Ok(Self {
+            seed,
+            threads,
+            params,
+        })
+    }
+
+    /// Creates a generator with one walk per available CPU — the explicit
+    /// spelling of the legacy `threads == 0` convention.
+    pub fn per_cpu(seed: u64) -> Self {
+        Self::per_cpu_with_params(seed, WalkParams::default())
+    }
+
+    /// [`CpuParallelPrng::per_cpu`] with explicit walk parameters.
+    pub fn per_cpu_with_params(seed: u64, params: WalkParams) -> Self {
+        Self {
+            seed,
+            threads: rayon::current_num_threads(),
             params,
         }
     }
@@ -75,10 +123,9 @@ impl CpuParallelPrng {
     /// The generator used by worker `t` — exposed so tests and applications
     /// can reproduce a single worker's stream.
     pub fn worker_rng(&self, t: u64) -> ExpanderWalkRng<RngBitSource<GlibcRand>> {
-        // Per-worker glibc seed derived by SplitMix64 so workers are
-        // decorrelated even for consecutive seeds.
-        let mut sm = SplitMix64::new(self.seed ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let glibc_seed = sm.next() as u32;
+        // Per-worker glibc seed derived by the crate-wide seeding module so
+        // workers are decorrelated even for consecutive seeds.
+        let glibc_seed = seeding::worker_seed(self.seed, t);
         ExpanderWalkRng::with_params(RngBitSource::new(GlibcRand::new(glibc_seed)), self.params)
     }
 }
@@ -119,6 +166,27 @@ mod tests {
         let g = CpuParallelPrng::new(1, 0);
         assert!(g.threads() >= 1);
         assert_eq!(g.threads(), rayon::current_num_threads());
+        // per_cpu is the explicit spelling of the same convention and
+        // produces the identical stream.
+        let e = CpuParallelPrng::per_cpu(1);
+        assert_eq!(e.threads(), g.threads());
+        assert_eq!(e.generate(256), g.generate(256));
+    }
+
+    #[test]
+    fn try_new_rejects_zero_threads() {
+        let err = CpuParallelPrng::try_new(1, 0).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::HprngError::InvalidParam {
+                field: "threads",
+                ..
+            }
+        ));
+        let g = CpuParallelPrng::try_new(1, 4).unwrap();
+        assert_eq!(g.threads(), 4);
+        // The checked and legacy constructors agree for positive counts.
+        assert_eq!(g.generate(512), CpuParallelPrng::new(1, 4).generate(512));
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub enum HprngError {
     },
     /// The simulated device configuration was rejected.
     Config(ConfigError),
+    /// The concurrent engine's FEED producer thread ended (it panicked or
+    /// was torn down) while more raw bits were still needed.
+    FeedDisconnected,
 }
 
 impl fmt::Display for HprngError {
@@ -52,6 +55,9 @@ impl fmt::Display for HprngError {
                 write!(f, "invalid parameter {field}: {reason}")
             }
             HprngError::Config(e) => write!(f, "{e}"),
+            HprngError::FeedDisconnected => {
+                write!(f, "the FEED producer thread ended before the pipeline")
+            }
         }
     }
 }

@@ -7,43 +7,22 @@
 //! copy engine underneath kernel execution on ping-pong streams. The
 //! [`PipelineStats`] and the device timeline reproduce Figure 4 (overlap and
 //! idle fractions) and Figure 5 (batch-size sweep).
+//!
+//! This module is the ergonomic facade: [`HybridPrng`] and
+//! [`HybridSession`] wrap an [`Engine`] on the
+//! [`DeviceBackend`](crate::pipeline::DeviceBackend), with the FEED stage
+//! on a real producer thread when
+//! [`HybridParams::mode`](crate::params::HybridParams::mode) resolves to
+//! concurrent. The stage components themselves live in
+//! [`crate::pipeline`].
 
 use crate::error::HprngError;
 use crate::params::HybridParams;
-use hprng_baselines::GlibcRand;
-use hprng_expander::bits::{SliceBitSource, TriBitReader};
-use hprng_expander::{Vertex, Walk};
-use hprng_gpu_sim::{Device, DeviceBuffer, DeviceConfig, Op, Resource, Stream, Timeline, WorkUnit};
-use hprng_telemetry::{Recorder, Stage, WordTap};
-use std::time::Instant;
+use crate::pipeline::{DeviceBackend, Engine, GlibcFeed};
+use hprng_gpu_sim::{Device, DeviceConfig, Timeline};
+use hprng_telemetry::{Recorder, WordTap};
 
-/// Words of raw bits a thread consumes at initialization: one 64-bit word
-/// for the start vertex ("we need 64 random bits for each thread", §III-B)
-/// plus the warm-up walk's chunks.
-fn init_words_per_thread(params: &HybridParams) -> usize {
-    1 + (params.walk.warmup_len as usize).div_ceil(hprng_expander::bits::CHUNKS_PER_WORD)
-}
-
-/// Summary of one pipeline run.
-#[derive(Clone, Debug, PartialEq)]
-pub struct PipelineStats {
-    /// Numbers produced.
-    pub numbers: usize,
-    /// Simulated makespan in nanoseconds.
-    pub sim_ns: f64,
-    /// Host wall-clock time in nanoseconds.
-    pub wall_ns: f64,
-    /// Raw 64-bit words the FEED stage produced.
-    pub feed_words: u64,
-    /// GENERATE kernel launches (pipeline iterations, init included).
-    pub iterations: usize,
-    /// Fraction of the simulated makespan the CPU was busy feeding.
-    pub cpu_busy: f64,
-    /// Fraction of the simulated makespan the GPU was busy walking.
-    pub gpu_busy: f64,
-    /// Simulated throughput in giganumbers per second.
-    pub gnumbers_per_s: f64,
-}
+pub use crate::pipeline::PipelineStats;
 
 /// The hybrid generator. Owns a simulated device; create one per
 /// experiment.
@@ -86,26 +65,12 @@ impl HybridPrng {
     ///
     /// Returns [`HprngError::EmptySession`] when `threads` is zero.
     pub fn try_session(&mut self, threads: usize) -> Result<HybridSession<'_>, HprngError> {
-        if threads == 0 {
-            return Err(HprngError::EmptySession);
-        }
         self.device.reset_timeline();
-        let mut session = HybridSession {
-            device: &self.device,
-            params: self.params,
-            states: DeviceBuffer::zeroed(threads),
-            feed_rng: GlibcRand::new(SplitSeed::mix(self.seed)),
-            cpu_cursor_ns: 0.0,
-            pending_feed_end_ns: 0.0,
-            iterations: 0,
-            feed_words: 0,
-            numbers: 0,
-            wall_start: Instant::now(),
-            recorder: Recorder::new(),
-            tap: None,
-        };
-        session.initialize();
-        Ok(session)
+        let backend = DeviceBackend::new(&self.device, self.params);
+        let feed = Box::new(GlibcFeed::from_master_seed(self.seed));
+        let mut engine = Engine::with_mode(backend, feed, self.params.mode);
+        engine.initialize(threads)?;
+        Ok(HybridSession { engine })
     }
 
     /// Panicking wrapper around [`HybridPrng::try_session`].
@@ -161,54 +126,29 @@ impl HybridPrng {
     }
 }
 
-/// Seed scrambling helper (keeps `hprng-baselines::SplitMix64` out of the
-/// public signature).
-struct SplitSeed;
-
-impl SplitSeed {
-    fn mix(seed: u64) -> u32 {
-        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        (z ^ (z >> 31)) as u32
-    }
-}
-
 /// An initialized on-demand generation session (the expander graph `G` of
-/// Algorithms 2 and 3, with one walk per device thread).
+/// Algorithms 2 and 3, with one walk per device thread): a thin facade
+/// over [`Engine`] on the simulated-device backend.
 pub struct HybridSession<'a> {
-    device: &'a Device,
-    params: HybridParams,
-    /// Per-thread walk positions (packed vertex labels), device-resident.
-    states: DeviceBuffer<u64>,
-    feed_rng: GlibcRand,
-    /// Simulated time at which the CPU finishes its current FEED batch.
-    cpu_cursor_ns: f64,
-    /// FEED completion time of the bits the *next* kernel will consume.
-    pending_feed_end_ns: f64,
-    iterations: usize,
-    feed_words: u64,
-    numbers: usize,
-    wall_start: Instant,
-    /// Host-side observability: stage spans, counters
-    /// (`iterations`/`feed_words`/`numbers`), and the per-call
-    /// `batch_latency_ns` histogram.
-    recorder: Recorder,
-    /// Optional streaming observer of generated words (quality monitor).
-    tap: Option<Box<dyn WordTap>>,
+    engine: Engine<DeviceBackend<'a>>,
 }
 
 impl HybridSession<'_> {
     /// Number of device-resident walks.
     pub fn threads(&self) -> usize {
-        self.states.len()
+        self.engine.threads()
     }
 
     /// The device the session runs on — applications launch their own
     /// kernels here so that their work shares the session's timeline
     /// (Algorithm 3 interleaves ranking kernels with GetNextRand batches).
     pub fn device(&self) -> &Device {
-        self.device
+        self.engine.backend().device()
+    }
+
+    /// The engine behind the facade, for mode introspection.
+    pub fn engine(&self) -> &Engine<DeviceBackend<'_>> {
+        &self.engine
     }
 
     /// Attaches a streaming word tap (e.g. a quality monitor's sampling
@@ -218,91 +158,12 @@ impl HybridSession<'_> {
     /// a `tap_words` counter, so its overhead is measurable and does not
     /// contaminate pipeline-stage timings.
     pub fn set_tap(&mut self, tap: Box<dyn WordTap>) {
-        self.tap = Some(tap);
+        self.engine.set_tap(tap);
     }
 
     /// Detaches and returns the tap, if one was set.
     pub fn take_tap(&mut self) -> Option<Box<dyn WordTap>> {
-        self.tap.take()
-    }
-
-    /// CPU-side production of `words` raw 64-bit words. Returns the bit
-    /// buffer and records the FEED interval ending at the returned
-    /// simulated time.
-    fn feed(&mut self, words: usize) -> Vec<u64> {
-        let feed_span = self.recorder.start_span(Stage::Feed, "feed");
-        let mut buf = vec![0u64; words];
-        for slot in buf.iter_mut() {
-            // Two 31-bit rand() values and a parity draw give 64 bits; this
-            // is the real data path (quality matters downstream), while the
-            // simulated cost is the calibrated per-word constant.
-            let hi = self.feed_rng.next_rand() as u64;
-            let lo = self.feed_rng.next_rand() as u64;
-            let top = self.feed_rng.next_rand() as u64;
-            *slot = (top & 0b11) << 62 | hi << 31 | lo;
-        }
-        let cost = &self.params.cost;
-        let dur = words as f64 * cost.cpu_ns_per_word / cost.feed_workers.max(1) as f64;
-        let start = self.cpu_cursor_ns;
-        let end = start + dur;
-        self.device
-            .record(Resource::Cpu, WorkUnit::Feed, start, end);
-        self.cpu_cursor_ns = end;
-        self.pending_feed_end_ns = end;
-        self.feed_words += words as u64;
-        self.recorder.finish_span(feed_span);
-        self.recorder.add("feed_words", words as f64);
-        buf
-    }
-
-    /// Algorithm 1: drop every walk on a random start vertex and warm it
-    /// up.
-    fn initialize(&mut self) {
-        let threads = self.states.len();
-        let words_per_thread = init_words_per_thread(&self.params);
-        let bits_host = self.feed(threads * words_per_thread);
-        let gen_span = self.recorder.start_span(Stage::Generate, "initialize");
-
-        let mut stream = Stream::new(self.device);
-        let mut bits_dev = DeviceBuffer::zeroed(bits_host.len());
-        stream.wait_until(self.pending_feed_end_ns);
-        stream.h2d(&bits_host, &mut bits_dev);
-        stream.wait_until(stream.cursor_ns() + self.params.cost.kernel_launch_ns);
-
-        let params = self.params;
-        let bits = bits_dev.as_slice().to_vec();
-        stream.launch_map(
-            WorkUnit::Generate,
-            self.states.as_mut_slice(),
-            |ctx, state| {
-                let t = ctx.global_id();
-                let span = &bits[t * words_per_thread..(t + 1) * words_per_thread];
-                // First word = the 64-bit start label.
-                let mut walk = Walk::new(
-                    Vertex::unpack(span[0]),
-                    params.walk.sampling,
-                    params.walk.mode,
-                );
-                // warmup_len == 0 is a valid configuration (no warm-up walk);
-                // the bit source cannot be built over the empty span.
-                if params.walk.warmup_len > 0 {
-                    let mut reader = TriBitReader::with_buffer(
-                        SliceBitSource::new(&span[1..]),
-                        words_per_thread - 1,
-                    );
-                    walk.advance(params.walk.warmup_len, &mut reader);
-                }
-                *state = walk.position().pack();
-                ctx.charge(
-                    Op::Alu,
-                    params.cost.walk_cycles_per_step * params.walk.warmup_len as u64,
-                );
-                ctx.charge(Op::Mem, words_per_thread as u64);
-            },
-        );
-        self.iterations += 1;
-        self.recorder.finish_span(gen_span);
-        self.recorder.add("iterations", 1.0);
+        self.engine.take_tap()
     }
 
     /// Algorithm 2, vectorized: the first `count` walks each produce one
@@ -312,75 +173,7 @@ impl HybridSession<'_> {
     /// [`HprngError::BatchTooLarge`] when it exceeds the session's thread
     /// count.
     pub fn try_next_batch(&mut self, count: usize) -> Result<Vec<u64>, HprngError> {
-        if count == 0 {
-            return Err(HprngError::EmptyRequest);
-        }
-        if count > self.states.len() {
-            return Err(HprngError::BatchTooLarge {
-                requested: count,
-                available: self.states.len(),
-            });
-        }
-        let batch_start_ns = self.recorder.now_ns();
-        let words_per_thread = self.params.walk.words_per_number();
-        let bits_host = self.feed(count * words_per_thread);
-        let gen_span = self.recorder.start_span(Stage::Generate, "next_batch");
-
-        let mut stream = Stream::new(self.device);
-        let mut bits_dev = DeviceBuffer::zeroed(bits_host.len());
-        stream.wait_until(self.pending_feed_end_ns);
-        stream.h2d(&bits_host, &mut bits_dev);
-        stream.wait_until(stream.cursor_ns() + self.params.cost.kernel_launch_ns);
-
-        let params = self.params;
-        let bits = bits_dev.into_host();
-        let mut out = vec![0u64; count];
-        stream.launch_zip(
-            WorkUnit::Generate,
-            &mut self.states.as_mut_slice()[..count],
-            &mut out,
-            1,
-            |ctx, state, span| {
-                let t = ctx.global_id();
-                let word_span = &bits[t * words_per_thread..(t + 1) * words_per_thread];
-                let mut walk = Walk::new(
-                    Vertex::unpack(*state),
-                    params.walk.sampling,
-                    params.walk.mode,
-                );
-                let mut reader =
-                    TriBitReader::with_buffer(SliceBitSource::new(word_span), words_per_thread);
-                let dest = walk.advance(params.walk.walk_len, &mut reader);
-                *state = dest.pack();
-                span[0] = dest.pack();
-                ctx.charge(
-                    Op::Alu,
-                    params.cost.walk_cycles_per_step * params.walk.walk_len as u64,
-                );
-                ctx.charge(Op::Mem, words_per_thread as u64 + 1);
-            },
-        );
-        self.recorder.finish_span(gen_span);
-        if self.params.copy_back {
-            let copy_span = self.recorder.start_span(Stage::Transfer, "copy_back");
-            let dev_out = DeviceBuffer::from_host(out.clone());
-            let mut host_out = vec![0u64; count];
-            stream.d2h(&dev_out, &mut host_out);
-            self.recorder.finish_span(copy_span);
-        }
-        self.iterations += 1;
-        self.numbers += count;
-        self.recorder.add("iterations", 1.0);
-        self.recorder.add("numbers", count as f64);
-        let batch_ns = self.recorder.now_ns() - batch_start_ns;
-        self.recorder.observe("batch_latency_ns", batch_ns);
-        if let Some(tap) = self.tap.as_mut() {
-            let tap_span = self.recorder.start_span(Stage::App, "monitor_tap");
-            tap.observe(&out);
-            self.recorder.finish_span(tap_span);
-            self.recorder.add("tap_words", out.len() as f64);
-        }
-        Ok(out)
+        self.engine.try_next_batch(count)
     }
 
     /// Panicking wrapper around [`HybridSession::try_next_batch`].
@@ -401,49 +194,31 @@ impl HybridSession<'_> {
 
     /// The session's statistics so far.
     pub fn stats(&self) -> PipelineStats {
-        let timeline = self.device.timeline();
-        let sim_ns = timeline.makespan_ns();
-        PipelineStats {
-            numbers: self.numbers,
-            sim_ns,
-            wall_ns: self.wall_start.elapsed().as_nanos() as f64,
-            feed_words: self.feed_words,
-            iterations: self.iterations,
-            cpu_busy: timeline.busy_fraction(Resource::Cpu),
-            gpu_busy: timeline.busy_fraction(Resource::Gpu),
-            gnumbers_per_s: if sim_ns > 0.0 {
-                self.numbers as f64 / sim_ns
-            } else {
-                0.0
-            },
-        }
+        self.engine.stats()
     }
 
     /// The device timeline (Figure 4's raw material).
     pub fn timeline(&self) -> Timeline {
-        self.device.timeline()
+        self.engine.timeline().unwrap_or_default()
     }
 
     /// The session's telemetry so far: FEED/GENERATE/TRANSFER host spans,
     /// the `iterations`/`feed_words`/`numbers` counters, and the per-call
-    /// `batch_latency_ns` histogram.
+    /// `batch_latency_ns` histogram. In concurrent mode the producer
+    /// thread's FEED spans are merged in by
+    /// [`HybridSession::take_telemetry`], not visible here.
     pub fn telemetry(&self) -> &Recorder {
-        &self.recorder
+        self.engine.telemetry()
     }
 
     /// Takes the telemetry recorder out of the session, first syncing the
     /// stage-busy gauges (`cpu_busy`, `gpu_busy`, `sim_ns`,
-    /// `gnumbers_per_s`) from the current [`PipelineStats`]. Pair the
+    /// `gnumbers_per_s`) from the current [`PipelineStats`] and merging
+    /// the FEED producer thread's spans (concurrent mode). Pair the
     /// result with [`HybridSession::timeline`] and
     /// `hprng_telemetry::chrome_trace` for a merged host + device trace.
     pub fn take_telemetry(&mut self) -> Recorder {
-        let stats = self.stats();
-        self.recorder.set_gauge("cpu_busy", stats.cpu_busy);
-        self.recorder.set_gauge("gpu_busy", stats.gpu_busy);
-        self.recorder.set_gauge("sim_ns", stats.sim_ns);
-        self.recorder
-            .set_gauge("gnumbers_per_s", stats.gnumbers_per_s);
-        std::mem::take(&mut self.recorder)
+        self.engine.take_telemetry()
     }
 }
 
@@ -453,10 +228,16 @@ mod tests {
     // keep their behaviour pinned until removal.
     #![allow(deprecated)]
     use super::*;
-    use hprng_gpu_sim::DeviceConfig;
+    use crate::params::PipelineMode;
+    use hprng_gpu_sim::{DeviceConfig, WorkUnit};
 
     fn tiny_prng(seed: u64) -> HybridPrng {
         HybridPrng::new(DeviceConfig::test_tiny(), HybridParams::default(), seed)
+    }
+
+    fn tiny_prng_in_mode(seed: u64, mode: PipelineMode) -> HybridPrng {
+        let params = HybridParams::builder().mode(mode).build().unwrap();
+        HybridPrng::new(DeviceConfig::test_tiny(), params, seed)
     }
 
     #[test]
@@ -490,6 +271,27 @@ mod tests {
         assert_eq!(s1.sim_ns, s2.sim_ns);
         assert_eq!(s1.feed_words, s2.feed_words);
         assert_eq!(s1.iterations, s2.iterations);
+    }
+
+    #[test]
+    fn concurrent_mode_matches_synchronous_bit_for_bit() {
+        // The facade-level golden check: same seed, same batches, the two
+        // engine modes must agree on numbers AND simulated accounting.
+        let mut sync = tiny_prng_in_mode(42, PipelineMode::Synchronous);
+        let mut conc = tiny_prng_in_mode(42, PipelineMode::Concurrent);
+        let mut s_sess = sync.try_session(64).unwrap();
+        let mut c_sess = conc.try_session(64).unwrap();
+        for count in [64usize, 10, 33, 64] {
+            assert_eq!(
+                s_sess.try_next_batch(count).unwrap(),
+                c_sess.try_next_batch(count).unwrap(),
+                "batch of {count} diverged"
+            );
+        }
+        let (s, c) = (s_sess.stats(), c_sess.stats());
+        assert_eq!(s.sim_ns, c.sim_ns);
+        assert_eq!(s.feed_words, c.feed_words);
+        assert_eq!(s.iterations, c.iterations);
     }
 
     #[test]
@@ -602,10 +404,12 @@ mod tests {
 
     #[test]
     fn telemetry_counters_match_stats() {
-        let mut prng = tiny_prng(5);
-        let mut session = prng.session(32);
-        session.next_batch(32);
-        session.next_batch(7);
+        // Span-count assertions below assume the inline FEED path, so pin
+        // synchronous mode; counters are mode-invariant.
+        let mut prng = tiny_prng_in_mode(5, PipelineMode::Synchronous);
+        let mut session = prng.try_session(32).unwrap();
+        session.try_next_batch(32).unwrap();
+        session.try_next_batch(7).unwrap();
         let stats = session.stats();
         let telemetry = session.take_telemetry();
         assert_eq!(telemetry.counter("iterations"), stats.iterations as f64);

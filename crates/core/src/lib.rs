@@ -37,12 +37,17 @@ pub mod dist;
 mod error;
 mod hybrid;
 mod params;
+pub mod pipeline;
 mod rng;
+pub mod seeding;
 
 pub use bitsource::{CountingBitSource, RngBitSource};
 pub use cpu_parallel::CpuParallelPrng;
 pub use device_baselines::{simulate_curand_device, simulate_mt_batch, DeviceSimResult};
 pub use error::HprngError;
 pub use hybrid::{HybridPrng, HybridSession, PipelineStats};
-pub use params::{CostModel, HybridParams, HybridParamsBuilder, WalkParams, WalkParamsBuilder};
+pub use params::{
+    CostModel, HybridParams, HybridParamsBuilder, PipelineMode, WalkParams, WalkParamsBuilder,
+};
+pub use pipeline::{Backend, BitFeed, CpuBackend, DeviceBackend, Engine, GlibcFeed};
 pub use rng::ExpanderWalkRng;

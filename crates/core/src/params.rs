@@ -161,6 +161,42 @@ impl Default for CostModel {
     }
 }
 
+/// How the pipeline engine schedules the FEED stage relative to GENERATE.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// Pick per host: concurrent when more than one CPU is available,
+    /// synchronous otherwise (a producer thread on a single core only adds
+    /// context switches). This is the default.
+    #[default]
+    Auto,
+    /// FEED runs inline on the calling thread — the bit-exact reference
+    /// path, identical to the pre-pipeline monolithic session.
+    Synchronous,
+    /// FEED runs on its own producer thread behind the two-slot ping-pong
+    /// ring, overlapping with GENERATE as in the paper's Figure 4.
+    Concurrent,
+}
+
+impl PipelineMode {
+    /// Resolves [`PipelineMode::Auto`] against the current host; the
+    /// explicit modes return themselves.
+    pub fn resolve(self) -> PipelineMode {
+        match self {
+            PipelineMode::Auto => {
+                let cpus = std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1);
+                if cpus > 1 {
+                    PipelineMode::Concurrent
+                } else {
+                    PipelineMode::Synchronous
+                }
+            }
+            explicit => explicit,
+        }
+    }
+}
+
 /// Parameters of the full hybrid pipeline.
 ///
 /// Construct with [`HybridParams::default`] (the paper's configuration) or
@@ -180,6 +216,10 @@ pub struct HybridParams {
     /// Whether `generate` copies the results back to the host (off by
     /// default: the paper's applications consume the numbers on the device).
     pub copy_back: bool,
+    /// How the engine schedules FEED relative to GENERATE. The default
+    /// [`PipelineMode::Auto`] never changes the generated numbers — modes
+    /// are bit-identical by construction — only the threading.
+    pub mode: PipelineMode,
 }
 
 impl Default for HybridParams {
@@ -189,6 +229,7 @@ impl Default for HybridParams {
             batch_size: 100,
             cost: CostModel::default(),
             copy_back: false,
+            mode: PipelineMode::Auto,
         }
     }
 }
@@ -260,6 +301,12 @@ impl HybridParamsBuilder {
         self
     }
 
+    /// Sets how the engine schedules FEED relative to GENERATE.
+    pub fn mode(mut self, mode: PipelineMode) -> Self {
+        self.params.mode = mode;
+        self
+    }
+
     /// Validates and produces the parameters.
     pub fn build(self) -> Result<HybridParams, HprngError> {
         if self.params.batch_size == 0 {
@@ -306,6 +353,18 @@ mod tests {
             ..WalkParams::default()
         };
         assert_eq!(shorter.words_per_number(), 2);
+    }
+
+    #[test]
+    fn pipeline_mode_resolution() {
+        assert_eq!(
+            PipelineMode::Synchronous.resolve(),
+            PipelineMode::Synchronous
+        );
+        assert_eq!(PipelineMode::Concurrent.resolve(), PipelineMode::Concurrent);
+        // Auto always resolves to one of the explicit modes.
+        assert_ne!(PipelineMode::Auto.resolve(), PipelineMode::Auto);
+        assert_eq!(HybridParams::default().mode, PipelineMode::Auto);
     }
 
     #[test]

@@ -1,0 +1,455 @@
+//! The pipeline engine: FEED → TRANSFER → GENERATE orchestration.
+//!
+//! [`Engine`] drives one [`BitFeed`] into one [`Backend`] in either of two
+//! modes:
+//!
+//! * **Synchronous** — the feed fills each batch's bits inline on the
+//!   calling thread, exactly like the pre-refactor monolithic session.
+//!   This is the bit-exact golden reference.
+//! * **Concurrent** — the feed runs on its own producer thread, pushing
+//!   fixed-size blocks through the two-slot ping-pong
+//!   [`ring`](crate::pipeline::ring) while the caller's thread runs
+//!   GENERATE. This is the paper's overlap (§IV-A, Figure 4) with real
+//!   threads instead of simulated ones.
+//!
+//! Both modes consume the *same* word stream in the same order (the ring
+//! only re-chunks it), and all simulated-clock accounting happens on the
+//! consumer thread keyed on word counts alone — so for a fixed
+//! `(seed, params, threads)` the two modes produce bit-identical numbers
+//! and identical simulated timelines. The golden suite pins this.
+
+use crate::error::HprngError;
+use crate::params::PipelineMode;
+use crate::pipeline::backend::{init_words_per_thread, Backend};
+use crate::pipeline::feed::BitFeed;
+use crate::pipeline::ring::{self, RingReceiver};
+use hprng_gpu_sim::{Resource, Timeline};
+use hprng_telemetry::{Recorder, Stage, WordTap};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Words per block pushed through the ring by the concurrent feeder.
+///
+/// 1024 words = 8 KiB per slot: big enough to amortize ring locking, small
+/// enough that two in-flight slots stay cache-friendly. The value is *not*
+/// observable in the output — the consumer re-chunks blocks into exact
+/// batch sizes — so it can be retuned freely without shifting any golden
+/// stream.
+pub const RING_BLOCK_WORDS: usize = 1024;
+
+/// Summary of one pipeline run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineStats {
+    /// Numbers produced.
+    pub numbers: usize,
+    /// Simulated makespan in nanoseconds (0 for backends with no simulated
+    /// clock, e.g. the CPU-threads backend).
+    pub sim_ns: f64,
+    /// Host wall-clock time in nanoseconds.
+    pub wall_ns: f64,
+    /// Raw 64-bit words the FEED stage produced.
+    pub feed_words: u64,
+    /// GENERATE kernel launches (pipeline iterations, init included).
+    pub iterations: usize,
+    /// Fraction of the simulated makespan the CPU was busy feeding.
+    pub cpu_busy: f64,
+    /// Fraction of the simulated makespan the GPU was busy walking.
+    pub gpu_busy: f64,
+    /// Simulated throughput in giganumbers per second.
+    pub gnumbers_per_s: f64,
+}
+
+/// The FEED side of an engine: either inline on the caller's thread or a
+/// producer thread behind the ping-pong ring.
+enum FeedSource {
+    Inline(Box<dyn BitFeed>),
+    Worker(FeedWorker),
+}
+
+/// State of the concurrent producer: the consumer half of the ring, the
+/// partially-drained current block, and the thread handle for shutdown.
+struct FeedWorker {
+    rx: Option<RingReceiver<Vec<u64>>>,
+    pending: Vec<u64>,
+    cursor: usize,
+    join: Option<JoinHandle<()>>,
+    /// FEED spans recorded by the producer thread, on the same epoch as
+    /// the engine recorder so merged traces share one clock.
+    recorder: Arc<Mutex<Recorder>>,
+}
+
+impl FeedWorker {
+    fn spawn(mut feed: Box<dyn BitFeed>, epoch: Instant) -> Self {
+        let recorder = Arc::new(Mutex::new(Recorder::with_epoch(epoch)));
+        let (tx, rx) = ring::ping_pong::<Vec<u64>>();
+        let worker_recorder = Arc::clone(&recorder);
+        let join = std::thread::Builder::new()
+            .name("hprng-feed".into())
+            .spawn(move || loop {
+                let token = lock(&worker_recorder).start_span(Stage::Feed, "feed_block");
+                let mut block = vec![0u64; RING_BLOCK_WORDS];
+                feed.fill(&mut block);
+                {
+                    let mut rec = lock(&worker_recorder);
+                    rec.finish_span(token);
+                    rec.add("feed_blocks", 1.0);
+                }
+                if tx.send(block).is_err() {
+                    // Consumer gone: the engine was dropped or is shutting
+                    // down. Exit quietly; the unsent block is discarded.
+                    break;
+                }
+            })
+            .expect("spawning the FEED producer thread failed");
+        Self {
+            rx: Some(rx),
+            pending: Vec::new(),
+            cursor: 0,
+            join: Some(join),
+            recorder,
+        }
+    }
+}
+
+impl Drop for FeedWorker {
+    fn drop(&mut self) {
+        // Drop the receiver first: a producer blocked on a full ring wakes
+        // with a SendError and exits, so the join below cannot deadlock.
+        self.rx.take();
+        if let Some(join) = self.join.take() {
+            // A panicked feeder already ended the stream; nothing useful
+            // to do with the payload during our own drop.
+            let _ = join.join();
+        }
+    }
+}
+
+fn lock(recorder: &Arc<Mutex<Recorder>>) -> std::sync::MutexGuard<'_, Recorder> {
+    recorder.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The stage-decoupled pipeline: one [`BitFeed`], one [`Backend`], and the
+/// on-demand batch interface between them.
+///
+/// `HybridPrng` sessions are a thin facade over an `Engine` on the
+/// simulated-device backend; the CPU-threads backend runs the identical
+/// engine, which is what makes cross-backend golden tests meaningful.
+pub struct Engine<B: Backend> {
+    backend: B,
+    feed: FeedSource,
+    mode: PipelineMode,
+    iterations: usize,
+    feed_words: u64,
+    numbers: usize,
+    wall_start: Instant,
+    recorder: Recorder,
+    tap: Option<Box<dyn WordTap>>,
+}
+
+impl<B: Backend> Engine<B> {
+    /// An engine in the given mode. [`PipelineMode::Auto`] resolves to
+    /// concurrent on multi-core hosts and synchronous on single-core ones
+    /// (where a producer thread only adds context switches).
+    pub fn with_mode(backend: B, feed: Box<dyn BitFeed>, mode: PipelineMode) -> Self {
+        let recorder = Recorder::new();
+        let mode = mode.resolve();
+        let feed = match mode {
+            PipelineMode::Concurrent => {
+                FeedSource::Worker(FeedWorker::spawn(feed, recorder.epoch()))
+            }
+            _ => FeedSource::Inline(feed),
+        };
+        Self {
+            backend,
+            feed,
+            mode,
+            iterations: 0,
+            feed_words: 0,
+            numbers: 0,
+            wall_start: Instant::now(),
+            recorder,
+            tap: None,
+        }
+    }
+
+    /// The bit-exact single-threaded reference engine: the feed fills each
+    /// batch inline, as the monolithic pre-refactor session did.
+    pub fn synchronous(backend: B, feed: Box<dyn BitFeed>) -> Self {
+        Self::with_mode(backend, feed, PipelineMode::Synchronous)
+    }
+
+    /// An engine with the feed on its own producer thread behind the
+    /// ping-pong ring.
+    pub fn concurrent(backend: B, feed: Box<dyn BitFeed>) -> Self {
+        Self::with_mode(backend, feed, PipelineMode::Concurrent)
+    }
+
+    /// The resolved mode ([`PipelineMode::Synchronous`] or
+    /// [`PipelineMode::Concurrent`], never `Auto`).
+    pub fn mode(&self) -> PipelineMode {
+        self.mode
+    }
+
+    /// The backend, for platform-specific introspection (e.g. the
+    /// simulated device of a [`DeviceBackend`](crate::pipeline::DeviceBackend)).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Number of resident walks (0 before [`Engine::initialize`]).
+    pub fn threads(&self) -> usize {
+        self.backend.threads()
+    }
+
+    /// Attaches a streaming word tap (e.g. a quality monitor's sampling
+    /// handle): every subsequent [`Engine::try_next_batch`] output is
+    /// offered to it before being returned, timed as an `App`-stage
+    /// `monitor_tap` span plus a `tap_words` counter.
+    pub fn set_tap(&mut self, tap: Box<dyn WordTap>) {
+        self.tap = Some(tap);
+    }
+
+    /// Detaches and returns the tap, if one was set.
+    pub fn take_tap(&mut self) -> Option<Box<dyn WordTap>> {
+        self.tap.take()
+    }
+
+    /// Pulls exactly `words` raw words from the feed, whichever side of the
+    /// ring it lives on, and accounts them.
+    fn take_words(&mut self, words: usize) -> Result<Vec<u64>, HprngError> {
+        let buf = match &mut self.feed {
+            FeedSource::Inline(feed) => {
+                let token = self.recorder.start_span(Stage::Feed, "feed");
+                let mut buf = vec![0u64; words];
+                feed.fill(&mut buf);
+                self.recorder.finish_span(token);
+                buf
+            }
+            FeedSource::Worker(w) => {
+                // The ring re-chunks the stream; pulling `words` here yields
+                // the same prefix the inline path would have produced.
+                let token = self.recorder.start_span(Stage::Transfer, "ring_pull");
+                let mut buf = Vec::with_capacity(words);
+                while buf.len() < words {
+                    if w.cursor == w.pending.len() {
+                        match w.rx.as_ref().and_then(RingReceiver::recv) {
+                            Some(block) => {
+                                w.pending = block;
+                                w.cursor = 0;
+                            }
+                            None => return Err(HprngError::FeedDisconnected),
+                        }
+                    }
+                    let take = (words - buf.len()).min(w.pending.len() - w.cursor);
+                    buf.extend_from_slice(&w.pending[w.cursor..w.cursor + take]);
+                    w.cursor += take;
+                }
+                self.recorder.finish_span(token);
+                buf
+            }
+        };
+        // Simulated-clock accounting happens here, on the consumer thread,
+        // keyed only on the word count — never on how far the producer ran
+        // ahead — so the sim timeline is identical across modes.
+        self.backend.record_feed(words);
+        self.feed_words += words as u64;
+        self.recorder.add("feed_words", words as f64);
+        Ok(buf)
+    }
+
+    /// Algorithm 1: installs `threads` walks, consuming
+    /// `threads × init_words_per_thread` feed words.
+    ///
+    /// Returns [`HprngError::EmptySession`] when `threads` is zero.
+    pub fn initialize(&mut self, threads: usize) -> Result<(), HprngError> {
+        if threads == 0 {
+            return Err(HprngError::EmptySession);
+        }
+        let words = threads * init_words_per_thread(self.backend.params());
+        let bits = self.take_words(words)?;
+        self.backend.initialize(threads, &bits, &mut self.recorder);
+        self.iterations += 1;
+        self.recorder.add("iterations", 1.0);
+        Ok(())
+    }
+
+    /// Algorithm 2, vectorized: the first `count` walks each produce one
+    /// number. `count` may vary per call — this is the on-demand interface.
+    ///
+    /// Returns [`HprngError::EmptyRequest`] when `count` is zero and
+    /// [`HprngError::BatchTooLarge`] when it exceeds the resident walks.
+    pub fn try_next_batch(&mut self, count: usize) -> Result<Vec<u64>, HprngError> {
+        if count == 0 {
+            return Err(HprngError::EmptyRequest);
+        }
+        if count > self.backend.threads() {
+            return Err(HprngError::BatchTooLarge {
+                requested: count,
+                available: self.backend.threads(),
+            });
+        }
+        let batch_start_ns = self.recorder.now_ns();
+        let words = count * self.backend.params().walk.words_per_number();
+        let bits = self.take_words(words)?;
+        let mut out = vec![0u64; count];
+        self.backend
+            .generate(count, &bits, &mut out, &mut self.recorder);
+        self.iterations += 1;
+        self.numbers += count;
+        self.recorder.add("iterations", 1.0);
+        self.recorder.add("numbers", count as f64);
+        let batch_ns = self.recorder.now_ns() - batch_start_ns;
+        self.recorder.observe("batch_latency_ns", batch_ns);
+        if let Some(tap) = self.tap.as_mut() {
+            let tap_span = self.recorder.start_span(Stage::App, "monitor_tap");
+            tap.observe(&out);
+            self.recorder.finish_span(tap_span);
+            self.recorder.add("tap_words", out.len() as f64);
+        }
+        Ok(out)
+    }
+
+    /// The engine's statistics so far. Backends without a simulated clock
+    /// report zero `sim_ns`/busy fractions — wall time is their measure.
+    pub fn stats(&self) -> PipelineStats {
+        let (sim_ns, cpu_busy, gpu_busy) = match self.backend.timeline() {
+            Some(tl) => (
+                tl.makespan_ns(),
+                tl.busy_fraction(Resource::Cpu),
+                tl.busy_fraction(Resource::Gpu),
+            ),
+            None => (0.0, 0.0, 0.0),
+        };
+        PipelineStats {
+            numbers: self.numbers,
+            sim_ns,
+            wall_ns: self.wall_start.elapsed().as_nanos() as f64,
+            feed_words: self.feed_words,
+            iterations: self.iterations,
+            cpu_busy,
+            gpu_busy,
+            gnumbers_per_s: if sim_ns > 0.0 {
+                self.numbers as f64 / sim_ns
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// The simulated timeline, for backends that model one.
+    pub fn timeline(&self) -> Option<Timeline> {
+        self.backend.timeline()
+    }
+
+    /// The engine's own telemetry so far. In concurrent mode the producer
+    /// thread's FEED spans live in a separate recorder until
+    /// [`Engine::take_telemetry`] merges them.
+    pub fn telemetry(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Takes the merged telemetry out of the engine: consumer-side spans
+    /// and counters, the producer thread's FEED spans (concurrent mode),
+    /// and the stage-busy gauges (`cpu_busy`, `gpu_busy`, `sim_ns`,
+    /// `gnumbers_per_s`) synced from the current [`PipelineStats`].
+    pub fn take_telemetry(&mut self) -> Recorder {
+        let stats = self.stats();
+        self.recorder.set_gauge("cpu_busy", stats.cpu_busy);
+        self.recorder.set_gauge("gpu_busy", stats.gpu_busy);
+        self.recorder.set_gauge("sim_ns", stats.sim_ns);
+        self.recorder
+            .set_gauge("gnumbers_per_s", stats.gnumbers_per_s);
+        let epoch = self.recorder.epoch();
+        let mut out = std::mem::replace(&mut self.recorder, Recorder::with_epoch(epoch));
+        if let FeedSource::Worker(w) = &mut self.feed {
+            let worker = std::mem::replace(&mut *lock(&w.recorder), Recorder::with_epoch(epoch));
+            out.absorb(worker);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::HybridParams;
+    use crate::pipeline::backend::CpuBackend;
+    use crate::pipeline::feed::GlibcFeed;
+
+    fn engine(mode: PipelineMode, seed: u64) -> Engine<CpuBackend> {
+        Engine::with_mode(
+            CpuBackend::new(HybridParams::default()),
+            Box::new(GlibcFeed::from_master_seed(seed)),
+            mode,
+        )
+    }
+
+    #[test]
+    fn auto_mode_resolves() {
+        let e = engine(PipelineMode::Auto, 1);
+        assert_ne!(e.mode(), PipelineMode::Auto);
+    }
+
+    #[test]
+    fn concurrent_matches_synchronous_bit_for_bit() {
+        let mut sync = engine(PipelineMode::Synchronous, 42);
+        let mut conc = engine(PipelineMode::Concurrent, 42);
+        sync.initialize(64).unwrap();
+        conc.initialize(64).unwrap();
+        for count in [64usize, 10, 33, 64, 1] {
+            let a = sync.try_next_batch(count).unwrap();
+            let b = conc.try_next_batch(count).unwrap();
+            assert_eq!(a, b, "count {count} diverged");
+        }
+        assert_eq!(sync.stats().feed_words, conc.stats().feed_words);
+    }
+
+    #[test]
+    fn initialize_rejects_zero_threads() {
+        let mut e = engine(PipelineMode::Synchronous, 1);
+        assert_eq!(e.initialize(0).unwrap_err(), HprngError::EmptySession);
+    }
+
+    #[test]
+    fn batch_validation_matches_session_semantics() {
+        let mut e = engine(PipelineMode::Concurrent, 1);
+        e.initialize(8).unwrap();
+        assert_eq!(e.try_next_batch(0).unwrap_err(), HprngError::EmptyRequest);
+        assert_eq!(
+            e.try_next_batch(9).unwrap_err(),
+            HprngError::BatchTooLarge {
+                requested: 9,
+                available: 8
+            }
+        );
+        assert_eq!(e.try_next_batch(8).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn dropping_a_concurrent_engine_joins_the_feeder() {
+        // No deadlock and no leaked thread even when the ring is full.
+        let mut e = engine(PipelineMode::Concurrent, 3);
+        e.initialize(4).unwrap();
+        drop(e); // must return promptly
+    }
+
+    #[test]
+    fn concurrent_telemetry_merges_producer_spans() {
+        let mut e = engine(PipelineMode::Concurrent, 7);
+        e.initialize(32).unwrap();
+        e.try_next_batch(32).unwrap();
+        let telemetry = e.take_telemetry();
+        let feed_blocks = telemetry
+            .spans()
+            .iter()
+            .filter(|s| s.name == "feed_block")
+            .count();
+        assert!(feed_blocks > 0, "producer FEED spans missing from merge");
+        assert!(telemetry
+            .spans()
+            .iter()
+            .any(|s| s.stage == Stage::Transfer && s.name == "ring_pull"));
+        assert_eq!(telemetry.counter("numbers"), 32.0);
+    }
+}

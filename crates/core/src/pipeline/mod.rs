@@ -1,0 +1,29 @@
+//! The stage-decoupled pipeline: FEED, TRANSFER, and GENERATE as
+//! independent, swappable components.
+//!
+//! The paper's hybrid generator is a three-stage pipeline (§IV-A): the CPU
+//! FEEDs raw random bits, the PCIe link TRANSFERs them in double-buffered
+//! batches, and the GPU GENERATEs numbers by walking an expander graph.
+//! This module makes each stage a first-class component:
+//!
+//! * [`BitFeed`] (with [`GlibcFeed`], [`SplitMixFeed`], [`RngFeed`]) — who
+//!   produces the raw words;
+//! * [`ring`] — the bounded ping-pong ring that models the double buffer
+//!   and carries blocks between the producer thread and the consumer;
+//! * [`Backend`] (with [`DeviceBackend`], [`CpuBackend`]) — where the
+//!   walks advance and how the work is accounted;
+//! * [`Engine`] — the orchestrator tying them together, in synchronous
+//!   (bit-exact reference) or concurrent (real producer thread) mode.
+//!
+//! `HybridPrng`/`HybridSession` remain the ergonomic front door; they are
+//! now a thin facade over `Engine<DeviceBackend>`.
+
+pub mod backend;
+pub mod engine;
+pub mod feed;
+pub mod ring;
+
+pub use backend::{init_words_per_thread, Backend, CpuBackend, DeviceBackend};
+pub use engine::{Engine, PipelineStats, RING_BLOCK_WORDS};
+pub use feed::{BitFeed, GlibcFeed, RngFeed, SplitMixFeed};
+pub use ring::{ping_pong, with_capacity, RingReceiver, RingSender, SendError, PING_PONG_SLOTS};

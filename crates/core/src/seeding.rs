@@ -1,0 +1,82 @@
+//! Unified seed derivation for every generator in the crate.
+//!
+//! Both the hybrid pipeline's FEED stage and the CPU-parallel walks derive
+//! 32-bit glibc seeds from one 64-bit master seed. Historically each did it
+//! with its own copy of the SplitMix64 finalizer, which is exactly the kind
+//! of duplication that drifts: a constant typo in one copy silently
+//! decorrelates nothing while appearing to work. This module is the single
+//! source of truth; the exact output sequences are pinned by tests because
+//! golden determinism suites depend on them.
+
+use hprng_baselines::SplitMix64;
+
+/// Golden-ratio increment of the SplitMix64 sequence (2^64 / φ).
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One step of the SplitMix64 stream seeded at `seed`: the canonical way to
+/// turn an arbitrary user seed into a well-mixed 64-bit value.
+#[inline]
+pub fn mix64(seed: u64) -> u64 {
+    SplitMix64::new(seed).next()
+}
+
+/// The 32-bit glibc `rand()` seed of the hybrid pipeline's FEED stage for a
+/// given master seed.
+///
+/// This is the truncation of [`mix64`], matching the original
+/// `SplitSeed::mix` in the pre-refactor `hybrid.rs`.
+#[inline]
+pub fn feed_seed(seed: u64) -> u32 {
+    mix64(seed) as u32
+}
+
+/// The 32-bit glibc seed of CPU-parallel worker `t` under master `seed`.
+///
+/// Workers are decorrelated even for consecutive master seeds by xoring a
+/// golden-ratio multiple of the worker index into the SplitMix64 state
+/// before mixing — the scheme `CpuParallelPrng` has always used.
+#[inline]
+pub fn worker_seed(seed: u64, t: u64) -> u32 {
+    mix64(seed ^ t.wrapping_mul(GOLDEN_GAMMA)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pre-refactor `SplitSeed::mix` from hybrid.rs, kept verbatim as
+    /// the reference: the extraction must be bit-identical or every golden
+    /// stream in the repo shifts.
+    fn legacy_split_seed_mix(seed: u64) -> u32 {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as u32
+    }
+
+    #[test]
+    fn feed_seed_matches_legacy_hybrid_derivation() {
+        for seed in [0u64, 1, 42, 20120521, u64::MAX, 0xDEAD_BEEF_CAFE_F00D] {
+            assert_eq!(feed_seed(seed), legacy_split_seed_mix(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn worker_seed_matches_legacy_cpu_parallel_derivation() {
+        for seed in [0u64, 5, 9, u64::MAX] {
+            for t in 0u64..8 {
+                let mut sm = SplitMix64::new(seed ^ t.wrapping_mul(GOLDEN_GAMMA));
+                assert_eq!(worker_seed(seed, t), sm.next() as u32, "seed {seed} t {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_seeds_are_decorrelated() {
+        let seeds: Vec<u32> = (0..64).map(|t| worker_seed(7, t)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "collision in worker seeds");
+    }
+}

@@ -263,8 +263,18 @@ impl Default for Recorder {
 impl Recorder {
     /// A fresh recorder whose clock starts now.
     pub fn new() -> Self {
+        Self::with_epoch(Instant::now())
+    }
+
+    /// A fresh recorder measuring time from an explicit epoch.
+    ///
+    /// Recorders running on different threads of one pipeline (the FEED
+    /// producer and the GENERATE consumer, say) should share an epoch so
+    /// that, once merged with [`Recorder::absorb`], their spans land on one
+    /// consistent clock.
+    pub fn with_epoch(epoch: Instant) -> Self {
         Self {
-            epoch: Instant::now(),
+            epoch,
             spans: Vec::new(),
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),

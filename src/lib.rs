@@ -20,7 +20,11 @@
 //!   LCG, Philox, SplitMix64.
 //! * [`gpu`] — the simulated hybrid CPU+GPU platform.
 //! * [`prng`] — [`prng::ExpanderWalkRng`], [`prng::HybridPrng`] and
-//!   [`prng::CpuParallelPrng`]: the paper's generator.
+//!   [`prng::CpuParallelPrng`]: the paper's generator. The stage-decoupled
+//!   engine behind the hybrid facade lives in [`prng::pipeline`]:
+//!   [`BitFeed`] feeders, the ping-pong TRANSFER ring, and the
+//!   [`Backend`]s ([`DeviceBackend`], [`CpuBackend`]) unified under
+//!   [`Engine`].
 //! * [`stattests`] — DIEHARD-style and Crush-style quality batteries.
 //! * [`listrank`] — Application I: hybrid list ranking.
 //! * [`montecarlo`] — Application II: photon migration.
@@ -93,8 +97,9 @@ pub use hprng_stattests as stattests;
 pub use hprng_telemetry as telemetry;
 
 pub use hprng_core::{
-    CpuParallelPrng, ExpanderWalkRng, HprngError, HybridParams, HybridParamsBuilder, HybridPrng,
-    HybridSession, PipelineStats, WalkParams, WalkParamsBuilder,
+    Backend, BitFeed, CpuBackend, CpuParallelPrng, DeviceBackend, Engine, ExpanderWalkRng,
+    GlibcFeed, HprngError, HybridParams, HybridParamsBuilder, HybridPrng, HybridSession,
+    PipelineMode, PipelineStats, WalkParams, WalkParamsBuilder,
 };
 pub use hprng_gpu_sim::{ConfigError, DeviceConfig, DeviceConfigBuilder};
 pub use hprng_monitor::{
