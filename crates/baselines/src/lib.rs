@@ -21,6 +21,7 @@
 //! the Random123 Philox vectors, the public SplitMix64 sequence).
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 mod glibc;

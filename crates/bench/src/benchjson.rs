@@ -144,6 +144,117 @@ pub fn engine_bench(seed: u64, words: usize) -> json::Value {
     obj
 }
 
+/// FNV-1a over little-endian words: the repo's golden-hash idiom, used to
+/// assert the rank streams agree across the sweep.
+fn fnv(data: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in data {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Benchmarks both applications over the unified on-demand contract:
+/// list ranking swept across backend × pipeline mode (the ranks hash is
+/// reported so regression dashboards can assert bit-identity across the
+/// whole matrix), photon migration across lane families.
+pub fn apps_bench(seed: u64) -> json::Value {
+    use hprng_core::ExpanderLanes;
+    use hprng_listrank::{rank_on_session, LinkedList};
+    use hprng_montecarlo::{run_simulation_on, RandomSupply, SimConfig, Tissue};
+
+    let n = 4_000;
+    let list = LinkedList::random(n, &mut SplitMix64::new(seed));
+    let params = hprng_core::HybridParams::default();
+    let mut listrank_rows = Vec::new();
+    for mode in [PipelineMode::Synchronous, PipelineMode::Concurrent] {
+        let device = Device::new(DeviceConfig::tesla_c1060());
+        let mut run = |backend: &str, mut rank: Box<dyn FnMut() -> (Vec<u32>, usize, u64)>| {
+            let wall = Instant::now();
+            let (ranks, iterations, feed_words) = rank();
+            let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+            let mut entry = json::Value::object();
+            entry.set("app", json::Value::String("listrank".to_string()));
+            entry.set("backend", json::Value::String(backend.to_string()));
+            entry.set("mode", json::Value::String(mode_name(mode).to_string()));
+            entry.set("wall_ms", json::Value::Number(wall_ms));
+            entry.set("iterations", json::Value::Number(iterations as f64));
+            entry.set("feed_words", json::Value::Number(feed_words as f64));
+            entry.set(
+                "ranks_fnv",
+                json::Value::String(format!("{:#018x}", fnv(ranks.iter().map(|&r| r as u64)))),
+            );
+            listrank_rows.push(entry);
+        };
+        run(
+            "gpu-sim",
+            Box::new(|| {
+                let mut engine = Engine::with_mode(
+                    DeviceBackend::new(&device, params),
+                    Box::new(GlibcFeed::from_master_seed(seed)),
+                    mode,
+                );
+                engine.initialize(n).expect("n is positive");
+                let (ranks, red) = rank_on_session(&list, &mut engine);
+                (ranks, red.iterations, engine.stats().feed_words)
+            }),
+        );
+        run(
+            "cpu-threads",
+            Box::new(|| {
+                let mut engine = Engine::with_mode(
+                    CpuBackend::new(params),
+                    Box::new(GlibcFeed::from_master_seed(seed)),
+                    mode,
+                );
+                engine.initialize(n).expect("n is positive");
+                let (ranks, red) = rank_on_session(&list, &mut engine);
+                (ranks, red.iterations, engine.stats().feed_words)
+            }),
+        );
+    }
+
+    let tissue = Tissue::three_layer();
+    let cfg = SimConfig {
+        seed,
+        supply: RandomSupply::InlineHybrid,
+        chunk_size: 1024,
+        grid: None,
+    };
+    let photons = 20_000;
+    let mut montecarlo_rows = Vec::new();
+    let mut mc_entry = |label: &str, out: hprng_montecarlo::SimOutput| {
+        let mut entry = json::Value::object();
+        entry.set("app", json::Value::String("montecarlo".to_string()));
+        entry.set("lanes", json::Value::String(label.to_string()));
+        entry.set(
+            "photons_per_s",
+            json::Value::Number(out.photons as f64 / (out.wall_ns / 1e9).max(1e-12)),
+        );
+        entry.set("randoms_used", json::Value::Number(out.randoms_used as f64));
+        entry.set("clashes", json::Value::Number(out.clashes as f64));
+        montecarlo_rows.push(entry);
+    };
+    let expander_lanes = ExpanderLanes::new(seed);
+    mc_entry(
+        "expander-lanes",
+        run_simulation_on(&tissue, photons, &cfg, &expander_lanes),
+    );
+    let cpu_lanes = CpuParallelPrng::new(seed, 4);
+    mc_entry(
+        "cpu-parallel",
+        run_simulation_on(&tissue, photons, &cfg, &cpu_lanes),
+    );
+
+    let mut obj = json::Value::object();
+    obj.set("listrank", json::Value::Array(listrank_rows));
+    obj.set("montecarlo", json::Value::Array(montecarlo_rows));
+    obj
+}
+
 /// Compares a current bench document against a baseline one: the hybrid
 /// pipeline's `host_words_per_s` may not drop by more than `max_drop`
 /// (a fraction, e.g. `0.2` for 20%).
@@ -291,6 +402,7 @@ pub fn bench_json(seed: u64, words: usize) -> json::Value {
     doc.set("generators", json::Value::Array(generators));
     doc.set("hybrid", hybrid_obj);
     doc.set("engine", engine_bench(seed, words));
+    doc.set("apps", apps_bench(seed));
     doc.set("monitor_overhead", overhead);
     doc
 }
@@ -357,6 +469,26 @@ mod tests {
         }
         let default_mode = doc.get("default_mode").and_then(|v| v.as_str()).unwrap();
         assert!(default_mode == "synchronous" || default_mode == "concurrent");
+    }
+
+    #[test]
+    fn apps_sweep_ranks_are_bit_identical_across_the_matrix() {
+        let doc = apps_bench(3);
+        let rows = doc.get("listrank").and_then(|m| m.as_array()).unwrap();
+        assert_eq!(rows.len(), 4); // 2 backends × 2 modes
+        let hashes: Vec<&str> = rows
+            .iter()
+            .map(|r| r.get("ranks_fnv").and_then(|v| v.as_str()).unwrap())
+            .collect();
+        assert!(
+            hashes.iter().all(|&h| h == hashes[0]),
+            "rank hashes diverge across the sweep: {hashes:?}"
+        );
+        let mc = doc.get("montecarlo").and_then(|m| m.as_array()).unwrap();
+        assert_eq!(mc.len(), 2);
+        for row in mc {
+            assert!(row.get("photons_per_s").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        }
     }
 
     #[test]

@@ -508,12 +508,14 @@ pub fn print_fig8(rows: &[Fig8Row]) {
     );
 }
 
-/// Figure 7 (device variant): Phase I executed end-to-end on the simulated
-/// device — the session's FEED/TRANSFER/GENERATE plus the selection and
-/// splice kernels all share one timeline, so the phase time and the busy
-/// fractions are *emergent*, with no closed-form supply model at all.
+/// Figure 7 (device variant): Phase I routed through a pipeline session —
+/// every live node draws `GetNextRand()` from its own lane, so the
+/// FEED/TRANSFER/GENERATE timeline and the busy fractions are *emergent*,
+/// with no closed-form supply model at all. The timeline covers the PRNG
+/// pipeline (the paper's contended resource); the selection/splice kernels
+/// run host-side.
 pub fn fig7_device(sizes: &[usize], seed: u64) {
-    use hprng_listrank::device::reduce_on_device;
+    use hprng_listrank::reduce_on_session;
     let rows: Vec<Vec<String>> = sizes
         .iter()
         .map(|&n| {
@@ -521,15 +523,17 @@ pub fn fig7_device(sizes: &[usize], seed: u64) {
             let target = ((n as f64) / (n as f64).log2()).ceil() as usize;
             let mut prng =
                 HybridPrng::new(DeviceConfig::tesla_c1060(), HybridParams::default(), seed);
-            let red = reduce_on_device(&list, target, &mut prng);
+            let mut session = prng.try_session(n).expect("non-zero walk count");
+            let red = reduce_on_session(&list, target, &mut session);
+            let stats = session.stats();
             vec![
                 format!("{:.2}", n as f64 / 1e6),
-                ms(red.stats.sim_ns),
-                red.stats.iterations.to_string(),
-                red.stats.live_after_reduce.to_string(),
-                format!("{:.0}%", red.stats.cpu_busy * 100.0),
-                format!("{:.0}%", red.stats.gpu_busy * 100.0),
-                red.stats.feed_words.to_string(),
+                ms(stats.sim_ns),
+                red.iterations.to_string(),
+                red.live_count.to_string(),
+                format!("{:.0}%", stats.cpu_busy * 100.0),
+                format!("{:.0}%", stats.gpu_busy * 100.0),
+                stats.feed_words.to_string(),
             ]
         })
         .collect();

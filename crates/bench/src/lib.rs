@@ -7,6 +7,7 @@
 //! paper-vs-measured outcomes.
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 pub mod ablations;
 pub mod benchjson;

@@ -176,6 +176,11 @@ impl HybridSession<'_> {
         self.engine.try_next_batch(count)
     }
 
+    /// [`HybridSession::try_next_batch`] into a caller-provided buffer.
+    pub fn try_next_batch_into(&mut self, out: &mut [u64]) -> Result<(), HprngError> {
+        self.engine.try_next_batch_into(out)
+    }
+
     /// Panicking wrapper around [`HybridSession::try_next_batch`].
     ///
     /// Deprecated in favour of `try_next_batch`, which reports invalid
@@ -219,6 +224,41 @@ impl HybridSession<'_> {
     /// `hprng_telemetry::chrome_trace` for a merged host + device trace.
     pub fn take_telemetry(&mut self) -> Recorder {
         self.engine.take_telemetry()
+    }
+}
+
+impl crate::ondemand::OnDemandRng for HybridSession<'_> {
+    fn label(&self) -> &'static str {
+        "hybrid-device"
+    }
+
+    fn lanes(&self) -> usize {
+        self.engine.threads()
+    }
+
+    fn try_next_batch_into(&mut self, out: &mut [u64]) -> Result<(), HprngError> {
+        self.engine.try_next_batch_into(out)
+    }
+
+    fn try_next_batch(&mut self, count: usize) -> Result<Vec<u64>, HprngError> {
+        self.engine.try_next_batch(count)
+    }
+
+    fn words_served(&self) -> u64 {
+        self.engine.stats().numbers as u64
+    }
+
+    fn raw_words_consumed(&self) -> Option<u64> {
+        Some(self.engine.stats().feed_words)
+    }
+
+    fn set_tap(&mut self, tap: Box<dyn WordTap>) -> Result<(), Box<dyn WordTap>> {
+        self.engine.set_tap(tap);
+        Ok(())
+    }
+
+    fn take_tap(&mut self) -> Option<Box<dyn WordTap>> {
+        self.engine.take_tap()
     }
 }
 

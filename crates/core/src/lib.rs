@@ -28,6 +28,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 mod bitsource;
@@ -36,16 +37,18 @@ mod device_baselines;
 pub mod dist;
 mod error;
 mod hybrid;
+pub mod ondemand;
 mod params;
 pub mod pipeline;
 mod rng;
 pub mod seeding;
 
 pub use bitsource::{CountingBitSource, RngBitSource};
-pub use cpu_parallel::CpuParallelPrng;
+pub use cpu_parallel::{CpuParallelPrng, CpuParallelSession};
 pub use device_baselines::{simulate_curand_device, simulate_mt_batch, DeviceSimResult};
 pub use error::HprngError;
 pub use hybrid::{HybridPrng, HybridSession, PipelineStats};
+pub use ondemand::{ExpanderLanes, OnDemandRng, ScalarRng, SplitOnDemand};
 pub use params::{
     CostModel, HybridParams, HybridParamsBuilder, PipelineMode, WalkParams, WalkParamsBuilder,
 };

@@ -180,12 +180,30 @@ pub enum PipelineMode {
 impl PipelineMode {
     /// Resolves [`PipelineMode::Auto`] against the current host; the
     /// explicit modes return themselves.
+    ///
+    /// The host's CPU count comes from `std::thread::available_parallelism`
+    /// (treated as 1 when unavailable); the selection rule itself is
+    /// [`PipelineMode::resolve_for`].
     pub fn resolve(self) -> PipelineMode {
+        let cpus = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.resolve_for(cpus)
+    }
+
+    /// The documented `Auto` selection rule, as a pure function of the
+    /// CPU count: `Auto` becomes [`PipelineMode::Concurrent`] exactly when
+    /// `cpus > 1`, and [`PipelineMode::Synchronous`] otherwise — on a
+    /// single core a FEED producer thread cannot overlap with GENERATE and
+    /// only adds context switches. Explicit modes return themselves
+    /// regardless of `cpus`. A `cpus` of zero (a nonsensical host report)
+    /// is treated as one.
+    ///
+    /// Mode selection never changes the generated numbers — the modes are
+    /// bit-identical by construction — only the threading.
+    pub fn resolve_for(self, cpus: usize) -> PipelineMode {
         match self {
             PipelineMode::Auto => {
-                let cpus = std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1);
                 if cpus > 1 {
                     PipelineMode::Concurrent
                 } else {
@@ -365,6 +383,42 @@ mod tests {
         // Auto always resolves to one of the explicit modes.
         assert_ne!(PipelineMode::Auto.resolve(), PipelineMode::Auto);
         assert_eq!(HybridParams::default().mode, PipelineMode::Auto);
+    }
+
+    #[test]
+    fn auto_selection_rule_is_explicit() {
+        // The documented rule: Auto → Concurrent iff cpus > 1.
+        assert_eq!(PipelineMode::Auto.resolve_for(1), PipelineMode::Synchronous);
+        assert_eq!(
+            PipelineMode::Auto.resolve_for(0), // degenerate host report
+            PipelineMode::Synchronous
+        );
+        for cpus in [2usize, 4, 64, 1024] {
+            assert_eq!(
+                PipelineMode::Auto.resolve_for(cpus),
+                PipelineMode::Concurrent,
+                "cpus {cpus}"
+            );
+        }
+        // Explicit modes ignore the CPU count entirely.
+        for cpus in [0usize, 1, 2, 128] {
+            assert_eq!(
+                PipelineMode::Synchronous.resolve_for(cpus),
+                PipelineMode::Synchronous
+            );
+            assert_eq!(
+                PipelineMode::Concurrent.resolve_for(cpus),
+                PipelineMode::Concurrent
+            );
+        }
+        // resolve() applies the same rule to the live host.
+        let cpus = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(
+            PipelineMode::Auto.resolve(),
+            PipelineMode::Auto.resolve_for(cpus)
+        );
     }
 
     #[test]

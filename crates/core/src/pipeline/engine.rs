@@ -280,6 +280,16 @@ impl<B: Backend> Engine<B> {
     /// Returns [`HprngError::EmptyRequest`] when `count` is zero and
     /// [`HprngError::BatchTooLarge`] when it exceeds the resident walks.
     pub fn try_next_batch(&mut self, count: usize) -> Result<Vec<u64>, HprngError> {
+        let mut out = vec![0u64; count];
+        self.try_next_batch_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// [`Engine::try_next_batch`] into a caller-provided buffer: the first
+    /// `out.len()` walks each produce one number. This is the engine's
+    /// [`OnDemandRng`](crate::ondemand::OnDemandRng) entry point.
+    pub fn try_next_batch_into(&mut self, out: &mut [u64]) -> Result<(), HprngError> {
+        let count = out.len();
         if count == 0 {
             return Err(HprngError::EmptyRequest);
         }
@@ -292,9 +302,7 @@ impl<B: Backend> Engine<B> {
         let batch_start_ns = self.recorder.now_ns();
         let words = count * self.backend.params().walk.words_per_number();
         let bits = self.take_words(words)?;
-        let mut out = vec![0u64; count];
-        self.backend
-            .generate(count, &bits, &mut out, &mut self.recorder);
+        self.backend.generate(count, &bits, out, &mut self.recorder);
         self.iterations += 1;
         self.numbers += count;
         self.recorder.add("iterations", 1.0);
@@ -303,11 +311,11 @@ impl<B: Backend> Engine<B> {
         self.recorder.observe("batch_latency_ns", batch_ns);
         if let Some(tap) = self.tap.as_mut() {
             let tap_span = self.recorder.start_span(Stage::App, "monitor_tap");
-            tap.observe(&out);
+            tap.observe(out);
             self.recorder.finish_span(tap_span);
             self.recorder.add("tap_words", out.len() as f64);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// The engine's statistics so far. Backends without a simulated clock
@@ -367,6 +375,41 @@ impl<B: Backend> Engine<B> {
             out.absorb(worker);
         }
         out
+    }
+}
+
+impl<B: Backend> crate::ondemand::OnDemandRng for Engine<B> {
+    fn label(&self) -> &'static str {
+        self.backend.label()
+    }
+
+    fn lanes(&self) -> usize {
+        self.backend.threads()
+    }
+
+    fn try_next_batch_into(&mut self, out: &mut [u64]) -> Result<(), HprngError> {
+        Engine::try_next_batch_into(self, out)
+    }
+
+    fn try_next_batch(&mut self, count: usize) -> Result<Vec<u64>, HprngError> {
+        Engine::try_next_batch(self, count)
+    }
+
+    fn words_served(&self) -> u64 {
+        self.numbers as u64
+    }
+
+    fn raw_words_consumed(&self) -> Option<u64> {
+        Some(self.feed_words)
+    }
+
+    fn set_tap(&mut self, tap: Box<dyn WordTap>) -> Result<(), Box<dyn WordTap>> {
+        Engine::set_tap(self, tap);
+        Ok(())
+    }
+
+    fn take_tap(&mut self) -> Option<Box<dyn WordTap>> {
+        Engine::take_tap(self)
     }
 }
 

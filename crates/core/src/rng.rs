@@ -116,6 +116,46 @@ impl<S: BitSource> RngCore for ExpanderWalkRng<S> {
     }
 }
 
+impl<S: BitSource> crate::ondemand::OnDemandRng for ExpanderWalkRng<S> {
+    fn label(&self) -> &'static str {
+        "expander-walk"
+    }
+
+    fn lanes(&self) -> usize {
+        1
+    }
+
+    fn try_next_batch_into(&mut self, out: &mut [u64]) -> Result<(), crate::HprngError> {
+        match out.len() {
+            0 => Err(crate::HprngError::EmptyRequest),
+            1 => {
+                out[0] = self.get_next_rand();
+                Ok(())
+            }
+            requested => Err(crate::HprngError::BatchTooLarge {
+                requested,
+                available: 1,
+            }),
+        }
+    }
+
+    fn get_next_rand(&mut self) -> u64 {
+        ExpanderWalkRng::get_next_rand(self)
+    }
+
+    fn words_served(&self) -> u64 {
+        self.generated
+    }
+
+    fn raw_words_consumed(&self) -> Option<u64> {
+        Some(
+            self.bits
+                .chunks_consumed()
+                .div_ceil(hprng_expander::bits::CHUNKS_PER_WORD as u64),
+        )
+    }
+}
+
 impl SeedableRng for ExpanderWalkRng<RngBitSource<GlibcRand>> {
     type Seed = [u8; 8];
 

@@ -40,6 +40,17 @@ pub fn worker_seed(seed: u64, t: u64) -> u32 {
     mix64(seed ^ t.wrapping_mul(GOLDEN_GAMMA)) as u32
 }
 
+/// The 64-bit master seed of on-demand lane `index` under master `seed`.
+///
+/// This is the per-chunk derivation the photon-migration application has
+/// always used (`seed ^ index · GOLDEN_GAMMA`); the result is fed to
+/// [`crate::ExpanderWalkRng::from_seed_u64`], which mixes it again, so
+/// lanes are decorrelated even for consecutive indices.
+#[inline]
+pub fn lane_seed(seed: u64, index: u64) -> u64 {
+    seed ^ index.wrapping_mul(GOLDEN_GAMMA)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

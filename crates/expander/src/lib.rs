@@ -42,6 +42,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 pub mod amplify;

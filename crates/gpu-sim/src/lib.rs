@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 mod config;
 mod device;

@@ -7,104 +7,18 @@
 //! reverse order. The reduction stops when at most `n / log₂ n` nodes
 //! remain.
 //!
-//! The randomness interface is the crate's [`BitProvider`]: the on-demand
-//! implementation asks for exactly `live` bits per iteration, the
-//! batch implementation provisions the worst case (`n` bits) every
-//! iteration — the difference the paper's Figure 7 measures.
+//! The randomness interface is core's [`BitProvider`] bit-budget
+//! accounting: the on-demand implementation asks for exactly `live` bits
+//! per iteration, the batch implementation provisions the worst case
+//! (`n` bits) every iteration — the difference the paper's Figure 7
+//! measures. The providers themselves live in `hprng_core::ondemand` and
+//! are re-exported here; they run over any
+//! [`OnDemandRng`](hprng_core::OnDemandRng) lane.
 
 use crate::list::{LinkedList, NIL};
 use rayon::prelude::*;
 
-/// Supplies one random bit per live node, once per iteration.
-pub trait BitProvider {
-    /// Fills `out[..count]` with fresh random bits (0/1 in the low bit).
-    /// `count` is the number of live nodes; implementations are free to
-    /// produce *more* than requested (batch provisioning) but must report
-    /// what they actually produced via the return value.
-    fn provide(&mut self, out: &mut [u8], count: usize) -> u64;
-
-    /// Total bits produced over the provider's lifetime.
-    fn bits_produced(&self) -> u64;
-}
-
-/// On-demand provisioning: produce exactly the bits the iteration needs
-/// (the hybrid PRNG's mode of use, Algorithm 3 line 6).
-pub struct OnDemandBits<R: rand_core::RngCore> {
-    rng: R,
-    produced: u64,
-}
-
-impl<R: rand_core::RngCore> OnDemandBits<R> {
-    /// Wraps a generator.
-    pub fn new(rng: R) -> Self {
-        Self { rng, produced: 0 }
-    }
-}
-
-impl<R: rand_core::RngCore> BitProvider for OnDemandBits<R> {
-    fn provide(&mut self, out: &mut [u8], count: usize) -> u64 {
-        let words = count.div_ceil(64);
-        for w in 0..words {
-            let bits = self.rng.next_u64();
-            let base = w * 64;
-            for j in 0..64.min(count - base) {
-                out[base + j] = (bits >> j & 1) as u8;
-            }
-        }
-        self.produced += (words * 64) as u64;
-        (words * 64) as u64
-    }
-
-    fn bits_produced(&self) -> u64 {
-        self.produced
-    }
-}
-
-/// Batch provisioning: always produce bits for the worst-case count (the
-/// strategy of the hybrid baseline [3], which pre-computes "an upper bound
-/// on the number of nodes remaining in the list at each iteration").
-pub struct BatchBits<R: rand_core::RngCore> {
-    rng: R,
-    /// The fixed worst-case count provisioned every iteration.
-    pub upper_bound: usize,
-    produced: u64,
-}
-
-impl<R: rand_core::RngCore> BatchBits<R> {
-    /// Provisions `upper_bound` bits per iteration regardless of demand.
-    pub fn new(rng: R, upper_bound: usize) -> Self {
-        Self {
-            rng,
-            upper_bound,
-            produced: 0,
-        }
-    }
-}
-
-impl<R: rand_core::RngCore> BitProvider for BatchBits<R> {
-    fn provide(&mut self, out: &mut [u8], count: usize) -> u64 {
-        // Generate the full worst-case batch…
-        let words = self.upper_bound.max(count).div_ceil(64);
-        let mut consumed = 0usize;
-        for _ in 0..words {
-            let bits = self.rng.next_u64();
-            if consumed < count {
-                for j in 0..64.min(count - consumed) {
-                    out[consumed + j] = (bits >> j & 1) as u8;
-                }
-                consumed += 64.min(count - consumed);
-            }
-            // …the rest is generated and thrown away, as the batch model
-            // must.
-        }
-        self.produced += (words * 64) as u64;
-        (words * 64) as u64
-    }
-
-    fn bits_produced(&self) -> u64 {
-        self.produced
-    }
-}
+pub use hprng_core::ondemand::{BatchBits, BitProvider, OnDemandBits, TappedBits};
 
 /// Record of one removed node, enough to restore it and its rank.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -262,6 +176,7 @@ mod tests {
     use super::*;
     use crate::sequential::sequential_rank;
     use hprng_baselines::SplitMix64;
+    use hprng_core::ScalarRng;
 
     fn target_for(n: usize) -> usize {
         (n as f64 / (n as f64).log2()).ceil() as usize
@@ -271,7 +186,7 @@ mod tests {
     fn reduction_reaches_target() {
         let mut rng = SplitMix64::new(1);
         let list = LinkedList::random(10_000, &mut rng);
-        let mut bits = OnDemandBits::new(SplitMix64::new(2));
+        let mut bits = OnDemandBits::new(ScalarRng::new(SplitMix64::new(2)));
         let red = reduce_list(&list, target_for(10_000), &mut bits);
         assert!(red.live_count <= target_for(10_000));
         assert_eq!(red.live_count + red.removals.len(), 10_000);
@@ -283,7 +198,7 @@ mod tests {
         // tail on the original list).
         let mut rng = SplitMix64::new(3);
         let list = LinkedList::random(5_000, &mut rng);
-        let mut bits = OnDemandBits::new(SplitMix64::new(4));
+        let mut bits = OnDemandBits::new(ScalarRng::new(SplitMix64::new(4)));
         let red = reduce_list(&list, target_for(5_000), &mut bits);
         let mut cur = red.head;
         let mut total = 0u32;
@@ -303,7 +218,7 @@ mod tests {
         let mut rng = SplitMix64::new(5);
         let list = LinkedList::random(3_000, &mut rng);
         let expected = sequential_rank(&list);
-        let mut bits = OnDemandBits::new(SplitMix64::new(6));
+        let mut bits = OnDemandBits::new(ScalarRng::new(SplitMix64::new(6)));
         let red = reduce_list(&list, target_for(3_000), &mut bits);
         // Rank the live chain by traversal (stand-in for Phase II).
         let mut ranks = vec![0u32; list.len()];
@@ -322,9 +237,9 @@ mod tests {
     fn on_demand_consumes_fewer_bits_than_batch() {
         let list = LinkedList::random(20_000, &mut SplitMix64::new(7));
         let t = target_for(20_000);
-        let mut od = OnDemandBits::new(SplitMix64::new(8));
+        let mut od = OnDemandBits::new(ScalarRng::new(SplitMix64::new(8)));
         let _ = reduce_list(&list, t, &mut od);
-        let mut batch = BatchBits::new(SplitMix64::new(8), 20_000);
+        let mut batch = BatchBits::new(ScalarRng::new(SplitMix64::new(8)), 20_000);
         let _ = reduce_list(&list, t, &mut batch);
         assert!(
             od.bits_produced() * 2 < batch.bits_produced(),
@@ -342,7 +257,7 @@ mod tests {
         // splice relies on. Full independence is implied by reinsertion
         // correctness (`reinsertion_recovers_sequential_ranks`).
         let list = LinkedList::random(2_000, &mut SplitMix64::new(9));
-        let mut bits = OnDemandBits::new(SplitMix64::new(10));
+        let mut bits = OnDemandBits::new(ScalarRng::new(SplitMix64::new(10)));
         let red = reduce_list(&list, target_for(2_000), &mut bits);
         // Replay the removals forward over a fresh copy.
         let mut live = vec![true; list.len()];
@@ -358,7 +273,7 @@ mod tests {
     fn small_lists_are_handled() {
         for n in [1usize, 2, 3] {
             let list = LinkedList::ordered(n);
-            let mut bits = OnDemandBits::new(SplitMix64::new(11));
+            let mut bits = OnDemandBits::new(ScalarRng::new(SplitMix64::new(11)));
             let red = reduce_list(&list, 1, &mut bits);
             // Head and tail are anchored, so at most max(n, 2) nodes
             // remain and nothing panics.
@@ -371,7 +286,7 @@ mod tests {
         // With fair coins, an interior node is selected with probability
         // 1/8; check the first iteration removes a sane fraction.
         let list = LinkedList::random(50_000, &mut SplitMix64::new(12));
-        let mut bits = OnDemandBits::new(SplitMix64::new(13));
+        let mut bits = OnDemandBits::new(ScalarRng::new(SplitMix64::new(13)));
         // target = n−1 forces exactly one iteration… almost: use a high
         // target and inspect iteration count instead.
         let red = reduce_list(&list, 49_000, &mut bits);

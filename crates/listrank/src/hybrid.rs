@@ -15,12 +15,12 @@
 //! * [`RandomnessStrategy::BatchMt`] — "Pure GPU MT": batch provisioning
 //!   from a Mersenne-Twister stream.
 
-use crate::fis::{reduce_list, reinsert_ranks, BatchBits, BitProvider, OnDemandBits};
+use crate::fis::{reduce_list, reinsert_ranks, BatchBits, BitProvider, OnDemandBits, TappedBits};
 use crate::helman_jaja::helman_jaja_engine;
 use crate::list::{LinkedList, NIL};
 use crate::sequential::sequential_rank;
 use hprng_baselines::{GlibcRand, Mt19937_64};
-use hprng_core::ExpanderWalkRng;
+use hprng_core::{ExpanderWalkRng, OnDemandRng, ScalarRng};
 use hprng_telemetry::{Recorder, Stage, WordTap};
 use rand_core::SeedableRng;
 use std::time::Instant;
@@ -117,38 +117,16 @@ pub fn rank_list_monitored(
     rank_list_impl(list, strategy, seed, recorder, Some(tap))
 }
 
-/// Repacks the coin bits flowing through a [`BitProvider`] into words for
-/// a [`WordTap`], preserving order across rounds.
-struct TappedBits<'a> {
-    inner: Box<dyn BitProvider>,
-    tap: &'a mut dyn WordTap,
-    acc: u64,
-    acc_bits: u32,
-    words: Vec<u64>,
-}
-
-impl BitProvider for TappedBits<'_> {
-    fn provide(&mut self, out: &mut [u8], count: usize) -> u64 {
-        let produced = self.inner.provide(out, count);
-        self.words.clear();
-        for &coin in &out[..count] {
-            self.acc |= ((coin & 1) as u64) << self.acc_bits;
-            self.acc_bits += 1;
-            if self.acc_bits == 64 {
-                self.words.push(self.acc);
-                self.acc = 0;
-                self.acc_bits = 0;
-            }
-        }
-        if !self.words.is_empty() {
-            self.tap.observe(&self.words);
-        }
-        produced
-    }
-
-    fn bits_produced(&self) -> u64 {
-        self.inner.bits_produced()
-    }
+/// Ranks `list` with Phase I coins drawn on demand from any
+/// [`OnDemandRng`] lane — the generic entry point the strategy enum's
+/// `OnDemandExpander` arm is a special case of. Use it to run the
+/// three-phase algorithm over an engine session
+/// (`&mut Engine<CpuBackend>`, a [`hprng_core::HybridSession`]) or any
+/// other provider; `seed` feeds only Phase II's splitter selection.
+pub fn rank_list_on<R: OnDemandRng>(list: &LinkedList, rng: R, seed: u64) -> (Vec<u32>, RankStats) {
+    let mut recorder = Recorder::new();
+    let mut provider = OnDemandBits::new(rng);
+    rank_list_over(list, &mut provider, seed, &mut recorder)
 }
 
 fn rank_list_impl(
@@ -160,48 +138,67 @@ fn rank_list_impl(
 ) -> (Vec<u32>, RankStats) {
     let n = list.len();
     if n < 64 {
-        // Too small for the machinery to pay off; the measured phases are
-        // what matters for benchmarks, so just do it directly.
-        let t0 = Instant::now();
-        let ranks = sequential_rank(list);
-        let stats = RankStats {
-            phase1_ns: t0.elapsed().as_nanos() as f64,
-            phase2_ns: 0.0,
-            phase3_ns: 0.0,
-            iterations: 0,
-            live_after_reduce: n,
-            bits_consumed: 0,
-            bits_produced: 0,
-            live_history: Vec::new(),
-        };
-        return (ranks, stats);
+        return rank_small(list);
     }
 
-    let target = ((n as f64) / (n as f64).log2()).ceil() as usize;
     let base: Box<dyn BitProvider> = match strategy {
         RandomnessStrategy::OnDemandExpander => {
             Box::new(OnDemandBits::new(ExpanderWalkRng::from_seed_u64(seed)))
         }
-        RandomnessStrategy::BatchGlibc => {
-            Box::new(BatchBits::new(GlibcRand::seed_from_u64(seed), n))
-        }
-        RandomnessStrategy::BatchMt => Box::new(BatchBits::new(Mt19937_64::seed_from_u64(seed), n)),
+        RandomnessStrategy::BatchGlibc => Box::new(BatchBits::new(
+            ScalarRng::new(GlibcRand::seed_from_u64(seed)),
+            n,
+        )),
+        RandomnessStrategy::BatchMt => Box::new(BatchBits::new(
+            ScalarRng::new(Mt19937_64::seed_from_u64(seed)),
+            n,
+        )),
     };
     let mut provider: Box<dyn BitProvider + '_> = match tap {
-        Some(tap) => Box::new(TappedBits {
-            inner: base,
-            tap,
-            acc: 0,
-            acc_bits: 0,
-            words: Vec::new(),
-        }),
+        Some(tap) => Box::new(TappedBits::new(base, tap)),
         None => base,
     };
+    rank_list_over(list, provider.as_mut(), seed, recorder)
+}
+
+/// The n < 64 short-circuit: too small for the machinery to pay off; the
+/// measured phases are what matters for benchmarks, so do it directly.
+fn rank_small(list: &LinkedList) -> (Vec<u32>, RankStats) {
+    let t0 = Instant::now();
+    let ranks = sequential_rank(list);
+    let stats = RankStats {
+        phase1_ns: t0.elapsed().as_nanos() as f64,
+        phase2_ns: 0.0,
+        phase3_ns: 0.0,
+        iterations: 0,
+        live_after_reduce: list.len(),
+        bits_consumed: 0,
+        bits_produced: 0,
+        live_history: Vec::new(),
+    };
+    (ranks, stats)
+}
+
+/// The three-phase algorithm over an arbitrary coin-bit provider: the
+/// strategy enum and [`rank_list_on`] are both thin fronts for this.
+/// `seed` feeds only Phase II's splitter selection; Phase I's coins come
+/// entirely from `provider`.
+pub fn rank_list_over(
+    list: &LinkedList,
+    provider: &mut dyn BitProvider,
+    seed: u64,
+    recorder: &mut Recorder,
+) -> (Vec<u32>, RankStats) {
+    let n = list.len();
+    if n < 64 {
+        return rank_small(list);
+    }
+    let target = ((n as f64) / (n as f64).log2()).ceil() as usize;
 
     // Phase I: FIS reduction.
     let t1 = Instant::now();
     let span = recorder.start_span(Stage::App, "phase1_fis_reduce");
-    let red = reduce_list(list, target, provider.as_mut());
+    let red = reduce_list(list, target, provider);
     recorder.finish_span(span);
     let phase1_ns = t1.elapsed().as_nanos() as f64;
     for (round, &live) in red.live_history.iter().enumerate() {

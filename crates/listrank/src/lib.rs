@@ -23,19 +23,24 @@
 //!   reduced list.
 //! * [`hybrid`] — the three-phase algorithm of [3] with pluggable
 //!   randomness strategies, reproducing Figure 7.
+//! * [`ondemand`] — Algorithm 3 routed through any
+//!   [`OnDemandRng`](hprng_core::OnDemandRng) session (one lane per node),
+//!   the backend-agnostic replacement for the old bespoke device module.
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
-pub mod device;
 pub mod fis;
 mod helman_jaja;
 pub mod hybrid;
 mod list;
+pub mod ondemand;
 mod sequential;
 mod wyllie;
 
 pub use helman_jaja::helman_jaja_rank;
 pub use list::{LinkedList, NIL};
+pub use ondemand::{rank_on_session, reduce_on_session};
 pub use sequential::sequential_rank;
 pub use wyllie::wyllie_rank;

@@ -3,10 +3,11 @@
 //! arbitrary list shapes.
 
 use hprng_baselines::SplitMix64;
+use hprng_core::ScalarRng;
 use hprng_core::{HybridParams, HybridPrng};
 use hprng_gpu_sim::DeviceConfig;
-use hprng_listrank::device::{finish_ranks, reduce_on_device};
 use hprng_listrank::fis::{reduce_list, reinsert_ranks, OnDemandBits};
+use hprng_listrank::rank_on_session;
 use hprng_listrank::{helman_jaja_rank, sequential_rank, wyllie_rank, LinkedList, NIL};
 use proptest::prelude::*;
 
@@ -17,14 +18,15 @@ fn target_for(n: usize) -> usize {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// The device-resident reduction ranks arbitrary lists correctly.
+    /// The session-routed reduction ranks arbitrary lists correctly.
     #[test]
-    fn device_reduction_correct(n in 64usize..2_000, list_seed in any::<u64>(), seed in any::<u64>()) {
+    fn session_reduction_correct(n in 64usize..2_000, list_seed in any::<u64>(), seed in any::<u64>()) {
         let list = LinkedList::random(n, &mut SplitMix64::new(list_seed));
         let expected = sequential_rank(&list);
         let mut prng = HybridPrng::new(DeviceConfig::test_tiny(), HybridParams::default(), seed);
-        let red = reduce_on_device(&list, target_for(n), &mut prng);
-        prop_assert_eq!(finish_ranks(&red, n), expected);
+        let mut session = prng.try_session(n).unwrap();
+        let (ranks, _) = rank_on_session(&list, &mut session);
+        prop_assert_eq!(ranks, expected);
     }
 
     /// Host and device reductions remove valid (replayable) sets whatever
@@ -32,7 +34,7 @@ proptest! {
     #[test]
     fn fis_removal_log_replayable(n in 64usize..2_000, seed in any::<u64>()) {
         let list = LinkedList::random(n, &mut SplitMix64::new(seed));
-        let mut bits = OnDemandBits::new(SplitMix64::new(seed ^ 1));
+        let mut bits = OnDemandBits::new(ScalarRng::new(SplitMix64::new(seed ^ 1)));
         let red = reduce_list(&list, target_for(n), &mut bits);
         // Replay: every removal references then-live nodes only.
         let mut live = vec![true; n];
@@ -50,7 +52,7 @@ proptest! {
     fn reduce_then_reinsert_is_identity(n in 64usize..3_000, seed in any::<u64>()) {
         let list = LinkedList::random(n, &mut SplitMix64::new(seed));
         let expected = sequential_rank(&list);
-        let mut bits = OnDemandBits::new(SplitMix64::new(seed ^ 2));
+        let mut bits = OnDemandBits::new(ScalarRng::new(SplitMix64::new(seed ^ 2)));
         let red = reduce_list(&list, target_for(n), &mut bits);
         let mut ranks = vec![0u32; n];
         let mut cur = red.head;

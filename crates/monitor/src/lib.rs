@@ -27,6 +27,7 @@
 //!   low bits) used for sentinel self-validation.
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 pub mod clash;

@@ -13,8 +13,14 @@
 //! design against the on-demand hybrid PRNG; [`sim::RandomSupply`] models
 //! both provisioning styles, and the simulator reports the "weight clash"
 //! count whose reduction the paper credits for part of the speedup.
+//!
+//! The transport kernel itself is generic over the unified on-demand
+//! contract: [`run_simulation_on`] accepts any
+//! [`SplitOnDemand`](hprng_core::SplitOnDemand) family and gives each
+//! photon chunk its own `GetNextRand()` lane.
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 pub mod photon;
@@ -22,7 +28,7 @@ pub mod sim;
 mod tissue;
 
 pub use sim::{
-    run_simulation, run_simulation_monitored, run_simulation_with_telemetry, RandomSupply,
-    ScoringGrid, SimConfig, SimOutput,
+    run_simulation, run_simulation_monitored, run_simulation_on, run_simulation_on_with_telemetry,
+    run_simulation_with_telemetry, RandomSupply, ScoringGrid, SimConfig, SimOutput,
 };
 pub use tissue::{Layer, Tissue};

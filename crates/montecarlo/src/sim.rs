@@ -5,8 +5,8 @@ use crate::photon::{
 };
 use crate::tissue::Tissue;
 use hprng_baselines::Mwc64;
-use hprng_core::ExpanderWalkRng;
-use rand_core::RngCore;
+use hprng_core::seeding;
+use hprng_core::{ExpanderLanes, ExpanderWalkRng, OnDemandRng, SplitOnDemand};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -36,8 +36,10 @@ impl RandomSupply {
     }
 }
 
-/// A uniform-variate source with the supply policy applied.
-enum Source {
+/// A uniform-variate source with the supply policy applied: either a
+/// buffered MWC stage (the original CUDAMCML design) or any on-demand lane
+/// serving the `GetNextRand()` contract.
+enum Source<R> {
     Buffered {
         rng: Mwc64,
         buf: Vec<f64>,
@@ -47,23 +49,18 @@ enum Source {
         refills: u64,
     },
     Inline {
-        rng: ExpanderWalkRng,
+        rng: R,
     },
 }
 
-impl Source {
-    fn new(supply: RandomSupply, seed: u64) -> Self {
-        match supply {
-            RandomSupply::BufferedMwc { chunk } => Source::Buffered {
-                rng: Mwc64::new(seed),
-                buf: vec![0.0; chunk],
-                tags: vec![0; chunk],
-                pos: chunk,
-                refills: 0,
-            },
-            RandomSupply::InlineHybrid => Source::Inline {
-                rng: ExpanderWalkRng::from_seed_u64(seed),
-            },
+impl<R: OnDemandRng> Source<R> {
+    fn buffered(seed: u64, chunk: usize) -> Self {
+        Source::Buffered {
+            rng: Mwc64::new(seed),
+            buf: vec![0.0; chunk],
+            tags: vec![0; chunk],
+            pos: chunk,
+            refills: 0,
         }
     }
 
@@ -93,7 +90,7 @@ impl Source {
                 out
             }
             Source::Inline { rng } => {
-                let v = rng.next_u64();
+                let v = rng.get_next_rand();
                 ((v >> 11) as f64 * (1.0 / (1u64 << 53) as f64), v)
             }
         }
@@ -223,11 +220,11 @@ impl SimOutput {
 }
 
 /// Transports one photon; accumulates into `out`, returns its launch tag.
-fn trace_photon(
+fn trace_photon<R: OnDemandRng>(
     tissue: &Tissue,
     grid: Option<&ScoringGrid>,
     out: &mut SimOutput,
-    src: &mut Source,
+    src: &mut Source<R>,
 ) -> u64 {
     let n0 = tissue.layers[0].n;
     let specular = fresnel_reflectance(tissue.n_above, n0, 1.0);
@@ -403,6 +400,50 @@ pub fn run_simulation_monitored(
     run_simulation_impl(tissue, photons, config, recorder, Some(tap))
 }
 
+/// Runs the simulation over any splittable on-demand provider: chunk `c`
+/// draws every variate from `lanes.lane(c)` via `GetNextRand()`, with no
+/// staging buffer — Algorithm 4's discipline for an arbitrary generator
+/// family.
+///
+/// `config.chunk_size` and `config.grid` apply as in [`run_simulation`];
+/// `config.seed` and `config.supply` are **ignored** (the provider already
+/// fixes both the seeding and the supply policy). In particular,
+/// `run_simulation_on(t, n, cfg, &ExpanderLanes::new(cfg.seed))` is
+/// bit-identical to `run_simulation(t, n, cfg)` with `InlineHybrid` supply.
+///
+/// # Panics
+/// Panics if `photons == 0`.
+pub fn run_simulation_on<S: SplitOnDemand + Sync>(
+    tissue: &Tissue,
+    photons: u64,
+    config: &SimConfig,
+    lanes: &S,
+) -> SimOutput {
+    let mut recorder = hprng_telemetry::Recorder::new();
+    run_simulation_on_with_telemetry(tissue, photons, config, lanes, &mut recorder)
+}
+
+/// [`run_simulation_on`] with the same observability contract as
+/// [`run_simulation_with_telemetry`].
+///
+/// # Panics
+/// Panics if `photons == 0`.
+pub fn run_simulation_on_with_telemetry<S: SplitOnDemand + Sync>(
+    tissue: &Tissue,
+    photons: u64,
+    config: &SimConfig,
+    lanes: &S,
+    recorder: &mut hprng_telemetry::Recorder,
+) -> SimOutput {
+    run_simulation_core(tissue, photons, config, recorder, None, |c| {
+        Source::Inline { rng: lanes.lane(c) }
+    })
+}
+
+/// Routes the legacy [`RandomSupply`] policy onto the on-demand core:
+/// `InlineHybrid` is [`ExpanderLanes`] (chunk `c`'s lane seed is
+/// `seeding::lane_seed(config.seed, c)`, the derivation this module always
+/// used), `BufferedMwc` stages an MWC stream through a buffer per chunk.
 fn run_simulation_impl(
     tissue: &Tissue,
     photons: u64,
@@ -410,6 +451,37 @@ fn run_simulation_impl(
     recorder: &mut hprng_telemetry::Recorder,
     tap: Option<&mut dyn hprng_telemetry::WordTap>,
 ) -> SimOutput {
+    match config.supply {
+        RandomSupply::BufferedMwc { chunk } => {
+            run_simulation_core::<ExpanderWalkRng, _>(tissue, photons, config, recorder, tap, |c| {
+                Source::buffered(seeding::lane_seed(config.seed, c), chunk)
+            })
+        }
+        RandomSupply::InlineHybrid => {
+            let lanes = ExpanderLanes::new(config.seed);
+            run_simulation_core(tissue, photons, config, recorder, tap, |c| Source::Inline {
+                rng: lanes.lane(c),
+            })
+        }
+    }
+}
+
+/// The parallel driver, generic over the per-chunk variate source: chunk
+/// `c` transports its photons through `make_source(c)`, so any
+/// [`SplitOnDemand`] family (or the buffered baseline) plugs in without
+/// touching the transport kernel.
+fn run_simulation_core<R, F>(
+    tissue: &Tissue,
+    photons: u64,
+    config: &SimConfig,
+    recorder: &mut hprng_telemetry::Recorder,
+    tap: Option<&mut dyn hprng_telemetry::WordTap>,
+    make_source: F,
+) -> SimOutput
+where
+    R: OnDemandRng,
+    F: Fn(u64) -> Source<R> + Sync,
+{
     assert!(photons > 0, "need at least one photon");
     let span = recorder.start_span(hprng_telemetry::Stage::App, "montecarlo");
     let wall = Instant::now();
@@ -425,10 +497,7 @@ fn run_simulation_impl(
                 abs_depth: config.grid.map(|g| vec![0.0; g.nz + 1]).unwrap_or_default(),
                 ..SimOutput::default()
             };
-            let mut src = Source::new(
-                config.supply,
-                config.seed ^ (c.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-            );
+            let mut src = make_source(c);
             let count = chunk.min(photons - c * chunk);
             let mut tags = Vec::with_capacity(count as usize);
             for _ in 0..count {
@@ -693,6 +762,59 @@ mod tests {
         // The tap cost is accounted in its own span and counter.
         assert!(recorder.spans().iter().any(|s| s.name == "monitor_tap"));
         assert_eq!(recorder.counter("tap_words"), out.photons as f64);
+    }
+
+    #[test]
+    fn inline_hybrid_goldens_survive_the_on_demand_refactor() {
+        // Captured from the pre-refactor implementation (Source over a
+        // concrete ExpanderWalkRng, per-chunk seed `seed ^ c·γ`): the
+        // ExpanderLanes-routed path must reproduce every bit.
+        let tissue = Tissue::three_layer();
+        let out = run_simulation(&tissue, 10_000, &quick_config(RandomSupply::InlineHybrid));
+        assert_eq!(out.diffuse_reflectance.to_bits(), 0x40a2ab18d4057116);
+        assert_eq!(out.transmittance.to_bits(), 0x408cd59e61726ebf);
+        assert_eq!(out.interactions, 616_634);
+        assert_eq!(out.randoms_used, 1_929_650);
+        assert_eq!(out.clashes, 0);
+    }
+
+    #[test]
+    fn expander_lanes_session_matches_the_legacy_inline_path() {
+        let tissue = Tissue::three_layer();
+        let cfg = quick_config(RandomSupply::InlineHybrid);
+        let legacy = run_simulation(&tissue, 10_000, &cfg);
+        let routed = run_simulation_on(&tissue, 10_000, &cfg, &ExpanderLanes::new(cfg.seed));
+        assert_eq!(
+            legacy.diffuse_reflectance.to_bits(),
+            routed.diffuse_reflectance.to_bits()
+        );
+        assert_eq!(
+            legacy.transmittance.to_bits(),
+            routed.transmittance.to_bits()
+        );
+        assert_eq!(legacy.interactions, routed.interactions);
+        assert_eq!(legacy.randoms_used, routed.randoms_used);
+        assert_eq!(legacy.clashes, routed.clashes);
+        assert_eq!(
+            legacy.roulette_loss.to_bits(),
+            routed.roulette_loss.to_bits()
+        );
+    }
+
+    #[test]
+    fn cpu_parallel_lanes_drive_the_simulation() {
+        // Any SplitOnDemand family plugs in: here the multicore CPU
+        // generator's worker streams, one per photon chunk.
+        let tissue = Tissue::three_layer();
+        let cfg = quick_config(RandomSupply::InlineHybrid);
+        let lanes = hprng_core::CpuParallelPrng::new(7, 4);
+        let out = run_simulation_on(&tissue, 5_000, &cfg, &lanes);
+        assert_eq!(out.photons, 5_000);
+        assert_eq!(out.clashes, 0);
+        let total = out.total_weight() / out.photons as f64;
+        assert!((total - 1.0).abs() < 1e-2, "total weight {total}");
+        let again = run_simulation_on(&tissue, 5_000, &cfg, &lanes);
+        assert_eq!(out.diffuse_reflectance, again.diffuse_reflectance);
     }
 
     #[test]

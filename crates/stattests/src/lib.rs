@@ -27,6 +27,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 pub mod crush;

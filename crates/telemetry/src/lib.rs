@@ -23,6 +23,7 @@
 //! measurements happen.
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 pub mod json;

@@ -82,9 +82,20 @@
 //!    can export as a Chrome trace.
 //! 5. **Misuse is an `Err`, not UB.** Zero threads, zero-count batches,
 //!    and oversized batches return [`HprngError`] from the `try_*`
-//!    variants; the historical panicking methods remain as thin wrappers.
+//!    variants; the historical panicking methods remain as deprecated thin
+//!    wrappers.
+//! 6. **One contract, many providers.** The [`OnDemandRng`] trait codifies
+//!    the `GetNextRand()` interface — per-call batch sizing, lane count,
+//!    word accounting, an optional quality tap — and is implemented by the
+//!    pipeline [`Engine`] on both backends, [`CpuParallelPrng`] sessions,
+//!    a single [`ExpanderWalkRng`] walk, and (via [`ScalarRng`]) every
+//!    baseline generator. [`SplitOnDemand`] families such as
+//!    [`ExpanderLanes`] hand independent lanes to parallel consumers. Both
+//!    applications ([`listrank::rank_on_session`],
+//!    [`montecarlo::run_simulation_on`]) are generic over it.
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 pub use hprng_baselines as baselines;
 pub use hprng_core as prng;
@@ -97,9 +108,10 @@ pub use hprng_stattests as stattests;
 pub use hprng_telemetry as telemetry;
 
 pub use hprng_core::{
-    Backend, BitFeed, CpuBackend, CpuParallelPrng, DeviceBackend, Engine, ExpanderWalkRng,
-    GlibcFeed, HprngError, HybridParams, HybridParamsBuilder, HybridPrng, HybridSession,
-    PipelineMode, PipelineStats, WalkParams, WalkParamsBuilder,
+    Backend, BitFeed, CpuBackend, CpuParallelPrng, DeviceBackend, Engine, ExpanderLanes,
+    ExpanderWalkRng, GlibcFeed, HprngError, HybridParams, HybridParamsBuilder, HybridPrng,
+    HybridSession, OnDemandRng, PipelineMode, PipelineStats, ScalarRng, SplitOnDemand, WalkParams,
+    WalkParamsBuilder,
 };
 pub use hprng_gpu_sim::{ConfigError, DeviceConfig, DeviceConfigBuilder};
 pub use hprng_monitor::{
