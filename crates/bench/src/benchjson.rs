@@ -255,6 +255,131 @@ pub fn apps_bench(seed: u64) -> json::Value {
     obj
 }
 
+/// Benchmarks the serving layer: a sharded [`hprng_pool::Pool`] (one
+/// shard per available CPU) against a single shared-mutex engine, swept
+/// over concurrent consumer counts from 1 to twice the core count.
+///
+/// Both sides serve the same generator (an `Engine<CpuBackend>` with 64
+/// walks per consumer stream) so the comparison isolates the serving
+/// architecture: per-consumer mutex contention on one engine versus
+/// sharded workers with double-buffered prefetch. The sweep self-scales
+/// from `std::thread::available_parallelism`, so the document is
+/// meaningful on any host.
+pub fn pool_bench(seed: u64, words: usize) -> json::Value {
+    use hprng_pool::{Pool, SessionKind};
+    use std::sync::Mutex;
+
+    const LANES: usize = 64;
+    let params = hprng_core::HybridParams::default();
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let shards = cores;
+    let words = words.max(50_000);
+
+    // Each consumer locks the one engine per 64-word batch — the naive
+    // many-consumers design the pool replaces.
+    let mutex_words_per_s = |consumers: usize| -> f64 {
+        let mut engine = Engine::with_mode(
+            CpuBackend::new(params),
+            Box::new(GlibcFeed::from_master_seed(seed)),
+            PipelineMode::Synchronous,
+        );
+        engine.initialize(LANES).expect("LANES is positive");
+        let shared = Mutex::new(engine);
+        let per_consumer = words.div_ceil(consumers);
+        let wall = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..consumers {
+                scope.spawn(|| {
+                    let mut out = [0u64; LANES];
+                    let mut remaining = per_consumer;
+                    while remaining > 0 {
+                        let take = remaining.min(LANES);
+                        shared
+                            .lock()
+                            .expect("engine mutex")
+                            .try_next_batch_into(&mut out[..take])
+                            .expect("take is within the engine's walks");
+                        std::hint::black_box(&out);
+                        remaining -= take;
+                    }
+                });
+            }
+        });
+        (per_consumer * consumers) as f64 / wall.elapsed().as_secs_f64().max(1e-12)
+    };
+
+    let pool_words_per_s = |consumers: usize| -> f64 {
+        let pool = Pool::builder(seed)
+            .shards(shards)
+            .session(SessionKind::CpuEngine {
+                lanes: LANES,
+                params,
+            })
+            .build()
+            .expect("pool configuration is valid");
+        let per_consumer = words.div_ceil(consumers);
+        let mut clients: Vec<_> = (0..consumers as u64)
+            .map(|id| pool.try_client_with_id(id).expect("healthy pool"))
+            .collect();
+        let wall = Instant::now();
+        std::thread::scope(|scope| {
+            for client in &mut clients {
+                scope.spawn(move || {
+                    let mut out = [0u64; LANES];
+                    let mut remaining = per_consumer;
+                    while remaining > 0 {
+                        let take = remaining.min(LANES);
+                        client
+                            .fill_words(&mut out[..take])
+                            .expect("healthy pool client");
+                        std::hint::black_box(&out);
+                        remaining -= take;
+                    }
+                });
+            }
+        });
+        (per_consumer * consumers) as f64 / wall.elapsed().as_secs_f64().max(1e-12)
+    };
+
+    let mut rows = Vec::new();
+    let mut gate = json::Value::object();
+    for consumers in 1..=(2 * cores) {
+        let pool_wps = pool_words_per_s(consumers);
+        let mutex_wps = mutex_words_per_s(consumers);
+        let mut row = json::Value::object();
+        row.set("consumers", json::Value::Number(consumers as f64));
+        row.set("pool_words_per_s", json::Value::Number(pool_wps));
+        row.set("mutex_words_per_s", json::Value::Number(mutex_wps));
+        row.set(
+            "speedup",
+            json::Value::Number(pool_wps / mutex_wps.max(1e-12)),
+        );
+        if consumers == 2 * cores {
+            // The acceptance floor: at 2× core-count consumers the pool
+            // must reach at least shards/2 of the shared-engine rate.
+            gate.set("consumers", json::Value::Number(consumers as f64));
+            gate.set("pool_words_per_s", json::Value::Number(pool_wps));
+            gate.set("baseline_words_per_s", json::Value::Number(mutex_wps));
+            gate.set("speedup_floor", json::Value::Number(shards as f64 / 2.0));
+            gate.set(
+                "passed",
+                json::Value::Bool(pool_wps >= (shards as f64 / 2.0) * mutex_wps),
+            );
+        }
+        rows.push(row);
+    }
+
+    let mut obj = json::Value::object();
+    obj.set("cores", json::Value::Number(cores as f64));
+    obj.set("shards", json::Value::Number(shards as f64));
+    obj.set("session_lanes", json::Value::Number(LANES as f64));
+    obj.set("sweep", json::Value::Array(rows));
+    obj.set("gate", gate);
+    obj
+}
+
 /// Compares a current bench document against a baseline one: the hybrid
 /// pipeline's `host_words_per_s` may not drop by more than `max_drop`
 /// (a fraction, e.g. `0.2` for 20%).
@@ -489,6 +614,35 @@ mod tests {
         for row in mc {
             assert!(row.get("photons_per_s").and_then(|v| v.as_f64()).unwrap() > 0.0);
         }
+    }
+
+    #[test]
+    fn pool_bench_reports_the_sweep_and_its_gate() {
+        let doc = pool_bench(3, 50_000);
+        let cores = doc.get("cores").and_then(|v| v.as_f64()).unwrap() as usize;
+        assert!(cores >= 1);
+        let sweep = doc.get("sweep").and_then(|s| s.as_array()).unwrap();
+        assert_eq!(sweep.len(), 2 * cores);
+        for row in sweep {
+            assert!(
+                row.get("pool_words_per_s")
+                    .and_then(|v| v.as_f64())
+                    .unwrap()
+                    > 0.0
+            );
+            assert!(
+                row.get("mutex_words_per_s")
+                    .and_then(|v| v.as_f64())
+                    .unwrap()
+                    > 0.0
+            );
+        }
+        let gate = doc.get("gate").unwrap();
+        assert_eq!(
+            gate.get("consumers").and_then(|v| v.as_f64()).unwrap(),
+            (2 * cores) as f64
+        );
+        assert!(matches!(gate.get("passed"), Some(json::Value::Bool(_))));
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!             [--baseline <path>]     compare against a prior bench JSON;
 //!             [--max-drop <frac>]     fail if hybrid words/s drops by more
 //!                                     than the fraction (default 0.2)
+//!             [--pool]                add the sharded-pool consumer sweep
+//!                                     (pool vs shared-mutex engine)
 //! repro monitor [--generator hybrid|mt|glibc-low|constant]
 //!               [--words W] [--sample-every N] [--prom-out <path>]
 //!               [--assert-clean | --assert-alerts]
@@ -49,6 +51,7 @@ struct Args {
     prom_out: Option<std::path::PathBuf>,
     baseline: Option<std::path::PathBuf>,
     max_drop: f64,
+    pool: bool,
 }
 
 fn parse_args() -> Args {
@@ -70,6 +73,7 @@ fn parse_args() -> Args {
         prom_out: None,
         baseline: None,
         max_drop: 0.2,
+        pool: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -180,6 +184,10 @@ fn parse_args() -> Args {
                 args.max_drop = argv[i + 1].parse().expect("--max-drop takes a fraction");
                 i += 2;
             }
+            "--pool" => {
+                args.pool = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -269,7 +277,10 @@ fn main() {
     // everything and is meant for regression dashboards, not reading).
     if args.cmd == "bench" {
         let words = args.n.max(50_000);
-        let doc = benchjson::bench_json(args.seed, words);
+        let mut doc = benchjson::bench_json(args.seed, words);
+        if args.pool {
+            doc.set("pool", benchjson::pool_bench(args.seed, words));
+        }
         match &args.json_out {
             Some(path) => {
                 let text = doc.to_json();

@@ -7,9 +7,10 @@ use std::fmt;
 ///
 /// Returned by the `try_*` API surface ([`crate::HybridPrng::try_session`],
 /// [`crate::HybridPrng::try_generate`],
-/// [`crate::HybridSession::try_next_batch`]) and the parameter builders.
-/// The legacy panicking methods are thin wrappers that panic with this
-/// type's `Display` message.
+/// [`crate::HybridSession::try_next_batch`]), the parameter builders, and
+/// the serving path of the `hprng-pool` clients (the `Shard*`/`Pool*`
+/// variants). The legacy panicking wrappers were removed in 0.6.0 — see
+/// MIGRATION.md.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum HprngError {
@@ -37,6 +38,23 @@ pub enum HprngError {
     /// The concurrent engine's FEED producer thread ended (it panicked or
     /// was torn down) while more raw bits were still needed.
     FeedDisconnected,
+    /// A randomness-pool shard did not refill a client's prefetch cache
+    /// within the configured patience (`FullPolicy::TryFor`). The client
+    /// stays usable: the next request retries the same refill.
+    ShardStalled {
+        /// Which pool shard stalled.
+        shard: usize,
+    },
+    /// A randomness-pool shard's worker thread is gone — it panicked while
+    /// serving (poisoning mirrors the PR 3 ring semantics: peers keep
+    /// serving, only this shard's clients are affected).
+    ShardPoisoned {
+        /// Which pool shard died.
+        shard: usize,
+    },
+    /// The randomness pool was shut down while this client was still
+    /// drawing from it.
+    PoolShutdown,
 }
 
 impl fmt::Display for HprngError {
@@ -57,6 +75,15 @@ impl fmt::Display for HprngError {
             HprngError::Config(e) => write!(f, "{e}"),
             HprngError::FeedDisconnected => {
                 write!(f, "the FEED producer thread ended before the pipeline")
+            }
+            HprngError::ShardStalled { shard } => {
+                write!(f, "pool shard {shard} stalled past the refill patience")
+            }
+            HprngError::ShardPoisoned { shard } => {
+                write!(f, "pool shard {shard} is poisoned (its worker panicked)")
+            }
+            HprngError::PoolShutdown => {
+                write!(f, "the randomness pool was shut down")
             }
         }
     }
@@ -94,6 +121,22 @@ mod tests {
             }
             .to_string(),
             "batch of 9 exceeds the session's 8 walks"
+        );
+    }
+
+    #[test]
+    fn pool_variant_messages_name_the_shard() {
+        assert_eq!(
+            HprngError::ShardStalled { shard: 3 }.to_string(),
+            "pool shard 3 stalled past the refill patience"
+        );
+        assert_eq!(
+            HprngError::ShardPoisoned { shard: 0 }.to_string(),
+            "pool shard 0 is poisoned (its worker panicked)"
+        );
+        assert_eq!(
+            HprngError::PoolShutdown.to_string(),
+            "the randomness pool was shut down"
         );
     }
 

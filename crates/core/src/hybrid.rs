@@ -60,7 +60,7 @@ impl HybridPrng {
 
     /// Opens an on-demand session with `threads` device-resident walks
     /// (Algorithm 1 runs here). The session then serves any number of
-    /// [`HybridSession::next_batch`] calls — the quantity of randomness
+    /// [`HybridSession::try_next_batch`] calls — the quantity of randomness
     /// never has to be declared up front.
     ///
     /// Returns [`HprngError::EmptySession`] when `threads` is zero.
@@ -71,22 +71,6 @@ impl HybridPrng {
         let mut engine = Engine::with_mode(backend, feed, self.params.mode);
         engine.initialize(threads)?;
         Ok(HybridSession { engine })
-    }
-
-    /// Panicking wrapper around [`HybridPrng::try_session`].
-    ///
-    /// Deprecated in favour of `try_session`, which reports the zero-thread
-    /// case as an [`HprngError`] instead of panicking; kept as a thin
-    /// wrapper for existing callers.
-    ///
-    /// # Panics
-    /// Panics if `threads` is zero.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `try_session`, which reports misuse as HprngError"
-    )]
-    pub fn session(&mut self, threads: usize) -> HybridSession<'_> {
-        self.try_session(threads).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Bulk generation (Figure 3's workload): produces exactly `n` numbers
@@ -107,22 +91,6 @@ impl HybridPrng {
         }
         let stats = session.stats();
         Ok((out, stats))
-    }
-
-    /// Panicking wrapper around [`HybridPrng::try_generate`].
-    ///
-    /// Deprecated in favour of `try_generate`, which reports the zero-count
-    /// case as an [`HprngError`] instead of panicking; kept as a thin
-    /// wrapper for existing callers.
-    ///
-    /// # Panics
-    /// Panics if `n` is zero.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `try_generate`, which reports misuse as HprngError"
-    )]
-    pub fn generate(&mut self, n: usize) -> (Vec<u64>, PipelineStats) {
-        self.try_generate(n).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -179,22 +147,6 @@ impl HybridSession<'_> {
     /// [`HybridSession::try_next_batch`] into a caller-provided buffer.
     pub fn try_next_batch_into(&mut self, out: &mut [u64]) -> Result<(), HprngError> {
         self.engine.try_next_batch_into(out)
-    }
-
-    /// Panicking wrapper around [`HybridSession::try_next_batch`].
-    ///
-    /// Deprecated in favour of `try_next_batch`, which reports invalid
-    /// batch sizes as an [`HprngError`] instead of panicking; kept as a
-    /// thin wrapper for existing callers.
-    ///
-    /// # Panics
-    /// Panics if `count` is zero or exceeds the session's thread count.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `try_next_batch`, which reports misuse as HprngError"
-    )]
-    pub fn next_batch(&mut self, count: usize) -> Vec<u64> {
-        self.try_next_batch(count).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The session's statistics so far.
@@ -264,9 +216,6 @@ impl crate::ondemand::OnDemandRng for HybridSession<'_> {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated panicking wrappers are exercised on purpose here to
-    // keep their behaviour pinned until removal.
-    #![allow(deprecated)]
     use super::*;
     use crate::params::PipelineMode;
     use hprng_gpu_sim::{DeviceConfig, WorkUnit};
@@ -283,7 +232,7 @@ mod tests {
     #[test]
     fn generates_requested_count() {
         let mut prng = tiny_prng(1);
-        let (nums, stats) = prng.generate(1234);
+        let (nums, stats) = prng.try_generate(1234).unwrap();
         assert_eq!(nums.len(), 1234);
         assert_eq!(stats.numbers, 1234);
         assert!(stats.sim_ns > 0.0);
@@ -291,23 +240,23 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let (a, _) = tiny_prng(42).generate(500);
-        let (b, _) = tiny_prng(42).generate(500);
+        let (a, _) = tiny_prng(42).try_generate(500).unwrap();
+        let (b, _) = tiny_prng(42).try_generate(500).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn different_seeds_differ() {
-        let (a, _) = tiny_prng(1).generate(500);
-        let (b, _) = tiny_prng(2).generate(500);
+        let (a, _) = tiny_prng(1).try_generate(500).unwrap();
+        let (b, _) = tiny_prng(2).try_generate(500).unwrap();
         let same = a.iter().zip(&b).filter(|(x, y)| x == y).count();
         assert!(same < 5);
     }
 
     #[test]
     fn sim_time_is_deterministic() {
-        let (_, s1) = tiny_prng(7).generate(1000);
-        let (_, s2) = tiny_prng(7).generate(1000);
+        let (_, s1) = tiny_prng(7).try_generate(1000).unwrap();
+        let (_, s2) = tiny_prng(7).try_generate(1000).unwrap();
         assert_eq!(s1.sim_ns, s2.sim_ns);
         assert_eq!(s1.feed_words, s2.feed_words);
         assert_eq!(s1.iterations, s2.iterations);
@@ -337,10 +286,10 @@ mod tests {
     #[test]
     fn on_demand_batches_can_vary() {
         let mut prng = tiny_prng(3);
-        let mut session = prng.session(64);
-        let a = session.next_batch(64);
-        let b = session.next_batch(10); // demand not known a priori
-        let c = session.next_batch(33);
+        let mut session = prng.try_session(64).unwrap();
+        let a = session.try_next_batch(64).unwrap();
+        let b = session.try_next_batch(10).unwrap(); // demand not known a priori
+        let c = session.try_next_batch(33).unwrap();
         assert_eq!(a.len(), 64);
         assert_eq!(b.len(), 10);
         assert_eq!(c.len(), 33);
@@ -348,20 +297,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds the session")]
-    fn oversized_batch_panics() {
-        let mut prng = tiny_prng(3);
-        let mut session = prng.session(8);
-        session.next_batch(9);
-    }
-
-    #[test]
     fn feed_volume_matches_demand() {
         // 64 threads × (1 start word + 4 warm-up words) init, plus one
         // batch of 64 numbers × 4 words each.
         let mut prng = tiny_prng(5);
-        let mut session = prng.session(64);
-        session.next_batch(64);
+        let mut session = prng.try_session(64).unwrap();
+        session.try_next_batch(64).unwrap();
         let stats = session.stats();
         assert_eq!(stats.feed_words, 64 * 5 + 64 * 4);
     }
@@ -369,17 +310,17 @@ mod tests {
     #[test]
     fn pipeline_iterations_counted() {
         let mut prng = tiny_prng(5);
-        let mut session = prng.session(16);
-        session.next_batch(16);
-        session.next_batch(16);
+        let mut session = prng.try_session(16).unwrap();
+        session.try_next_batch(16).unwrap();
+        session.try_next_batch(16).unwrap();
         assert_eq!(session.stats().iterations, 3); // init + 2 batches
     }
 
     #[test]
     fn timeline_contains_all_three_work_units() {
         let mut prng = tiny_prng(5);
-        let mut session = prng.session(32);
-        session.next_batch(32);
+        let mut session = prng.try_session(32).unwrap();
+        session.try_next_batch(32).unwrap();
         let tl = session.timeline();
         assert!(tl.unit_total_ns(WorkUnit::Feed) > 0.0);
         assert!(tl.unit_total_ns(WorkUnit::Transfer) > 0.0);
@@ -389,16 +330,16 @@ mod tests {
     #[test]
     fn walk_states_advance_between_batches() {
         let mut prng = tiny_prng(5);
-        let mut session = prng.session(8);
-        let a = session.next_batch(8);
-        let b = session.next_batch(8);
+        let mut session = prng.try_session(8).unwrap();
+        let a = session.try_next_batch(8).unwrap();
+        let b = session.try_next_batch(8).unwrap();
         assert_ne!(a, b);
     }
 
     #[test]
     fn busy_fractions_are_sane() {
         let mut prng = tiny_prng(9);
-        let (_, stats) = prng.generate(2000);
+        let (_, stats) = prng.try_generate(2000).unwrap();
         assert!(stats.cpu_busy > 0.0 && stats.cpu_busy <= 1.0);
         assert!(stats.gpu_busy > 0.0 && stats.gpu_busy <= 1.0);
     }
@@ -433,13 +374,6 @@ mod tests {
         );
         // The session stays usable after a rejected request.
         assert_eq!(session.try_next_batch(8).unwrap().len(), 8);
-    }
-
-    #[test]
-    fn try_and_panicking_paths_agree() {
-        let (a, _) = tiny_prng(11).try_generate(300).unwrap();
-        let (b, _) = tiny_prng(11).generate(300);
-        assert_eq!(a, b);
     }
 
     #[test]

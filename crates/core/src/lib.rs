@@ -52,5 +52,7 @@ pub use ondemand::{ExpanderLanes, OnDemandRng, ScalarRng, SplitOnDemand};
 pub use params::{
     CostModel, HybridParams, HybridParamsBuilder, PipelineMode, WalkParams, WalkParamsBuilder,
 };
-pub use pipeline::{Backend, BitFeed, CpuBackend, DeviceBackend, Engine, GlibcFeed};
+pub use pipeline::{
+    Backend, BitFeed, CpuBackend, DeviceBackend, Engine, GlibcFeed, SharedDeviceBackend,
+};
 pub use rng::ExpanderWalkRng;

@@ -23,7 +23,7 @@ pub mod engine;
 pub mod feed;
 pub mod ring;
 
-pub use backend::{init_words_per_thread, Backend, CpuBackend, DeviceBackend};
+pub use backend::{init_words_per_thread, Backend, CpuBackend, DeviceBackend, SharedDeviceBackend};
 pub use engine::{Engine, PipelineStats, RING_BLOCK_WORDS};
 pub use feed::{BitFeed, GlibcFeed, RngFeed, SplitMixFeed};
 pub use ring::{ping_pong, with_capacity, RingReceiver, RingSender, SendError, PING_PONG_SLOTS};

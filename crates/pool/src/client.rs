@@ -1,0 +1,328 @@
+//! The client handle: a double-buffered, allocation-free view of one
+//! deterministic lane of the pool.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
+use std::sync::Arc;
+
+use hprng_baselines::SplitMix64;
+use hprng_core::{HprngError, OnDemandRng, ScalarRng};
+use hprng_telemetry::WordTap;
+
+use crate::config::FullPolicy;
+use crate::shard::{Reply, Request, ShardMetrics};
+
+/// Domain-separation salt of the [`FullPolicy::Degrade`] fallback stream,
+/// so the inline generator never collides with the lane's session seed.
+const DEGRADE_SALT: u64 = 0xD15E_A5ED_FA11_BACC;
+
+enum Acquired {
+    /// The front buffer holds fresh words.
+    Front,
+    /// No refill available; serve from the inline fallback generator.
+    Fallback,
+}
+
+/// One consumer's handle onto the pool: lane `id` of the pool's seed.
+///
+/// The stream this handle serves is a pure function of the pool seed, the
+/// session kind, and `id` — never of the shard count, the shard the
+/// client landed on, or how other clients interleave. Two prefetch
+/// buffers circulate between the client and its shard, so the hot path
+/// ([`PoolClient::try_next_u64`], [`PoolClient::fill_words`]) is a slice
+/// copy with no allocation; buffers are recycled through
+/// refill requests.
+///
+/// Under [`FullPolicy::Degrade`] the determinism guarantee is
+/// deliberately traded away while the shard is behind — see
+/// [`FullPolicy::Degrade`].
+pub struct PoolClient {
+    id: u64,
+    shard: usize,
+    lanes: usize,
+    policy: FullPolicy,
+    tx: SyncSender<Request>,
+    rx: Receiver<Reply>,
+    front: Vec<u64>,
+    pos: usize,
+    /// Exhausted buffers whose refill request did not fit the shard queue
+    /// yet (non-blocking policies only). At most two buffers exist.
+    pending: Vec<Vec<u64>>,
+    fallback: ScalarRng<SplitMix64>,
+    degraded_forever: bool,
+    failed: Option<HprngError>,
+    served: u64,
+    degraded: u64,
+    tap: Option<Box<dyn WordTap>>,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<ShardMetrics>,
+}
+
+impl PoolClient {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: u64,
+        shard: usize,
+        lanes: usize,
+        lane_seed: u64,
+        policy: FullPolicy,
+        tx: SyncSender<Request>,
+        rx: Receiver<Reply>,
+        shutdown: Arc<AtomicBool>,
+        metrics: Arc<ShardMetrics>,
+    ) -> Self {
+        Self {
+            id,
+            shard,
+            lanes,
+            policy,
+            tx,
+            rx,
+            front: Vec::new(),
+            pos: 0,
+            pending: Vec::new(),
+            fallback: ScalarRng::labeled(SplitMix64::new(lane_seed ^ DEGRADE_SALT), "pool-degrade"),
+            degraded_forever: false,
+            failed: None,
+            served: 0,
+            degraded: 0,
+            tap: None,
+            shutdown,
+            metrics,
+        }
+    }
+
+    /// The client's lane index (the `index` of
+    /// [`hprng_core::seeding::lane_seed`]).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The shard serving this client. Informational only — it never
+    /// affects the stream.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Words served from the inline fallback generator instead of the
+    /// session stream ([`FullPolicy::Degrade`] only).
+    pub fn degraded_words(&self) -> u64 {
+        self.degraded
+    }
+
+    /// The next word of this client's stream. Allocation-free: served
+    /// from the prefetch cache, which refills through recycled buffers.
+    pub fn try_next_u64(&mut self) -> Result<u64, HprngError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        if self.pos < self.front.len() {
+            let word = self.front[self.pos];
+            self.pos += 1;
+            self.served += 1;
+            if let Some(tap) = self.tap.as_mut() {
+                tap.observe(std::slice::from_ref(&word));
+            }
+            return Ok(word);
+        }
+        let mut one = [0u64];
+        self.fill_words(&mut one)?;
+        Ok(one[0])
+    }
+
+    /// Fills `out` with the next `out.len()` words of this client's
+    /// stream. Any length is accepted — the pool re-chunks the session
+    /// stream, so unlike raw sessions a client request can exceed the
+    /// session's lane width without [`HprngError::BatchTooLarge`].
+    pub fn fill_words(&mut self, out: &mut [u64]) -> Result<(), HprngError> {
+        if out.is_empty() {
+            return Err(HprngError::EmptyRequest);
+        }
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        let mut filled = 0;
+        while filled < out.len() {
+            if self.pos < self.front.len() {
+                let take = (out.len() - filled).min(self.front.len() - self.pos);
+                out[filled..filled + take].copy_from_slice(&self.front[self.pos..self.pos + take]);
+                self.pos += take;
+                filled += take;
+                continue;
+            }
+            match self.acquire()? {
+                Acquired::Front => {}
+                Acquired::Fallback => {
+                    out[filled] = self.fallback.get_next_rand();
+                    self.degraded += 1;
+                    self.metrics.degraded_words.fetch_add(1, Ordering::Relaxed);
+                    filled += 1;
+                }
+            }
+        }
+        self.served += out.len() as u64;
+        if let Some(tap) = self.tap.as_mut() {
+            tap.observe(out);
+        }
+        Ok(())
+    }
+
+    /// Obtains a refilled front buffer (or a fallback verdict) after the
+    /// current front ran dry.
+    fn acquire(&mut self) -> Result<Acquired, HprngError> {
+        if self.degraded_forever {
+            return Ok(Acquired::Fallback);
+        }
+        // Recycle the exhausted front into a refill request. The initial
+        // placeholder (capacity 0; the real buffers start shard-side) is
+        // not a buffer and must not become one.
+        let old = std::mem::take(&mut self.front);
+        self.pos = 0;
+        if old.capacity() > 0 {
+            self.pending.push(old);
+        }
+        self.flush_pending()?;
+        match self.policy {
+            FullPolicy::Block => match self.rx.recv() {
+                Ok(reply) => self.install(reply),
+                Err(_) => Err(self.fail_disconnected()),
+            },
+            FullPolicy::TryFor(patience) => match self.rx.recv_timeout(patience) {
+                Ok(reply) => self.install(reply),
+                // The refill stays in flight; the next call retries.
+                Err(RecvTimeoutError::Timeout) => {
+                    Err(HprngError::ShardStalled { shard: self.shard })
+                }
+                Err(RecvTimeoutError::Disconnected) => Err(self.fail_disconnected()),
+            },
+            FullPolicy::Degrade => match self.rx.try_recv() {
+                Ok(reply) => self.install(reply).map(|_| Acquired::Front),
+                Err(TryRecvError::Empty) => Ok(Acquired::Fallback),
+                Err(TryRecvError::Disconnected) => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        Err(self.fail(HprngError::PoolShutdown))
+                    } else {
+                        // Poisoned shard: stay available on the fallback
+                        // stream for good.
+                        self.degraded_forever = true;
+                        Ok(Acquired::Fallback)
+                    }
+                }
+            },
+        }
+    }
+
+    fn install(&mut self, reply: Reply) -> Result<Acquired, HprngError> {
+        match reply {
+            Ok(buf) => {
+                self.front = buf;
+                self.pos = 0;
+                Ok(Acquired::Front)
+            }
+            // A session error (failed attach or a dead session) is
+            // permanent for this client; peers are unaffected.
+            Err(e) => Err(self.fail(e)),
+        }
+    }
+
+    /// Pushes stashed refill requests into the shard queue. Blocking
+    /// policy waits for space; the others leave what does not fit for the
+    /// next call.
+    fn flush_pending(&mut self) -> Result<(), HprngError> {
+        while let Some(buf) = self.pending.pop() {
+            let request = Request::Refill {
+                client: self.id,
+                buf,
+            };
+            match self.policy {
+                FullPolicy::Block => {
+                    if self.tx.send(request).is_err() {
+                        return Err(self.fail_disconnected());
+                    }
+                }
+                FullPolicy::TryFor(_) | FullPolicy::Degrade => match self.tx.try_send(request) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(Request::Refill { buf, .. })) => {
+                        self.pending.push(buf);
+                        return Ok(());
+                    }
+                    Err(TrySendError::Full(_)) => unreachable!("refill came back as refill"),
+                    // Let the receive path classify the disconnect
+                    // (buffered replies may still be drainable).
+                    Err(TrySendError::Disconnected(_)) => return Ok(()),
+                },
+            }
+        }
+        Ok(())
+    }
+
+    fn fail(&mut self, e: HprngError) -> HprngError {
+        self.failed = Some(e.clone());
+        e
+    }
+
+    fn fail_disconnected(&mut self) -> HprngError {
+        let e = if self.shutdown.load(Ordering::Acquire) {
+            HprngError::PoolShutdown
+        } else {
+            HprngError::ShardPoisoned { shard: self.shard }
+        };
+        self.fail(e)
+    }
+}
+
+impl OnDemandRng for PoolClient {
+    fn label(&self) -> &'static str {
+        "pool"
+    }
+
+    fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Unlike raw sessions, `out.len()` may exceed [`PoolClient::lanes`]:
+    /// the shard re-chunks the session stream into full-width batches, so
+    /// [`HprngError::BatchTooLarge`] never occurs on a pool client.
+    fn try_next_batch_into(&mut self, out: &mut [u64]) -> Result<(), HprngError> {
+        self.fill_words(out)
+    }
+
+    fn get_next_rand(&mut self) -> u64 {
+        self.try_next_u64()
+            .expect("pool client stream failed; use try_next_u64 for recoverable handling")
+    }
+
+    fn words_served(&self) -> u64 {
+        self.served
+    }
+
+    fn set_tap(&mut self, tap: Box<dyn WordTap>) -> Result<(), Box<dyn WordTap>> {
+        self.tap = Some(tap);
+        Ok(())
+    }
+
+    fn take_tap(&mut self) -> Option<Box<dyn WordTap>> {
+        self.tap.take()
+    }
+}
+
+impl Drop for PoolClient {
+    fn drop(&mut self) {
+        // Best-effort: free the shard-side session. A dead shard returns
+        // an error we ignore; a full queue drains because the worker
+        // always makes progress.
+        let _ = self.tx.send(Request::Detach { client: self.id });
+    }
+}
+
+impl std::fmt::Debug for PoolClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolClient")
+            .field("id", &self.id)
+            .field("shard", &self.shard)
+            .field("lanes", &self.lanes)
+            .field("served", &self.served)
+            .field("degraded", &self.degraded)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,290 @@
+//! Pool construction: the builder, the backpressure policy, and the
+//! per-client session recipe.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hprng_core::pipeline::RING_BLOCK_WORDS;
+use hprng_core::{
+    CpuBackend, Engine, ExpanderWalkRng, GlibcFeed, HprngError, HybridParams, OnDemandRng,
+    SharedDeviceBackend,
+};
+use hprng_gpu_sim::DeviceConfig;
+
+use crate::pool::Pool;
+
+/// What a [`crate::PoolClient`] does when its shard cannot hand back a
+/// refilled prefetch buffer immediately (the shard's request queue is
+/// full, or the refill has not completed yet).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FullPolicy {
+    /// Wait for the refill, however long it takes. The client stream stays
+    /// bit-reproducible; latency absorbs the backpressure. This is the
+    /// default.
+    #[default]
+    Block,
+    /// Wait up to the given patience, then fail the request with
+    /// [`HprngError::ShardStalled`]. The refill stays in flight: the next
+    /// request on the same client retries the receive, so a stalled client
+    /// recovers as soon as its shard catches up. The stream stays
+    /// bit-reproducible (rejected requests serve no words).
+    TryFor(Duration),
+    /// Never wait: serve the request inline from a per-client scalar
+    /// fallback generator (`SplitMix64` under the client's lane seed) until
+    /// the refill arrives, then resume the session stream where it left
+    /// off. Availability over reproducibility — the served stream becomes
+    /// an interleaving of the session stream and fallback words that
+    /// depends on timing. Fallback words are counted in
+    /// [`crate::PoolClient::degraded_words`] and the pool stats.
+    Degrade,
+}
+
+/// A user-supplied session recipe: maps a client's 64-bit lane seed to the
+/// generator that serves its stream inside the shard worker.
+pub type SessionFactory = Arc<dyn Fn(u64) -> Box<dyn OnDemandRng + Send> + Send + Sync>;
+
+/// Which generator backs each client's private session.
+///
+/// Every client gets its **own** session, seeded from
+/// [`hprng_core::seeding::lane_seed`]`(pool_seed, client_id)` — that is
+/// what makes a client's stream bit-reproducible regardless of shard
+/// count, shard assignment, or how concurrent clients interleave. Shards
+/// are the serving substrate (worker threads hosting sessions), not the
+/// randomness source.
+#[derive(Clone)]
+#[non_exhaustive]
+pub enum SessionKind {
+    /// One [`ExpanderWalkRng`] per client: the paper's host-side
+    /// thread-safety model, and bit-identical to
+    /// [`hprng_core::ExpanderLanes`]`::lane(client_id)`. One lane per
+    /// client. This is the default.
+    ExpanderWalk,
+    /// One [`Engine`] on a [`CpuBackend`] per client (the §IV-A multicore
+    /// variant): `lanes` walks fed by glibc `rand()` under the client's
+    /// lane seed. `params.mode` resolves per the usual
+    /// [`hprng_core::PipelineMode::resolve_for`] rule inside the shard
+    /// worker.
+    CpuEngine {
+        /// Device-resident walks per client session.
+        lanes: usize,
+        /// Pipeline parameters (batch size, warm-up, mode).
+        params: HybridParams,
+    },
+    /// One [`Engine`] on a [`SharedDeviceBackend`] per client: the full
+    /// simulated-device pipeline of Algorithms 1 and 2.
+    DeviceEngine {
+        /// Simulated device configuration (one device per client session).
+        config: DeviceConfig,
+        /// Pipeline parameters.
+        params: HybridParams,
+        /// Device-resident walks per client session.
+        lanes: usize,
+    },
+    /// Bring your own generator (used by the stress suite to inject
+    /// panicking and slow sessions). `lanes` is the advertised per-client
+    /// lane count; the factory receives the client's lane seed.
+    Custom {
+        /// Advertised [`OnDemandRng::lanes`] of each client.
+        lanes: usize,
+        /// Builds the session from the client's lane seed.
+        factory: SessionFactory,
+    },
+}
+
+impl std::fmt::Debug for SessionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionKind::ExpanderWalk => f.write_str("ExpanderWalk"),
+            SessionKind::CpuEngine { lanes, .. } => {
+                f.debug_struct("CpuEngine").field("lanes", lanes).finish()
+            }
+            SessionKind::DeviceEngine { lanes, .. } => f
+                .debug_struct("DeviceEngine")
+                .field("lanes", lanes)
+                .finish(),
+            SessionKind::Custom { lanes, .. } => {
+                f.debug_struct("Custom").field("lanes", lanes).finish()
+            }
+        }
+    }
+}
+
+impl SessionKind {
+    /// The advertised per-client lane count.
+    pub(crate) fn lanes(&self) -> usize {
+        match self {
+            SessionKind::ExpanderWalk => 1,
+            SessionKind::CpuEngine { lanes, .. }
+            | SessionKind::DeviceEngine { lanes, .. }
+            | SessionKind::Custom { lanes, .. } => *lanes,
+        }
+    }
+
+    /// Builds one client session from its lane seed. Runs inside the shard
+    /// worker thread.
+    pub(crate) fn build(&self, seed: u64) -> Result<Box<dyn OnDemandRng + Send>, HprngError> {
+        match self {
+            SessionKind::ExpanderWalk => Ok(Box::new(ExpanderWalkRng::from_seed_u64(seed))),
+            SessionKind::CpuEngine { lanes, params } => {
+                let mut engine = Engine::with_mode(
+                    CpuBackend::new(*params),
+                    Box::new(GlibcFeed::from_master_seed(seed)),
+                    params.mode,
+                );
+                engine.initialize(*lanes)?;
+                Ok(Box::new(engine))
+            }
+            SessionKind::DeviceEngine {
+                config,
+                params,
+                lanes,
+            } => {
+                let mut engine = Engine::with_mode(
+                    SharedDeviceBackend::new(config.clone(), *params),
+                    Box::new(GlibcFeed::from_master_seed(seed)),
+                    params.mode,
+                );
+                engine.initialize(*lanes)?;
+                Ok(Box::new(engine))
+            }
+            SessionKind::Custom { factory, .. } => Ok(factory(seed)),
+        }
+    }
+}
+
+/// Builder for [`Pool`]. Start from [`Pool::builder`].
+#[derive(Clone, Debug)]
+pub struct PoolBuilder {
+    pub(crate) seed: u64,
+    pub(crate) shards: Option<usize>,
+    pub(crate) kind: SessionKind,
+    pub(crate) policy: FullPolicy,
+    pub(crate) prefetch_words: usize,
+    pub(crate) queue_depth: usize,
+}
+
+impl PoolBuilder {
+    /// A builder with the workspace defaults: one shard per available CPU,
+    /// [`SessionKind::ExpanderWalk`] sessions, [`FullPolicy::Block`], a
+    /// ring-block-sized prefetch and a 32-deep request queue.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            shards: None,
+            kind: SessionKind::ExpanderWalk,
+            policy: FullPolicy::Block,
+            prefetch_words: RING_BLOCK_WORDS,
+            queue_depth: 32,
+        }
+    }
+
+    /// Number of shard worker threads. Defaults to
+    /// `std::thread::available_parallelism()`. Shard count never changes
+    /// any client's stream — only serving throughput.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// The per-client session recipe.
+    pub fn session(mut self, kind: SessionKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// The client-side backpressure policy.
+    pub fn full_policy(mut self, policy: FullPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Words per prefetch buffer (each client keeps two in flight). The
+    /// shard rounds this up to a multiple of the session's lane count so
+    /// chunking never changes the stream.
+    pub fn prefetch_words(mut self, words: usize) -> Self {
+        self.prefetch_words = words;
+        self
+    }
+
+    /// Bound of each shard's request queue (backpressure depth).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Validates the configuration and spawns the shard workers.
+    ///
+    /// Fails with [`HprngError::InvalidParam`] on a zero shard count,
+    /// prefetch size, queue depth, or session lane count.
+    pub fn build(self) -> Result<Pool, HprngError> {
+        let shards = match self.shards {
+            Some(0) => {
+                return Err(HprngError::InvalidParam {
+                    field: "shards",
+                    reason: "a pool needs at least one shard",
+                })
+            }
+            Some(n) => n,
+            None => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        };
+        if self.prefetch_words == 0 {
+            return Err(HprngError::InvalidParam {
+                field: "prefetch_words",
+                reason: "clients prefetch at least one word",
+            });
+        }
+        if self.queue_depth == 0 {
+            return Err(HprngError::InvalidParam {
+                field: "queue_depth",
+                reason: "shard request queues need capacity",
+            });
+        }
+        if self.kind.lanes() == 0 {
+            return Err(HprngError::InvalidParam {
+                field: "session.lanes",
+                reason: "client sessions need at least one lane",
+            });
+        }
+        Ok(Pool::spawn(self, shards))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_degenerate_shapes() {
+        let err = |b: PoolBuilder| match b.build() {
+            Err(HprngError::InvalidParam { field, .. }) => field,
+            other => panic!("expected InvalidParam, got {other:?}"),
+        };
+        assert_eq!(err(PoolBuilder::new(1).shards(0)), "shards");
+        assert_eq!(err(PoolBuilder::new(1).prefetch_words(0)), "prefetch_words");
+        assert_eq!(err(PoolBuilder::new(1).queue_depth(0)), "queue_depth");
+        assert_eq!(
+            err(PoolBuilder::new(1).session(SessionKind::CpuEngine {
+                lanes: 0,
+                params: HybridParams::default(),
+            })),
+            "session.lanes"
+        );
+    }
+
+    #[test]
+    fn default_policy_blocks() {
+        assert_eq!(FullPolicy::default(), FullPolicy::Block);
+    }
+
+    #[test]
+    fn session_kind_debug_is_compact() {
+        let kind = SessionKind::Custom {
+            lanes: 3,
+            factory: Arc::new(|seed| Box::new(ExpanderWalkRng::from_seed_u64(seed))),
+        };
+        assert_eq!(format!("{kind:?}"), "Custom { lanes: 3 }");
+    }
+}

@@ -1,0 +1,51 @@
+//! The serving layer: a sharded on-demand randomness pool.
+//!
+//! The paper's generator is *on demand* — Algorithm 2's `GetNextRand()`
+//! serves consumers whose total demand is unknown. This crate scales that
+//! contract out to many concurrent consumers: a [`Pool`] owns N pipeline
+//! shards (worker threads hosting per-client sessions) and hands out any
+//! number of [`PoolClient`] handles, each a deterministic *lane* of the
+//! pool seed.
+//!
+//! The load-bearing design decision: **shards serve, lanes seed**. A
+//! client's stream is produced by its own private session, built from
+//! [`hprng_core::seeding::lane_seed`]`(pool_seed, client_id)` inside
+//! whatever shard the client lands on. A shared per-shard generator could
+//! never be bit-reproducible — which words a client received would depend
+//! on how requests interleave — so reproducibility is anchored in the
+//! seed derivation and shards are pure serving capacity. Changing the
+//! shard count changes throughput, never a single bit of any client's
+//! stream.
+//!
+//! Flow control is explicit: each client circulates two prefetch buffers
+//! with its shard over a bounded request queue, and [`FullPolicy`] picks
+//! what happens when the shard falls behind — wait ([`FullPolicy::Block`]),
+//! fail fast with [`hprng_core::HprngError::ShardStalled`]
+//! ([`FullPolicy::TryFor`]), or degrade to an inline scalar generator
+//! ([`FullPolicy::Degrade`]). A worker panic poisons only its own shard
+//! (mirroring the pipeline ring's poisoning discipline); peers keep
+//! serving, and [`Pool::stats`] reports the casualty.
+//!
+//! ```
+//! use hprng_pool::Pool;
+//!
+//! let pool = Pool::builder(42).shards(2).build().unwrap();
+//! let mut a = pool.try_client().unwrap();
+//! let mut b = pool.try_client().unwrap();
+//! let (x, y) = (a.try_next_u64().unwrap(), b.try_next_u64().unwrap());
+//! assert_ne!(x, y); // decorrelated lanes
+//! pool.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(deprecated)]
+#![warn(missing_docs)]
+
+mod client;
+mod config;
+mod pool;
+mod shard;
+
+pub use client::PoolClient;
+pub use config::{FullPolicy, PoolBuilder, SessionFactory, SessionKind};
+pub use pool::{Pool, PoolStats};

@@ -1,0 +1,257 @@
+//! The pool: shard workers, client admission, shutdown, and stats.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use hprng_core::{HprngError, SplitOnDemand};
+use hprng_telemetry::Recorder;
+
+use crate::client::PoolClient;
+use crate::config::{FullPolicy, PoolBuilder, SessionKind};
+use crate::shard::{self, Request, ShardMetrics};
+
+/// A sharded randomness pool: `shards` worker threads serving any number
+/// of concurrent [`PoolClient`] handles.
+///
+/// Each client is a deterministic *lane* of the pool seed: its session is
+/// built shard-side from
+/// [`hprng_core::seeding::lane_seed`]`(seed, client_id)`, so the stream a
+/// client observes is bit-reproducible across shard counts, shard
+/// assignments, and interleavings with other clients. Shards only decide
+/// *who serves whom* (clients are assigned `id % shards`), never *what is
+/// served*.
+///
+/// The pool implements [`SplitOnDemand`], so the parallel applications
+/// (photon migration's per-chunk lanes) run on it unchanged.
+pub struct Pool {
+    shutdown: Arc<AtomicBool>,
+    txs: Vec<SyncSender<Request>>,
+    metrics: Vec<Arc<ShardMetrics>>,
+    handles: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+    seed: u64,
+    kind: SessionKind,
+    policy: FullPolicy,
+    prefetch_words: usize,
+}
+
+impl Pool {
+    /// Starts configuring a pool over `seed`.
+    pub fn builder(seed: u64) -> PoolBuilder {
+        PoolBuilder::new(seed)
+    }
+
+    pub(crate) fn spawn(builder: PoolBuilder, shards: usize) -> Self {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut txs = Vec::with_capacity(shards);
+        let mut metrics = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for index in 0..shards {
+            let (tx, rx) = sync_channel(builder.queue_depth);
+            let shard_metrics = Arc::new(ShardMetrics::default());
+            let kind = builder.kind.clone();
+            let seed = builder.seed;
+            let prefetch = builder.prefetch_words;
+            let worker_metrics = Arc::clone(&shard_metrics);
+            let handle = std::thread::Builder::new()
+                .name(format!("hprng-pool-shard-{index}"))
+                .spawn(move || shard::run(index, seed, kind, prefetch, worker_metrics, rx))
+                .expect("spawning a pool shard worker thread");
+            txs.push(tx);
+            metrics.push(shard_metrics);
+            handles.push(handle);
+        }
+        Self {
+            shutdown,
+            txs,
+            metrics,
+            handles,
+            next_id: AtomicU64::new(0),
+            seed: builder.seed,
+            kind: builder.kind,
+            policy: builder.policy,
+            prefetch_words: builder.prefetch_words,
+        }
+    }
+
+    /// The pool's master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Admits a new client on the next unused lane index (0, 1, 2, …).
+    ///
+    /// Fails with [`HprngError::ShardPoisoned`] (or
+    /// [`HprngError::PoolShutdown`]) when the lane's shard cannot accept
+    /// the attachment.
+    pub fn try_client(&self) -> Result<PoolClient, HprngError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.try_client_with_id(id)
+    }
+
+    /// Admits a client on an explicit lane index. The stream for a given
+    /// `(seed, id)` pair is always the same; two live clients sharing an
+    /// id each get their own session and therefore observe identical
+    /// streams.
+    pub fn try_client_with_id(&self, id: u64) -> Result<PoolClient, HprngError> {
+        let shard = (id % self.txs.len() as u64) as usize;
+        let tx = self.txs[shard].clone();
+        let (reply_tx, reply_rx) = sync_channel(2);
+        let attach = Request::Attach {
+            client: id,
+            reply: reply_tx,
+        };
+        let admission_failed = |pool: &Self| {
+            if pool.shutdown.load(Ordering::Acquire) {
+                HprngError::PoolShutdown
+            } else {
+                HprngError::ShardPoisoned { shard }
+            }
+        };
+        tx.send(attach).map_err(|_| admission_failed(self))?;
+        // Two buffers in flight give the double-buffered prefetch: the
+        // shard refills one while the client drains the other.
+        let lanes = self.kind.lanes().max(1);
+        let chunk = self.prefetch_words.div_ceil(lanes) * lanes;
+        for _ in 0..2 {
+            tx.send(Request::Refill {
+                client: id,
+                buf: Vec::with_capacity(chunk),
+            })
+            .map_err(|_| admission_failed(self))?;
+        }
+        Ok(PoolClient::new(
+            id,
+            shard,
+            lanes,
+            hprng_core::seeding::lane_seed(self.seed, id),
+            self.policy,
+            tx,
+            reply_rx,
+            Arc::clone(&self.shutdown),
+            Arc::clone(&self.metrics[shard]),
+        ))
+    }
+
+    /// A point-in-time snapshot of the pool's serving counters.
+    pub fn stats(&self) -> PoolStats {
+        let mut stats = PoolStats {
+            shards: self.txs.len(),
+            ..PoolStats::default()
+        };
+        for (index, m) in self.metrics.iter().enumerate() {
+            stats.clients += m.clients.load(Ordering::Relaxed);
+            stats.refills += m.refills.load(Ordering::Relaxed);
+            stats.words += m.words.load(Ordering::Relaxed);
+            stats.errors += m.errors.load(Ordering::Relaxed);
+            stats.degraded_words += m.degraded_words.load(Ordering::Relaxed);
+            if m.poisoned.load(Ordering::Acquire) {
+                stats.poisoned_shards.push(index);
+            }
+        }
+        stats
+    }
+
+    /// Stops every shard worker and waits for them to exit. Outstanding
+    /// clients keep serving from their cached buffers and then fail with
+    /// [`HprngError::PoolShutdown`]. Dropping the pool does the same.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for tx in &self.txs {
+            // Blocking send: the worker always drains its queue, and a
+            // dead worker disconnects the channel, so this cannot hang.
+            let _ = tx.send(Request::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            // A panicked worker already marked itself poisoned.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("seed", &self.seed)
+            .field("shards", &self.txs.len())
+            .field("kind", &self.kind)
+            .field("policy", &self.policy)
+            .field("prefetch_words", &self.prefetch_words)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SplitOnDemand for Pool {
+    type Lane = PoolClient;
+
+    fn label(&self) -> &'static str {
+        "pool"
+    }
+
+    /// Lane `index` is the client with id `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane's shard is poisoned or the pool is shut down —
+    /// [`SplitOnDemand::lane`] is infallible by contract. Use
+    /// [`Pool::try_client_with_id`] for recoverable admission.
+    fn lane(&self, index: u64) -> PoolClient {
+        self.try_client_with_id(index)
+            .expect("pool shard unavailable while splitting a lane")
+    }
+}
+
+/// Aggregated serving counters of a [`Pool`] (see [`Pool::stats`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct PoolStats {
+    /// Shard worker threads.
+    pub shards: usize,
+    /// Currently attached client sessions.
+    pub clients: usize,
+    /// Prefetch-buffer refills served.
+    pub refills: u64,
+    /// Words produced into prefetch buffers.
+    pub words: u64,
+    /// Refills that failed with a session error.
+    pub errors: u64,
+    /// Words clients served from their inline fallback generator
+    /// ([`FullPolicy::Degrade`]).
+    pub degraded_words: u64,
+    /// Indices of shards whose worker died by panic.
+    pub poisoned_shards: Vec<usize>,
+}
+
+impl PoolStats {
+    /// Exports the snapshot into a telemetry [`Recorder`]: `pool_*`
+    /// counters plus `pool_shards` / `pool_clients` /
+    /// `pool_poisoned_shards` gauges.
+    pub fn export_into(&self, recorder: &mut Recorder) {
+        recorder.add("pool_refills", self.refills as f64);
+        recorder.add("pool_words", self.words as f64);
+        recorder.add("pool_errors", self.errors as f64);
+        recorder.add("pool_degraded_words", self.degraded_words as f64);
+        recorder.set_gauge("pool_shards", self.shards as f64);
+        recorder.set_gauge("pool_clients", self.clients as f64);
+        recorder.set_gauge("pool_poisoned_shards", self.poisoned_shards.len() as f64);
+    }
+}

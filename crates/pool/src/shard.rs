@@ -1,0 +1,170 @@
+//! The shard worker: one thread hosting the private sessions of every
+//! client assigned to it, serving prefetch-buffer refills from a bounded
+//! request queue.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+
+use hprng_core::{HprngError, OnDemandRng};
+
+use crate::config::SessionKind;
+
+/// A refilled prefetch buffer (or why the refill failed).
+pub(crate) type Reply = Result<Vec<u64>, HprngError>;
+
+/// The shard request protocol. Clients own a clone of the shard's bounded
+/// `SyncSender<Request>`; the queue bound is the backpressure surface.
+pub(crate) enum Request {
+    /// A new client: build its session from its lane seed and remember its
+    /// reply channel.
+    Attach {
+        /// Client id (the lane index of the seed derivation).
+        client: u64,
+        /// Where refilled buffers go. Capacity 2 — matching the two
+        /// prefetch buffers a client keeps in flight — so the worker's
+        /// reply sends never block on a live client.
+        reply: SyncSender<Reply>,
+    },
+    /// Refill `buf` with the next prefetch chunk of `client`'s stream and
+    /// send it back on the client's reply channel. The buffer is recycled:
+    /// the steady-state serving path allocates nothing.
+    Refill {
+        /// Which client's session to draw from.
+        client: u64,
+        /// The exhausted buffer to refill (capacity is reused).
+        buf: Vec<u64>,
+    },
+    /// The client is gone; drop its session.
+    Detach {
+        /// Which client to forget.
+        client: u64,
+    },
+    /// Drain and exit (sent by [`crate::Pool::shutdown`] / `Drop`).
+    Shutdown,
+}
+
+/// Lock-free per-shard counters, shared between the worker, its clients,
+/// and [`crate::Pool::stats`].
+#[derive(Debug, Default)]
+pub(crate) struct ShardMetrics {
+    /// Sessions currently attached.
+    pub clients: AtomicUsize,
+    /// Refill requests served.
+    pub refills: AtomicU64,
+    /// Words produced into prefetch buffers.
+    pub words: AtomicU64,
+    /// Refills that failed with a session error.
+    pub errors: AtomicU64,
+    /// Words clients served from their inline fallback generator
+    /// ([`crate::FullPolicy::Degrade`]).
+    pub degraded_words: AtomicU64,
+    /// Set when the worker thread died by panic (never on clean shutdown).
+    pub poisoned: AtomicBool,
+}
+
+/// Marks the shard poisoned if the worker unwinds; disarmed on clean
+/// shutdown. This mirrors the PR 3 ring-poisoning discipline: a dead
+/// worker is observable state, not a silent hang.
+struct PoisonGuard {
+    metrics: Arc<ShardMetrics>,
+    armed: bool,
+}
+
+impl Drop for PoisonGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            self.metrics.poisoned.store(true, Ordering::Release);
+        }
+    }
+}
+
+struct ClientSlot {
+    session: Box<dyn OnDemandRng + Send>,
+    reply: SyncSender<Reply>,
+    /// Prefetch size rounded up to a multiple of the session's lane count,
+    /// so the worker always requests full-width batches and buffer size
+    /// never changes the stream.
+    chunk: usize,
+}
+
+/// The worker loop. Runs on its own thread until [`Request::Shutdown`]
+/// arrives or every request sender is gone.
+pub(crate) fn run(
+    shard: usize,
+    pool_seed: u64,
+    kind: SessionKind,
+    prefetch_words: usize,
+    metrics: Arc<ShardMetrics>,
+    rx: Receiver<Request>,
+) {
+    let mut guard = PoisonGuard {
+        metrics: Arc::clone(&metrics),
+        armed: true,
+    };
+    let mut slots: HashMap<u64, ClientSlot> = HashMap::new();
+    let _ = shard; // shard index is carried by client-side errors
+
+    while let Ok(request) = rx.recv() {
+        match request {
+            Request::Attach { client, reply } => {
+                let seed = hprng_core::seeding::lane_seed(pool_seed, client);
+                match kind.build(seed) {
+                    Ok(session) => {
+                        let lanes = session.lanes().max(1);
+                        let chunk = prefetch_words.div_ceil(lanes) * lanes;
+                        slots.insert(
+                            client,
+                            ClientSlot {
+                                session,
+                                reply,
+                                chunk,
+                            },
+                        );
+                        metrics.clients.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        // The client learns on its first receive; nothing
+                        // is attached.
+                        let _ = reply.send(Err(e));
+                    }
+                }
+            }
+            Request::Refill { client, mut buf } => {
+                let Some(slot) = slots.get_mut(&client) else {
+                    continue; // detached (or attach failed) — drop the buffer
+                };
+                buf.clear();
+                buf.resize(slot.chunk, 0);
+                let lanes = slot.session.lanes().max(1);
+                let result = buf
+                    .chunks_mut(lanes)
+                    .try_for_each(|chunk| slot.session.try_next_batch_into(chunk));
+                let reply = match result {
+                    Ok(()) => {
+                        metrics.refills.fetch_add(1, Ordering::Relaxed);
+                        metrics.words.fetch_add(buf.len() as u64, Ordering::Relaxed);
+                        Ok(buf)
+                    }
+                    Err(e) => {
+                        metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        Err(e)
+                    }
+                };
+                if slot.reply.send(reply).is_err() {
+                    // Client dropped its receiver without detaching.
+                    slots.remove(&client);
+                    metrics.clients.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            Request::Detach { client } => {
+                if slots.remove(&client).is_some() {
+                    metrics.clients.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            Request::Shutdown => break,
+        }
+    }
+    guard.armed = false;
+}
