@@ -380,6 +380,44 @@ pub fn pool_bench(seed: u64, words: usize) -> json::Value {
     obj
 }
 
+/// Checks the pool throughput gate of a bench document (the `pool.gate`
+/// object [`pool_bench`] writes): `Ok(summary)` when the pool met its
+/// speedup floor at 2× core-count consumers, `Err(explanation)` when it
+/// missed the floor or the document carries no well-formed gate.
+///
+/// `repro bench --pool` exits non-zero on `Err`, so the CI pool job
+/// actually fails on a serving-layer regression instead of just
+/// recording one.
+pub fn pool_gate(doc: &json::Value) -> Result<String, String> {
+    let gate = doc
+        .get("pool")
+        .and_then(|p| p.get("gate"))
+        .ok_or("document has no pool.gate (was the sweep run with --pool?)")?;
+    let num = |key: &str| -> Result<f64, String> {
+        gate.get(key)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("pool.gate has no numeric {key}"))
+    };
+    let consumers = num("consumers")?;
+    let pool_wps = num("pool_words_per_s")?;
+    let base_wps = num("baseline_words_per_s")?;
+    let floor = num("speedup_floor")?;
+    let passed = match gate.get("passed") {
+        Some(json::Value::Bool(b)) => *b,
+        _ => return Err("pool.gate has no boolean passed".to_string()),
+    };
+    let summary = format!(
+        "pool at {consumers:.0} consumers: {pool_wps:.0} words/s vs shared-mutex {base_wps:.0} \
+         ({:.2}x, floor {floor:.1}x)",
+        pool_wps / base_wps.max(1e-12)
+    );
+    if passed {
+        Ok(summary)
+    } else {
+        Err(format!("pool throughput below its speedup floor — {summary}"))
+    }
+}
+
 /// Compares a current bench document against a baseline one: the hybrid
 /// pipeline's `host_words_per_s` may not drop by more than `max_drop`
 /// (a fraction, e.g. `0.2` for 20%).
@@ -643,6 +681,26 @@ mod tests {
             (2 * cores) as f64
         );
         assert!(matches!(gate.get("passed"), Some(json::Value::Bool(_))));
+    }
+
+    #[test]
+    fn pool_gate_enforces_the_passed_flag() {
+        let doc = |passed: bool| {
+            json::parse(&format!(
+                r#"{{"pool": {{"gate": {{"consumers": 8, "pool_words_per_s": 4000.0,
+                    "baseline_words_per_s": 1000.0, "speedup_floor": 2.0,
+                    "passed": {passed}}}}}}}"#
+            ))
+            .unwrap()
+        };
+        let summary = pool_gate(&doc(true)).unwrap();
+        assert!(summary.contains("8 consumers"), "{summary}");
+        let reason = pool_gate(&doc(false)).unwrap_err();
+        assert!(reason.contains("below its speedup floor"), "{reason}");
+        // A document without the sweep (or with a mangled gate) is an
+        // error, not a silent pass.
+        assert!(pool_gate(&json::parse("{}").unwrap()).is_err());
+        assert!(pool_gate(&json::parse(r#"{"pool": {"gate": {}}}"#).unwrap()).is_err());
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //!             [--max-drop <frac>]     fail if hybrid words/s drops by more
 //!                                     than the fraction (default 0.2)
 //!             [--pool]                add the sharded-pool consumer sweep
-//!                                     (pool vs shared-mutex engine)
+//!                                     (pool vs shared-mutex engine) and
+//!                                     fail if the pool misses its
+//!                                     speedup floor
 //! repro monitor [--generator hybrid|mt|glibc-low|constant]
 //!               [--words W] [--sample-every N] [--prom-out <path>]
 //!               [--assert-clean | --assert-alerts]
@@ -292,6 +294,18 @@ fn main() {
                 );
             }
             None => println!("{}", doc.to_json()),
+        }
+        if args.pool {
+            // The sweep's gate is enforced, not just recorded: a pool
+            // that misses its speedup floor fails the run (and the CI
+            // job built on it).
+            match benchjson::pool_gate(&doc) {
+                Ok(summary) => println!("OK: {summary}"),
+                Err(reason) => {
+                    eprintln!("FAIL: {reason}");
+                    std::process::exit(1);
+                }
+            }
         }
         if let Some(path) = &args.baseline {
             let text = std::fs::read_to_string(path).expect("reading baseline JSON");

@@ -48,6 +48,13 @@ pub struct PoolClient {
     /// Exhausted buffers whose refill request did not fit the shard queue
     /// yet (non-blocking policies only). At most two buffers exist.
     pending: Vec<Vec<u64>>,
+    /// Words copied out by a request that then failed mid-way (a
+    /// [`FullPolicy::TryFor`] stall across a refill boundary). Their
+    /// source buffer may already be recycled, so they are staged here and
+    /// re-served before the front buffer — a failed request therefore
+    /// never drops words from the stream.
+    replay: Vec<u64>,
+    replay_pos: usize,
     fallback: ScalarRng<SplitMix64>,
     degraded_forever: bool,
     failed: Option<HprngError>,
@@ -81,6 +88,8 @@ impl PoolClient {
             front: Vec::new(),
             pos: 0,
             pending: Vec::new(),
+            replay: Vec::new(),
+            replay_pos: 0,
             fallback: ScalarRng::labeled(SplitMix64::new(lane_seed ^ DEGRADE_SALT), "pool-degrade"),
             degraded_forever: false,
             failed: None,
@@ -116,7 +125,7 @@ impl PoolClient {
         if let Some(e) = &self.failed {
             return Err(e.clone());
         }
-        if self.pos < self.front.len() {
+        if self.replay.is_empty() && self.pos < self.front.len() {
             let word = self.front[self.pos];
             self.pos += 1;
             self.served += 1;
@@ -134,6 +143,12 @@ impl PoolClient {
     /// stream. Any length is accepted — the pool re-chunks the session
     /// stream, so unlike raw sessions a client request can exceed the
     /// session's lane width without [`HprngError::BatchTooLarge`].
+    ///
+    /// On `Err`, `out` must be treated as unwritten: no words of the
+    /// stream are consumed by a failed request. Words a
+    /// [`FullPolicy::TryFor`] stall caught mid-request are staged
+    /// internally and re-served by the next request, so retrying after
+    /// [`HprngError::ShardStalled`] resumes the stream without a gap.
     pub fn fill_words(&mut self, out: &mut [u64]) -> Result<(), HprngError> {
         if out.is_empty() {
             return Err(HprngError::EmptyRequest);
@@ -143,6 +158,20 @@ impl PoolClient {
         }
         let mut filled = 0;
         while filled < out.len() {
+            // Words stranded by an earlier failed request come first —
+            // they precede the front buffer in the stream.
+            if self.replay_pos < self.replay.len() {
+                let take = (out.len() - filled).min(self.replay.len() - self.replay_pos);
+                out[filled..filled + take]
+                    .copy_from_slice(&self.replay[self.replay_pos..self.replay_pos + take]);
+                self.replay_pos += take;
+                filled += take;
+                if self.replay_pos == self.replay.len() {
+                    self.replay.clear();
+                    self.replay_pos = 0;
+                }
+                continue;
+            }
             if self.pos < self.front.len() {
                 let take = (out.len() - filled).min(self.front.len() - self.pos);
                 out[filled..filled + take].copy_from_slice(&self.front[self.pos..self.pos + take]);
@@ -150,13 +179,24 @@ impl PoolClient {
                 filled += take;
                 continue;
             }
-            match self.acquire()? {
-                Acquired::Front => {}
-                Acquired::Fallback => {
+            match self.acquire() {
+                Ok(Acquired::Front) => {}
+                Ok(Acquired::Fallback) => {
                     out[filled] = self.fallback.get_next_rand();
                     self.degraded += 1;
                     self.metrics.degraded_words.fetch_add(1, Ordering::Relaxed);
                     filled += 1;
+                }
+                Err(e) => {
+                    // The words already copied came from buffers that may
+                    // now be recycled; stage them so the next request
+                    // re-serves them (the caller must treat `out` as
+                    // unwritten on error). `replay` is empty here —
+                    // `acquire` is only reached once it has drained.
+                    if filled > 0 {
+                        self.replay.extend_from_slice(&out[..filled]);
+                    }
+                    return Err(e);
                 }
             }
         }

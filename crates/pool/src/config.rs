@@ -28,7 +28,9 @@ pub enum FullPolicy {
     /// [`HprngError::ShardStalled`]. The refill stays in flight: the next
     /// request on the same client retries the receive, so a stalled client
     /// recovers as soon as its shard catches up. The stream stays
-    /// bit-reproducible (rejected requests serve no words).
+    /// bit-reproducible: a failed request delivers no words, and any words
+    /// the stall caught mid-request are staged client-side and re-served
+    /// by the next request.
     TryFor(Duration),
     /// Never wait: serve the request inline from a per-client scalar
     /// fallback generator (`SplitMix64` under the client's lane seed) until
@@ -83,7 +85,12 @@ pub enum SessionKind {
     },
     /// Bring your own generator (used by the stress suite to inject
     /// panicking and slow sessions). `lanes` is the advertised per-client
-    /// lane count; the factory receives the client's lane seed.
+    /// lane count; the factory receives the client's lane seed. The
+    /// sessions the factory builds must report the same
+    /// [`OnDemandRng::lanes`] — the shard rejects the attachment with
+    /// [`HprngError::InvalidParam`] otherwise, since the client's buffer
+    /// sizing and [`crate::PoolClient::lanes`] are derived from the
+    /// advertised count.
     Custom {
         /// Advertised [`OnDemandRng::lanes`] of each client.
         lanes: usize,

@@ -1,8 +1,9 @@
 //! The pool: shard workers, client admission, shutdown, and stats.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use hprng_core::{HprngError, SplitOnDemand};
@@ -31,6 +32,10 @@ pub struct Pool {
     metrics: Vec<Arc<ShardMetrics>>,
     handles: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
+    /// Every id handed out through [`Pool::try_client_with_id`] (and thus
+    /// [`SplitOnDemand::lane`]). [`Pool::try_client`] skips these so mixed
+    /// usage never silently duplicates a lane.
+    claimed_ids: Mutex<HashSet<u64>>,
     seed: u64,
     kind: SessionKind,
     policy: FullPolicy,
@@ -69,6 +74,7 @@ impl Pool {
             metrics,
             handles,
             next_id: AtomicU64::new(0),
+            claimed_ids: Mutex::new(HashSet::new()),
             seed: builder.seed,
             kind: builder.kind,
             policy: builder.policy,
@@ -86,21 +92,35 @@ impl Pool {
         self.txs.len()
     }
 
-    /// Admits a new client on the next unused lane index (0, 1, 2, …).
+    /// Admits a new client on the next unused lane index (0, 1, 2, …),
+    /// skipping any index already claimed through
+    /// [`Pool::try_client_with_id`] or [`SplitOnDemand::lane`] — mixing
+    /// auto-assigned and explicit ids never duplicates a lane.
     ///
     /// Fails with [`HprngError::ShardPoisoned`] (or
     /// [`HprngError::PoolShutdown`]) when the lane's shard cannot accept
     /// the attachment.
     pub fn try_client(&self) -> Result<PoolClient, HprngError> {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = loop {
+            let candidate = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let claimed = self.claimed_ids.lock().expect("claimed-id set");
+            if !claimed.contains(&candidate) {
+                break candidate;
+            }
+        };
         self.try_client_with_id(id)
     }
 
     /// Admits a client on an explicit lane index. The stream for a given
-    /// `(seed, id)` pair is always the same; two live clients sharing an
-    /// id each get their own session and therefore observe identical
-    /// streams.
+    /// `(seed, id)` pair is always the same; two live clients that
+    /// deliberately share an id each get their own session and therefore
+    /// observe identical streams. Ids used here are remembered so
+    /// [`Pool::try_client`] never auto-assigns them.
     pub fn try_client_with_id(&self, id: u64) -> Result<PoolClient, HprngError> {
+        self.claimed_ids
+            .lock()
+            .expect("claimed-id set")
+            .insert(id);
         let shard = (id % self.txs.len() as u64) as usize;
         let tx = self.txs[shard].clone();
         let (reply_tx, reply_rx) = sync_channel(2);

@@ -111,8 +111,20 @@ pub(crate) fn run(
             Request::Attach { client, reply } => {
                 let seed = hprng_core::seeding::lane_seed(pool_seed, client);
                 match kind.build(seed) {
+                    // The session must be as wide as the kind advertises:
+                    // `PoolClient::lanes()` and the client's initial buffer
+                    // capacity are both derived from the advertised count,
+                    // so a `Custom` factory that lies about its width would
+                    // silently desync them.
+                    Ok(session) if session.lanes() != kind.lanes() => {
+                        let _ = reply.send(Err(HprngError::InvalidParam {
+                            field: "session.lanes",
+                            reason: "session factory produced a lane count different \
+                                     from the advertised SessionKind lanes",
+                        }));
+                    }
                     Ok(session) => {
-                        let lanes = session.lanes().max(1);
+                        let lanes = session.lanes();
                         let chunk = prefetch_words.div_ceil(lanes) * lanes;
                         slots.insert(
                             client,

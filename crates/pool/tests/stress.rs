@@ -394,6 +394,86 @@ fn try_for_reports_stalls_and_recovers_without_losing_words() {
 }
 
 #[test]
+fn try_for_multi_word_fills_spanning_refills_lose_no_words() {
+    // Multi-word requests larger than the prefetch buffer force every
+    // request across a refill boundary, so TryFor stalls land *mid-copy*:
+    // some words are already in the caller's buffer when the acquire
+    // times out. The failed request must stage those words and re-serve
+    // them on retry — the regression here permanently dropped them.
+    let pool = Pool::builder(8)
+        .shards(1)
+        .prefetch_words(4)
+        .session(slow_kind(Duration::from_millis(30)))
+        .full_policy(FullPolicy::TryFor(Duration::from_millis(1)))
+        .build()
+        .unwrap();
+    let mut client = pool.try_client_with_id(0).unwrap();
+    let mut stalls = 0u64;
+    let mut got = Vec::new();
+    let sizes = [5usize, 7, 3, 13, 6, 9];
+    let mut s = 0;
+    while got.len() < 40 {
+        let take = sizes[s % sizes.len()];
+        s += 1;
+        let mut buf = vec![0u64; take];
+        loop {
+            match client.fill_words(&mut buf) {
+                Ok(()) => break,
+                Err(HprngError::ShardStalled { shard: 0 }) => stalls += 1,
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        got.extend_from_slice(&buf);
+    }
+    assert!(
+        stalls > 0,
+        "a 1ms patience against 30ms refills must stall mid-request"
+    );
+    let want = golden_expander(8, 0, got.len());
+    assert_eq!(got, want, "stalled multi-word fills dropped or reordered words");
+}
+
+#[test]
+fn custom_sessions_with_mismatched_lanes_are_rejected() {
+    // The factory advertises 4 lanes but builds single-lane sessions; the
+    // shard must reject the attachment instead of desyncing buffer sizing
+    // from the advertised PoolClient::lanes().
+    let pool = Pool::builder(1)
+        .shards(1)
+        .session(SessionKind::Custom {
+            lanes: 4,
+            factory: Arc::new(|seed| Box::new(ExpanderWalkRng::from_seed_u64(seed))),
+        })
+        .build()
+        .unwrap();
+    let mut client = pool.try_client_with_id(0).unwrap();
+    assert!(matches!(
+        client.try_next_u64(),
+        Err(HprngError::InvalidParam {
+            field: "session.lanes",
+            ..
+        })
+    ));
+    // The rejection is per-client and recoverable shard-side: an honest
+    // factory on the same pool would still attach (the shard lives on).
+    assert!(pool.stats().poisoned_shards.is_empty());
+}
+
+#[test]
+fn auto_assigned_ids_skip_explicitly_claimed_lanes() {
+    use hprng_core::SplitOnDemand;
+    let pool = Pool::builder(3).shards(2).build().unwrap();
+    let one = pool.try_client_with_id(1).unwrap();
+    let two = SplitOnDemand::lane(&pool, 2);
+    let autos: Vec<u64> = (0..3).map(|_| pool.try_client().unwrap().id()).collect();
+    assert_eq!(one.id(), 1);
+    assert_eq!(two.id(), 2);
+    // The auto counter walks 0, 1, 2, 3, … but 1 and 2 are claimed: the
+    // auto clients must land on 0, 3, 4 — no silent lane duplication.
+    assert_eq!(autos, vec![0, 3, 4]);
+}
+
+#[test]
 fn degrade_serves_fallback_words_while_the_shard_is_behind() {
     let pool = Pool::builder(8)
         .shards(1)
