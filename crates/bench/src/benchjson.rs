@@ -414,7 +414,100 @@ pub fn pool_gate(doc: &json::Value) -> Result<String, String> {
     if passed {
         Ok(summary)
     } else {
-        Err(format!("pool throughput below its speedup floor — {summary}"))
+        Err(format!(
+            "pool throughput below its speedup floor — {summary}"
+        ))
+    }
+}
+
+/// Measures the cost of pool request-path tracing: the same single-shard
+/// workload (one client pulling `words` words in 4096-word requests) with
+/// tracing off versus tracing on at 1-in-`sample_every` sampling.
+///
+/// The returned object carries both throughputs, the overhead fraction
+/// `(off - on) / off` clamped at zero, and a `passed` flag against the
+/// 5% budget the observability acceptance criteria set. Both sides are
+/// best-of-3 after a warm-up run, so scheduler noise has to strike three
+/// times in a row to fake a regression.
+pub fn pool_obs_bench(seed: u64, words: usize, sample_every: u64) -> json::Value {
+    use hprng_pool::Pool;
+
+    const REQUEST: usize = 4096;
+    const MAX_OVERHEAD: f64 = 0.05;
+    let words = words.max(1 << 20);
+    let sample_every = sample_every.max(1);
+
+    let run = |tracing: Option<u64>| -> f64 {
+        let mut builder = Pool::builder(seed).shards(1).prefetch_words(REQUEST);
+        if let Some(every) = tracing {
+            builder = builder.tracing(every);
+        }
+        let pool = builder.build().expect("pool configuration is valid");
+        let mut client = pool.try_client_with_id(0).expect("healthy pool");
+        let mut out = [0u64; REQUEST];
+        let wall = Instant::now();
+        let mut remaining = words;
+        while remaining > 0 {
+            let take = remaining.min(REQUEST);
+            client
+                .fill_words(&mut out[..take])
+                .expect("healthy pool client");
+            std::hint::black_box(&out);
+            remaining -= take;
+        }
+        words as f64 / wall.elapsed().as_secs_f64().max(1e-12)
+    };
+
+    // Warm up the allocator and thread spawn paths before timing.
+    let _ = run(None);
+    let best = |tracing: Option<u64>| (0..3).map(|_| run(tracing)).fold(0.0f64, f64::max);
+    let off = best(None);
+    let on = best(Some(sample_every));
+    let overhead = ((off - on) / off.max(1e-12)).max(0.0);
+
+    let mut obj = json::Value::object();
+    obj.set("words", json::Value::Number(words as f64));
+    obj.set("sample_every", json::Value::Number(sample_every as f64));
+    obj.set("off_words_per_s", json::Value::Number(off));
+    obj.set("on_words_per_s", json::Value::Number(on));
+    obj.set("overhead_fraction", json::Value::Number(overhead));
+    obj.set("max_overhead", json::Value::Number(MAX_OVERHEAD));
+    obj.set("passed", json::Value::Bool(overhead <= MAX_OVERHEAD));
+    obj
+}
+
+/// Checks the tracing-overhead gate of a bench document (the
+/// `pool_observability` object [`pool_obs_bench`] writes): `Ok(summary)`
+/// when tracing at the default sampling cost less than its budget,
+/// `Err(explanation)` on a miss or a document without the measurement.
+pub fn pool_obs_gate(doc: &json::Value) -> Result<String, String> {
+    let obs = doc
+        .get("pool_observability")
+        .ok_or("document has no pool_observability (was the sweep run with --pool?)")?;
+    let num = |key: &str| -> Result<f64, String> {
+        obs.get(key)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("pool_observability has no numeric {key}"))
+    };
+    let every = num("sample_every")?;
+    let off = num("off_words_per_s")?;
+    let on = num("on_words_per_s")?;
+    let overhead = num("overhead_fraction")?;
+    let budget = num("max_overhead")?;
+    let passed = match obs.get("passed") {
+        Some(json::Value::Bool(b)) => *b,
+        _ => return Err("pool_observability has no boolean passed".to_string()),
+    };
+    let summary = format!(
+        "pool tracing at 1-in-{every:.0}: {on:.0} words/s vs {off:.0} untraced \
+         ({:.1}% overhead, budget {:.0}%)",
+        overhead * 100.0,
+        budget * 100.0
+    );
+    if passed {
+        Ok(summary)
+    } else {
+        Err(format!("tracing overhead beyond its budget — {summary}"))
     }
 }
 
@@ -701,6 +794,41 @@ mod tests {
         // error, not a silent pass.
         assert!(pool_gate(&json::parse("{}").unwrap()).is_err());
         assert!(pool_gate(&json::parse(r#"{"pool": {"gate": {}}}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn pool_obs_bench_reports_both_sides_of_the_toggle() {
+        let doc = pool_obs_bench(3, 1 << 20, 64);
+        for key in ["off_words_per_s", "on_words_per_s"] {
+            assert!(doc.get(key).and_then(|v| v.as_f64()).unwrap() > 0.0);
+        }
+        let overhead = doc
+            .get("overhead_fraction")
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert!((0.0..=1.0).contains(&overhead), "overhead {overhead}");
+        assert!(matches!(doc.get("passed"), Some(json::Value::Bool(_))));
+    }
+
+    #[test]
+    fn pool_obs_gate_enforces_the_passed_flag() {
+        let doc = |passed: bool| {
+            json::parse(&format!(
+                r#"{{"pool_observability": {{"words": 1048576, "sample_every": 64,
+                    "off_words_per_s": 1000.0, "on_words_per_s": 990.0,
+                    "overhead_fraction": 0.01, "max_overhead": 0.05,
+                    "passed": {passed}}}}}"#
+            ))
+            .unwrap()
+        };
+        let summary = pool_obs_gate(&doc(true)).unwrap();
+        assert!(summary.contains("1-in-64"), "{summary}");
+        let reason = pool_obs_gate(&doc(false)).unwrap_err();
+        assert!(reason.contains("beyond its budget"), "{reason}");
+        // A document without the measurement (or with a mangled one) is
+        // an error, not a silent pass.
+        assert!(pool_obs_gate(&json::parse("{}").unwrap()).is_err());
+        assert!(pool_obs_gate(&json::parse(r#"{"pool_observability": {}}"#).unwrap()).is_err());
     }
 
     #[test]

@@ -19,13 +19,23 @@
 //!             [--max-drop <frac>]     fail if hybrid words/s drops by more
 //!                                     than the fraction (default 0.2)
 //!             [--pool]                add the sharded-pool consumer sweep
-//!                                     (pool vs shared-mutex engine) and
-//!                                     fail if the pool misses its
-//!                                     speedup floor
-//! repro monitor [--generator hybrid|mt|glibc-low|constant]
+//!                                     (pool vs shared-mutex engine) plus
+//!                                     the tracing-overhead measurement,
+//!                                     and fail if the pool misses its
+//!                                     speedup floor or tracing costs
+//!                                     more than its 5% budget
+//! repro monitor [--generator hybrid|pool|mt|glibc-low|constant]
 //!               [--words W] [--sample-every N] [--prom-out <path>]
 //!               [--assert-clean | --assert-alerts]
 //!                                     streaming quality sentinels
+//! repro pool-dash [--shards S] [--clients C] [--words W]
+//!                 [--policy block|tryfor|degrade] [--sample-every N]
+//!                 [--prom-out <path>] [--trace-out <path>]
+//!                 [--metrics-out <path>]
+//!                                     live per-shard dashboard over a
+//!                                     traced pool: queue depth, phase
+//!                                     latency quantiles, stall/degrade
+//!                                     rates; exports the final snapshot
 //!
 //! Global flags: `--trace-out <path>` writes a merged Chrome-trace
 //! (Perfetto) JSON of an instrumented run; `--metrics-out <path>` writes
@@ -33,7 +43,7 @@
 //! ```
 
 use hprng_bench::monitor_cmd::{MonitorGenerator, MonitorRunConfig};
-use hprng_bench::{ablations, benchjson, figures, monitor_cmd, tables, trace};
+use hprng_bench::{ablations, benchjson, figures, monitor_cmd, pooldash, tables, trace};
 
 struct Args {
     cmd: String,
@@ -54,6 +64,9 @@ struct Args {
     baseline: Option<std::path::PathBuf>,
     max_drop: f64,
     pool: bool,
+    shards: usize,
+    clients: usize,
+    policy: String,
 }
 
 fn parse_args() -> Args {
@@ -76,6 +89,9 @@ fn parse_args() -> Args {
         baseline: None,
         max_drop: 0.2,
         pool: false,
+        shards: 2,
+        clients: 4,
+        policy: "block".to_string(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -190,6 +206,21 @@ fn parse_args() -> Args {
                 args.pool = true;
                 i += 1;
             }
+            "--shards" => {
+                args.shards = argv[i + 1].parse().expect("--shards takes an integer");
+                i += 2;
+            }
+            "--clients" => {
+                args.clients = argv[i + 1].parse().expect("--clients takes an integer");
+                i += 2;
+            }
+            "--policy" => {
+                args.policy = argv
+                    .get(i + 1)
+                    .expect("--policy takes block|tryfor|degrade")
+                    .clone();
+                i += 2;
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -282,6 +313,10 @@ fn main() {
         let mut doc = benchjson::bench_json(args.seed, words);
         if args.pool {
             doc.set("pool", benchjson::pool_bench(args.seed, words));
+            doc.set(
+                "pool_observability",
+                benchjson::pool_obs_bench(args.seed, words, args.sample_every),
+            );
         }
         match &args.json_out {
             Some(path) => {
@@ -300,6 +335,15 @@ fn main() {
             // that misses its speedup floor fails the run (and the CI
             // job built on it).
             match benchjson::pool_gate(&doc) {
+                Ok(summary) => println!("OK: {summary}"),
+                Err(reason) => {
+                    eprintln!("FAIL: {reason}");
+                    std::process::exit(1);
+                }
+            }
+            // Same treatment for the tracing-overhead budget: paying
+            // more than 5% words/s for observability fails the run.
+            match benchjson::pool_obs_gate(&doc) {
                 Ok(summary) => println!("OK: {summary}"),
                 Err(reason) => {
                     eprintln!("FAIL: {reason}");
@@ -325,7 +369,7 @@ fn main() {
         use std::io::IsTerminal;
         let generator = MonitorGenerator::parse(&args.generator).unwrap_or_else(|| {
             eprintln!(
-                "unknown --generator {} (expected hybrid|mt|glibc-low|constant)",
+                "unknown --generator {} (expected hybrid|pool|mt|glibc-low|constant)",
                 args.generator
             );
             std::process::exit(2);
@@ -377,10 +421,67 @@ fn main() {
         }
     }
 
+    // Live serving-layer dashboard over a traced pool.
+    if args.cmd == "pool-dash" {
+        use std::io::IsTerminal;
+        let policy = pooldash::parse_policy(&args.policy).unwrap_or_else(|| {
+            eprintln!(
+                "unknown --policy {} (expected block|tryfor|degrade)",
+                args.policy
+            );
+            std::process::exit(2);
+        });
+        let cfg = pooldash::PoolDashConfig {
+            seed: args.seed,
+            shards: args.shards,
+            clients: args.clients,
+            words: args.words,
+            policy,
+            sample_every: args.sample_every,
+            live: std::io::stdout().is_terminal(),
+        };
+        let report = pooldash::run_pool_dash(&cfg);
+        if !cfg.live {
+            let secs = report.words as f64 / report.words_per_s.max(1e-9);
+            print!(
+                "{}",
+                pooldash::render_frame(&cfg, &report.snapshot, report.words, secs)
+            );
+        }
+        if let Some(path) = &args.prom_out {
+            let bytes = hprng_telemetry::prometheus::write_prometheus(path, &report.snapshot)
+                .expect("writing Prometheus exposition");
+            println!(
+                "wrote Prometheus exposition ({bytes} bytes) to {}",
+                path.display()
+            );
+        }
+        if let Some(path) = &args.trace_out {
+            hprng_telemetry::write_chrome_trace(path, None, Some(&report.snapshot))
+                .expect("writing trace file");
+            println!(
+                "wrote Chrome trace to {} — open in Perfetto or chrome://tracing",
+                path.display()
+            );
+        }
+        let metrics = || report.snapshot.metrics_json().to_json();
+        match args.metrics_out.as_deref() {
+            Some("-") => println!("{}", metrics()),
+            Some(path) => {
+                std::fs::write(path, metrics()).expect("writing metrics file");
+                println!("wrote metrics JSON to {path}");
+            }
+            None => {}
+        }
+    }
+
     // Observability: an instrumented run feeding the Chrome-trace and
     // metrics exports. Triggered by the `trace` subcommand or by either
-    // flag alongside any other command.
-    if args.cmd == "trace" || args.trace_out.is_some() || args.metrics_out.is_some() {
+    // flag alongside any other command — except `pool-dash`, which
+    // consumes `--trace-out`/`--metrics-out` for its own snapshot.
+    if args.cmd != "pool-dash"
+        && (args.cmd == "trace" || args.trace_out.is_some() || args.metrics_out.is_some())
+    {
         let run = trace::trace_run(args.n.min(1_000_000), args.seed);
         if let Some(path) = &args.trace_out {
             let bytes = trace::write_trace(&run, path).expect("writing trace file");

@@ -13,6 +13,7 @@ pub mod ablations;
 pub mod benchjson;
 pub mod figures;
 pub mod monitor_cmd;
+pub mod pooldash;
 pub mod simsupport;
 pub mod tables;
 pub mod trace;

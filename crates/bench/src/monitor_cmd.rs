@@ -1,12 +1,17 @@
 //! The `repro monitor` subcommand: streaming quality sentinels attached
 //! to a live generator.
 //!
-//! Four stream choices cover the self-validation matrix:
+//! Five stream choices cover the self-validation matrix:
 //!
 //! * `hybrid` — the full pipeline: a tapped [`HybridPrng`] session, a
 //!   tapped list ranking (the FIS coin bits) and a tapped photon
 //!   migration (the launch tags), all feeding one shared
 //!   [`MonitorHandle`]. Must stay silent.
+//! * `pool` — a pool-served stream: a traced sharded
+//!   [`hprng_pool::Pool`] client with the quality tap attached via
+//!   `set_tap`, so the sentinels watch exactly the words consumers
+//!   receive and the pool's queue/latency telemetry rides along in the
+//!   report. Must stay silent.
 //! * `mt` — MT19937-64, the healthy baseline. Must stay silent.
 //! * `glibc-low` — glibc TYPE_0 LCG low bits; the serial-correlation
 //!   and runs sentinels must fire.
@@ -27,6 +32,8 @@ use rand_core::RngCore;
 pub enum MonitorGenerator {
     /// The hybrid pipeline end-to-end (session + list ranking + photons).
     Hybrid,
+    /// A traced sharded-pool client (the serving layer end-to-end).
+    Pool,
     /// MT19937-64 (healthy baseline).
     Mt,
     /// glibc TYPE_0 LCG low bits (known bad).
@@ -40,6 +47,7 @@ impl MonitorGenerator {
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "hybrid" => Some(Self::Hybrid),
+            "pool" => Some(Self::Pool),
             "mt" => Some(Self::Mt),
             "glibc-low" => Some(Self::GlibcLow),
             "constant" => Some(Self::Constant),
@@ -51,6 +59,7 @@ impl MonitorGenerator {
     pub fn label(self) -> &'static str {
         match self {
             Self::Hybrid => "hybrid PRNG pipeline",
+            Self::Pool => "sharded pool client",
             Self::Mt => "MT19937-64",
             Self::GlibcLow => "glibc LCG low bits",
             Self::Constant => "constant stream",
@@ -123,6 +132,7 @@ pub fn run_monitor(cfg: &MonitorRunConfig) -> MonitorReport {
     let mut recorder = Recorder::new();
     match cfg.generator {
         MonitorGenerator::Hybrid => run_hybrid(cfg, &handle, &mut recorder),
+        MonitorGenerator::Pool => run_pool(cfg, &handle, &mut recorder),
         MonitorGenerator::Mt => {
             let mut rng = Mt19937_64::new(cfg.seed);
             run_raw(cfg, &handle, || rng.next_u64());
@@ -163,6 +173,41 @@ fn run_raw(cfg: &MonitorRunConfig, handle: &MonitorHandle, mut next: impl FnMut(
             live_frame(cfg, &handle.status());
         }
     }
+}
+
+/// The serving-layer run: the sentinels tap a traced pool client, so
+/// what the monitor judges is exactly what pool consumers receive —
+/// prefetched shard words, replay re-serves and all. The pool's
+/// queue/latency telemetry is absorbed into the report alongside the
+/// monitor's own gauges.
+fn run_pool(cfg: &MonitorRunConfig, handle: &MonitorHandle, recorder: &mut Recorder) {
+    use hprng_core::OnDemandRng;
+    const LANES: usize = 256;
+    let pool = hprng_pool::Pool::builder(cfg.seed)
+        .shards(2)
+        .tracing(cfg.sample_every.max(1))
+        .build()
+        .expect("pool configuration is valid");
+    let mut client = pool.try_client_with_id(0).expect("healthy pool");
+    client
+        .set_tap(handle.tap())
+        .unwrap_or_else(|_| unreachable!("pool clients always accept a tap"));
+    let mut out = [0u64; LANES];
+    let mut remaining = cfg.words;
+    let mut batch = 0u64;
+    while remaining > 0 {
+        let take = remaining.min(LANES as u64) as usize;
+        client
+            .fill_words(&mut out[..take])
+            .expect("healthy pool client");
+        remaining -= take as u64;
+        batch += 1;
+        if batch.is_multiple_of(64) {
+            live_frame(cfg, &handle.status());
+        }
+    }
+    drop(client);
+    recorder.absorb(pool.telemetry_snapshot());
 }
 
 /// The full-pipeline run: session batches, then a tapped list ranking
@@ -256,6 +301,27 @@ mod tests {
     }
 
     #[test]
+    fn pool_stream_stays_silent_and_carries_pool_telemetry() {
+        let report = run_monitor(&quick(MonitorGenerator::Pool));
+        assert!(
+            report.status.healthy(),
+            "alerts on pool-served stream: {:?}",
+            report.alerts
+        );
+        // The tap watched the served words…
+        assert!(report.recorder.gauge("monitor_words_seen").unwrap() > 0.0);
+        // …and the pool's own telemetry rode into the same report.
+        assert!(report.recorder.counter(hprng_pool::names::POOL_WORDS) >= (1 << 16) as f64);
+        assert!(
+            report
+                .recorder
+                .histogram(&hprng_pool::names::shard_service_ns(0))
+                .is_some(),
+            "pool phase histograms missing from the monitor report"
+        );
+    }
+
+    #[test]
     fn mt_stays_silent() {
         let report = run_monitor(&quick(MonitorGenerator::Mt));
         assert!(report.status.healthy(), "alerts: {:?}", report.alerts);
@@ -278,6 +344,7 @@ mod tests {
     fn generator_flag_round_trips() {
         for (s, g) in [
             ("hybrid", MonitorGenerator::Hybrid),
+            ("pool", MonitorGenerator::Pool),
             ("mt", MonitorGenerator::Mt),
             ("glibc-low", MonitorGenerator::GlibcLow),
             ("constant", MonitorGenerator::Constant),

@@ -7,9 +7,10 @@ use std::sync::Arc;
 
 use hprng_baselines::SplitMix64;
 use hprng_core::{HprngError, OnDemandRng, ScalarRng};
-use hprng_telemetry::WordTap;
+use hprng_telemetry::{Stage, WordTap};
 
 use crate::config::FullPolicy;
+use crate::obs::ShardObs;
 use crate::shard::{Reply, Request, ShardMetrics};
 
 /// Domain-separation salt of the [`FullPolicy::Degrade`] fallback stream,
@@ -60,9 +61,19 @@ pub struct PoolClient {
     failed: Option<HprngError>,
     served: u64,
     degraded: u64,
+    /// Words delivered from the session stream (prefetch buffers and
+    /// replay stash, never the fallback). For a live client,
+    /// `session_served + degraded == served` after every successful
+    /// request — rolled back on failure so replay re-serves are not
+    /// double-counted.
+    session_served: u64,
+    /// Requests issued through [`PoolClient::fill_words`], for the
+    /// 1-in-N span sampling gate.
+    requests: u64,
     tap: Option<Box<dyn WordTap>>,
     shutdown: Arc<AtomicBool>,
     metrics: Arc<ShardMetrics>,
+    obs: Option<Arc<ShardObs>>,
 }
 
 impl PoolClient {
@@ -77,6 +88,7 @@ impl PoolClient {
         rx: Receiver<Reply>,
         shutdown: Arc<AtomicBool>,
         metrics: Arc<ShardMetrics>,
+        obs: Option<Arc<ShardObs>>,
     ) -> Self {
         Self {
             id,
@@ -95,9 +107,12 @@ impl PoolClient {
             failed: None,
             served: 0,
             degraded: 0,
+            session_served: 0,
+            requests: 0,
             tap: None,
             shutdown,
             metrics,
+            obs,
         }
     }
 
@@ -119,6 +134,16 @@ impl PoolClient {
         self.degraded
     }
 
+    /// Words served from the client's shard-side session stream
+    /// (prefetch buffers, including replay-stash re-serves; never the
+    /// fallback generator). Every delivered word has exactly one
+    /// provenance, so for a live client
+    /// `session_words() + degraded_words() ==`
+    /// [`words_served`](OnDemandRng::words_served).
+    pub fn session_words(&self) -> u64 {
+        self.session_served
+    }
+
     /// The next word of this client's stream. Allocation-free: served
     /// from the prefetch cache, which refills through recycled buffers.
     pub fn try_next_u64(&mut self) -> Result<u64, HprngError> {
@@ -129,6 +154,7 @@ impl PoolClient {
             let word = self.front[self.pos];
             self.pos += 1;
             self.served += 1;
+            self.session_served += 1;
             if let Some(tap) = self.tap.as_mut() {
                 tap.observe(std::slice::from_ref(&word));
             }
@@ -156,6 +182,24 @@ impl PoolClient {
         if let Some(e) = &self.failed {
             return Err(e.clone());
         }
+        self.requests += 1;
+        // Span sampling gate: 1-in-N requests get timed end-to-end. The
+        // name formatting and span push happen only on sampled requests;
+        // untraced requests pay two `None` checks.
+        let trace = match &self.obs {
+            Some(o) if self.requests.is_multiple_of(o.sample_every) => {
+                Some((Arc::clone(o), o.now_ns()))
+            }
+            _ => None,
+        };
+        // Time spent inside `acquire` (queue + shard waits), subtracted
+        // from the request total to isolate the copy phase.
+        let mut wait_ns = 0.0f64;
+        // Entry snapshots: a failed request delivers nothing, so its
+        // provenance counts are rolled back (staged words are re-counted
+        // when the replay stash actually serves them).
+        let session0 = self.session_served;
+        let degraded0 = self.degraded;
         let mut filled = 0;
         while filled < out.len() {
             // Words stranded by an earlier failed request come first —
@@ -166,6 +210,13 @@ impl PoolClient {
                     .copy_from_slice(&self.replay[self.replay_pos..self.replay_pos + take]);
                 self.replay_pos += take;
                 filled += take;
+                // Replay only ever holds session-stream words: the only
+                // policy that can stage and later re-serve is `TryFor`,
+                // which never serves fallback words.
+                self.session_served += take as u64;
+                if let Some(o) = &self.obs {
+                    o.replays.add(1);
+                }
                 if self.replay_pos == self.replay.len() {
                     self.replay.clear();
                     self.replay_pos = 0;
@@ -177,14 +228,22 @@ impl PoolClient {
                 out[filled..filled + take].copy_from_slice(&self.front[self.pos..self.pos + take]);
                 self.pos += take;
                 filled += take;
+                self.session_served += take as u64;
                 continue;
             }
-            match self.acquire() {
+            let acquired = if let Some((o, _)) = &trace {
+                let t0 = o.now_ns();
+                let r = self.acquire();
+                wait_ns += self.obs.as_ref().map_or(0.0, |o| o.now_ns()) - t0;
+                r
+            } else {
+                self.acquire()
+            };
+            match acquired {
                 Ok(Acquired::Front) => {}
                 Ok(Acquired::Fallback) => {
                     out[filled] = self.fallback.get_next_rand();
                     self.degraded += 1;
-                    self.metrics.degraded_words.fetch_add(1, Ordering::Relaxed);
                     filled += 1;
                 }
                 Err(e) => {
@@ -196,13 +255,37 @@ impl PoolClient {
                     if filled > 0 {
                         self.replay.extend_from_slice(&out[..filled]);
                     }
+                    self.session_served = session0;
+                    self.degraded = degraded0;
                     return Err(e);
                 }
             }
         }
         self.served += out.len() as u64;
+        // Shard-visible degrade accounting flushes once per request, not
+        // per word, and only for requests that actually delivered.
+        let newly_degraded = self.degraded - degraded0;
+        if newly_degraded > 0 {
+            self.metrics
+                .degraded_words
+                .fetch_add(newly_degraded, Ordering::Relaxed);
+            if let Some(o) = &self.obs {
+                o.degraded_words.add(newly_degraded);
+            }
+        }
         if let Some(tap) = self.tap.as_mut() {
             tap.observe(out);
+        }
+        if let Some((o, start)) = trace {
+            let end = o.now_ns();
+            o.refill_copy_ns
+                .record_ns((end - start - wait_ns).max(0.0) as u64);
+            o.record_span(
+                Stage::App,
+                &format!("c{} fill#{}", self.id, self.requests),
+                start,
+                end,
+            );
         }
         Ok(())
     }
@@ -231,6 +314,9 @@ impl PoolClient {
                 Ok(reply) => self.install(reply),
                 // The refill stays in flight; the next call retries.
                 Err(RecvTimeoutError::Timeout) => {
+                    if let Some(o) = &self.obs {
+                        o.stalls.add(1);
+                    }
                     Err(HprngError::ShardStalled { shard: self.shard })
                 }
                 Err(RecvTimeoutError::Disconnected) => Err(self.fail_disconnected()),
@@ -273,23 +359,41 @@ impl PoolClient {
             let request = Request::Refill {
                 client: self.id,
                 buf,
+                enqueued_ns: self.obs.as_ref().map_or(f64::NAN, |o| o.now_ns()),
             };
+            // Count the request before it can be dequeued (the worker
+            // may grab it the instant the send lands); roll back on any
+            // send that doesn't.
+            if let Some(o) = &self.obs {
+                o.enqueued();
+            }
             match self.policy {
                 FullPolicy::Block => {
                     if self.tx.send(request).is_err() {
+                        if let Some(o) = &self.obs {
+                            o.dequeued();
+                        }
                         return Err(self.fail_disconnected());
                     }
                 }
                 FullPolicy::TryFor(_) | FullPolicy::Degrade => match self.tx.try_send(request) {
                     Ok(()) => {}
                     Err(TrySendError::Full(Request::Refill { buf, .. })) => {
+                        if let Some(o) = &self.obs {
+                            o.dequeued();
+                        }
                         self.pending.push(buf);
                         return Ok(());
                     }
                     Err(TrySendError::Full(_)) => unreachable!("refill came back as refill"),
                     // Let the receive path classify the disconnect
                     // (buffered replies may still be drainable).
-                    Err(TrySendError::Disconnected(_)) => return Ok(()),
+                    Err(TrySendError::Disconnected(_)) => {
+                        if let Some(o) = &self.obs {
+                            o.dequeued();
+                        }
+                        return Ok(());
+                    }
                 },
             }
         }

@@ -169,6 +169,7 @@ pub struct PoolBuilder {
     pub(crate) policy: FullPolicy,
     pub(crate) prefetch_words: usize,
     pub(crate) queue_depth: usize,
+    pub(crate) trace_sample_every: Option<u64>,
 }
 
 impl PoolBuilder {
@@ -183,6 +184,7 @@ impl PoolBuilder {
             policy: FullPolicy::Block,
             prefetch_words: RING_BLOCK_WORDS,
             queue_depth: 32,
+            trace_sample_every: None,
         }
     }
 
@@ -217,6 +219,23 @@ impl PoolBuilder {
     /// Bound of each shard's request queue (backpressure depth).
     pub fn queue_depth(mut self, depth: usize) -> Self {
         self.queue_depth = depth;
+        self
+    }
+
+    /// Enables request-path observability: per-shard queue-depth and
+    /// occupancy gauges, enqueue-wait / service / refill-copy latency
+    /// histograms, stall / degrade / replay counters, and client +
+    /// shard-worker spans on a shared epoch, all collected in a
+    /// [`hprng_telemetry::Registry`] reachable via
+    /// [`Pool::registry`] / [`Pool::telemetry_snapshot`].
+    ///
+    /// Histograms and counters record on every refill (a few relaxed
+    /// atomics, never per word); spans are sampled 1-in-`sample_every`
+    /// (clamped to at least 1). The `try_next_u64` buffer-hit fast
+    /// path is untouched — tracing adds no allocation and no atomics
+    /// there.
+    pub fn tracing(mut self, sample_every: u64) -> Self {
+        self.trace_sample_every = Some(sample_every.max(1));
         self
     }
 

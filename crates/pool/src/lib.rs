@@ -26,6 +26,14 @@
 //! (mirroring the pipeline ring's poisoning discipline); peers keep
 //! serving, and [`Pool::stats`] reports the casualty.
 //!
+//! Request-path observability is built in: [`PoolBuilder::tracing`]
+//! turns on per-shard queue-depth/occupancy gauges, enqueue-wait /
+//! service / refill-copy latency histograms, stall/degrade/replay
+//! counters (under the canonical [`names`]) and 1-in-N sampled client
+//! and shard-worker spans on a shared epoch, all exported through
+//! [`Pool::registry`] / [`Pool::telemetry_snapshot`] to the telemetry
+//! crate's Prometheus and Chrome-trace exporters.
+//!
 //! ```
 //! use hprng_pool::Pool;
 //!
@@ -43,9 +51,11 @@
 
 mod client;
 mod config;
+mod obs;
 mod pool;
 mod shard;
 
 pub use client::PoolClient;
 pub use config::{FullPolicy, PoolBuilder, SessionFactory, SessionKind};
+pub use obs::names;
 pub use pool::{Pool, PoolStats};

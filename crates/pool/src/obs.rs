@@ -1,0 +1,192 @@
+//! Request-path observability: the canonical pool metric names and the
+//! per-shard instrument bundle behind [`crate::PoolBuilder::tracing`].
+//!
+//! One [`hprng_telemetry::Registry`] per pool, one [`ShardObs`] bundle
+//! per shard. Clients and shard workers record through pre-registered
+//! handles (relaxed atomics), so tracing adds no locks and no
+//! allocation to the word-serving hot path; spans are sampled 1-in-N
+//! (the same gate discipline as the quality monitor), so the only
+//! allocating work — formatting a span name — happens on a small,
+//! configurable fraction of requests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hprng_telemetry::{Counter, Gauge, HistogramHandle, Registry};
+
+/// The canonical metric names of the pool, shared by
+/// [`crate::PoolStats::export_into`] and the tracing registry so a
+/// Prometheus scrape never sees two spellings of one quantity.
+///
+/// Counters follow the Prometheus `_total` convention; gauges and
+/// histograms are bare. The exporter prefixes everything with
+/// [`hprng_telemetry::prometheus::METRIC_PREFIX`], so e.g.
+/// [`POOL_WORDS`] scrapes as `hprng_pool_words_total`.
+pub mod names {
+    /// Prefetch-buffer refills served, pool-wide (counter).
+    pub const POOL_REFILLS: &str = "pool_refills_total";
+    /// Words produced into prefetch buffers, pool-wide (counter).
+    pub const POOL_WORDS: &str = "pool_words_total";
+    /// Refills failed with a session error, pool-wide (counter).
+    pub const POOL_ERRORS: &str = "pool_errors_total";
+    /// Words served from inline degrade fallbacks, pool-wide (counter).
+    pub const POOL_DEGRADED_WORDS: &str = "pool_degraded_words_total";
+    /// Shard worker threads (gauge).
+    pub const POOL_SHARDS: &str = "pool_shards";
+    /// Currently attached client sessions (gauge).
+    pub const POOL_CLIENTS: &str = "pool_clients";
+    /// Shards whose worker died by panic (gauge).
+    pub const POOL_POISONED_SHARDS: &str = "pool_poisoned_shards";
+
+    /// Refill requests currently in shard `shard`'s queue (gauge).
+    pub fn shard_queue_depth(shard: usize) -> String {
+        format!("pool_shard{shard}_queue_depth")
+    }
+
+    /// Queue depth over queue capacity for shard `shard` (gauge, 0..=1).
+    pub fn shard_queue_occupancy(shard: usize) -> String {
+        format!("pool_shard{shard}_queue_occupancy")
+    }
+
+    /// Time a refill request waited in shard `shard`'s queue before the
+    /// worker dequeued it (log2 histogram, nanoseconds).
+    pub fn shard_enqueue_wait_ns(shard: usize) -> String {
+        format!("pool_shard{shard}_enqueue_wait_ns")
+    }
+
+    /// Time shard `shard`'s worker spent generating one refill from the
+    /// client's session (log2 histogram, nanoseconds).
+    pub fn shard_service_ns(shard: usize) -> String {
+        format!("pool_shard{shard}_service_ns")
+    }
+
+    /// Client-side time spent copying prefetched words out (whole
+    /// request minus queue/refill waits; log2 histogram, nanoseconds).
+    pub fn shard_refill_copy_ns(shard: usize) -> String {
+        format!("pool_shard{shard}_refill_copy_ns")
+    }
+
+    /// [`FullPolicy::TryFor`](crate::FullPolicy::TryFor) patience
+    /// timeouts observed by shard `shard`'s clients (counter).
+    pub fn shard_stalls(shard: usize) -> String {
+        format!("pool_shard{shard}_stalls_total")
+    }
+
+    /// Words shard `shard`'s clients served from their inline degrade
+    /// fallback instead of the session stream (counter).
+    pub fn shard_degraded_words(shard: usize) -> String {
+        format!("pool_shard{shard}_degraded_words_total")
+    }
+
+    /// Replay-stash re-serves: requests that re-delivered words a
+    /// failed earlier request had staged (counter).
+    pub fn shard_replays(shard: usize) -> String {
+        format!("pool_shard{shard}_replays_total")
+    }
+
+    /// Session-stream words shard `shard`'s worker produced into
+    /// prefetch buffers (counter).
+    pub fn shard_words(shard: usize) -> String {
+        format!("pool_shard{shard}_words_total")
+    }
+}
+
+/// Pool-wide tracing state: the shared registry plus one [`ShardObs`]
+/// per shard. Present on a [`crate::Pool`] only when
+/// [`crate::PoolBuilder::tracing`] was called.
+pub(crate) struct PoolObs {
+    pub registry: Registry,
+    pub shards: Vec<std::sync::Arc<ShardObs>>,
+}
+
+impl PoolObs {
+    pub fn new(shards: usize, sample_every: u64, queue_capacity: usize) -> Self {
+        let registry = Registry::new();
+        let shards = (0..shards)
+            .map(|i| std::sync::Arc::new(ShardObs::new(&registry, i, sample_every, queue_capacity)))
+            .collect();
+        Self { registry, shards }
+    }
+}
+
+/// The per-shard instrument bundle. Handles are registered once at pool
+/// construction; recording through them is wait-free.
+pub(crate) struct ShardObs {
+    registry: Registry,
+    /// Span sampling gate: 1-in-`sample_every` requests / refills emit
+    /// a span (histograms and counters always record — they are cheap).
+    pub sample_every: u64,
+    queue_capacity: usize,
+    /// Refill requests currently sitting in the shard queue
+    /// (incremented on send, decremented on worker dequeue).
+    inflight: AtomicU64,
+    queue_depth: Gauge,
+    queue_occupancy: Gauge,
+    pub enqueue_wait_ns: HistogramHandle,
+    pub service_ns: HistogramHandle,
+    pub refill_copy_ns: HistogramHandle,
+    pub stalls: Counter,
+    pub degraded_words: Counter,
+    pub replays: Counter,
+    pub words: Counter,
+}
+
+impl ShardObs {
+    fn new(registry: &Registry, shard: usize, sample_every: u64, queue_capacity: usize) -> Self {
+        Self {
+            registry: registry.clone(),
+            sample_every: sample_every.max(1),
+            queue_capacity: queue_capacity.max(1),
+            inflight: AtomicU64::new(0),
+            queue_depth: registry.gauge(&names::shard_queue_depth(shard)),
+            queue_occupancy: registry.gauge(&names::shard_queue_occupancy(shard)),
+            enqueue_wait_ns: registry.histogram(&names::shard_enqueue_wait_ns(shard)),
+            service_ns: registry.histogram(&names::shard_service_ns(shard)),
+            refill_copy_ns: registry.histogram(&names::shard_refill_copy_ns(shard)),
+            stalls: registry.counter(&names::shard_stalls(shard)),
+            degraded_words: registry.counter(&names::shard_degraded_words(shard)),
+            replays: registry.counter(&names::shard_replays(shard)),
+            words: registry.counter(&names::shard_words(shard)),
+        }
+    }
+
+    /// Nanoseconds since the pool's tracing epoch.
+    pub fn now_ns(&self) -> f64 {
+        self.registry.now_ns()
+    }
+
+    /// Records a completed span on the pool's registry (shared epoch).
+    pub fn record_span(&self, stage: hprng_telemetry::Stage, name: &str, start: f64, end: f64) {
+        self.registry.record_span(stage, name, start, end);
+    }
+
+    /// A refill request is entering the shard queue. Callers increment
+    /// *before* the send (and roll back with [`Self::dequeued`] if the
+    /// send fails): the worker may dequeue the instant the send lands,
+    /// and a decrement racing ahead of its increment would wrap the
+    /// depth below zero.
+    pub fn enqueued(&self) {
+        let n = self
+            .inflight
+            .fetch_add(1, Ordering::Relaxed)
+            .saturating_add(1);
+        self.set_queue_gauges(n);
+    }
+
+    /// The worker dequeued a refill request (or a failed send rolled its
+    /// reservation back). Saturates at zero so the gauge can never wrap.
+    pub fn dequeued(&self) {
+        let prev = self
+            .inflight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            })
+            .unwrap_or(0);
+        self.set_queue_gauges(prev.saturating_sub(1));
+    }
+
+    fn set_queue_gauges(&self, depth: u64) {
+        self.queue_depth.set(depth as f64);
+        self.queue_occupancy
+            .set(depth as f64 / self.queue_capacity as f64);
+    }
+}

@@ -7,10 +7,11 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use hprng_core::{HprngError, SplitOnDemand};
-use hprng_telemetry::Recorder;
+use hprng_telemetry::{Recorder, Registry};
 
 use crate::client::PoolClient;
 use crate::config::{FullPolicy, PoolBuilder, SessionKind};
+use crate::obs::{names, PoolObs};
 use crate::shard::{self, Request, ShardMetrics};
 
 /// A sharded randomness pool: `shards` worker threads serving any number
@@ -40,6 +41,9 @@ pub struct Pool {
     kind: SessionKind,
     policy: FullPolicy,
     prefetch_words: usize,
+    /// Present when [`PoolBuilder::tracing`] enabled request-path
+    /// observability.
+    obs: Option<PoolObs>,
 }
 
 impl Pool {
@@ -50,6 +54,9 @@ impl Pool {
 
     pub(crate) fn spawn(builder: PoolBuilder, shards: usize) -> Self {
         let shutdown = Arc::new(AtomicBool::new(false));
+        let obs = builder
+            .trace_sample_every
+            .map(|n| PoolObs::new(shards, n, builder.queue_depth));
         let mut txs = Vec::with_capacity(shards);
         let mut metrics = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
@@ -60,9 +67,12 @@ impl Pool {
             let seed = builder.seed;
             let prefetch = builder.prefetch_words;
             let worker_metrics = Arc::clone(&shard_metrics);
+            let worker_obs = obs.as_ref().map(|o| Arc::clone(&o.shards[index]));
             let handle = std::thread::Builder::new()
                 .name(format!("hprng-pool-shard-{index}"))
-                .spawn(move || shard::run(index, seed, kind, prefetch, worker_metrics, rx))
+                .spawn(move || {
+                    shard::run(index, seed, kind, prefetch, worker_metrics, worker_obs, rx)
+                })
                 .expect("spawning a pool shard worker thread");
             txs.push(tx);
             metrics.push(shard_metrics);
@@ -79,6 +89,7 @@ impl Pool {
             kind: builder.kind,
             policy: builder.policy,
             prefetch_words: builder.prefetch_words,
+            obs,
         }
     }
 
@@ -117,10 +128,7 @@ impl Pool {
     /// observe identical streams. Ids used here are remembered so
     /// [`Pool::try_client`] never auto-assigns them.
     pub fn try_client_with_id(&self, id: u64) -> Result<PoolClient, HprngError> {
-        self.claimed_ids
-            .lock()
-            .expect("claimed-id set")
-            .insert(id);
+        self.claimed_ids.lock().expect("claimed-id set").insert(id);
         let shard = (id % self.txs.len() as u64) as usize;
         let tx = self.txs[shard].clone();
         let (reply_tx, reply_rx) = sync_channel(2);
@@ -140,12 +148,24 @@ impl Pool {
         // shard refills one while the client drains the other.
         let lanes = self.kind.lanes().max(1);
         let chunk = self.prefetch_words.div_ceil(lanes) * lanes;
+        let shard_obs = self.obs.as_ref().map(|o| Arc::clone(&o.shards[shard]));
         for _ in 0..2 {
+            // Count the request before it can be dequeued; roll back if
+            // the send never lands.
+            if let Some(o) = &shard_obs {
+                o.enqueued();
+            }
             tx.send(Request::Refill {
                 client: id,
                 buf: Vec::with_capacity(chunk),
+                enqueued_ns: shard_obs.as_ref().map_or(f64::NAN, |o| o.now_ns()),
             })
-            .map_err(|_| admission_failed(self))?;
+            .map_err(|_| {
+                if let Some(o) = &shard_obs {
+                    o.dequeued();
+                }
+                admission_failed(self)
+            })?;
         }
         Ok(PoolClient::new(
             id,
@@ -157,6 +177,7 @@ impl Pool {
             reply_rx,
             Arc::clone(&self.shutdown),
             Arc::clone(&self.metrics[shard]),
+            shard_obs,
         ))
     }
 
@@ -177,6 +198,31 @@ impl Pool {
             }
         }
         stats
+    }
+
+    /// The tracing registry, when [`PoolBuilder::tracing`] enabled
+    /// request-path observability — per-shard queue gauges, phase
+    /// latency histograms, stall/degrade/replay counters, and sampled
+    /// client/worker spans all live here. Cloning shares the
+    /// instruments; [`hprng_telemetry::Registry::snapshot`] is cheap
+    /// enough to call per dashboard frame.
+    pub fn registry(&self) -> Option<Registry> {
+        self.obs.as_ref().map(|o| o.registry.clone())
+    }
+
+    /// One [`Recorder`] holding everything observable about the pool
+    /// right now: the tracing registry's instruments and sampled spans
+    /// (when tracing is on) merged with [`Pool::stats`] via
+    /// [`PoolStats::export_into`]. Feed it straight to
+    /// [`hprng_telemetry::prometheus::exposition`] or
+    /// [`hprng_telemetry::chrome_trace`].
+    pub fn telemetry_snapshot(&self) -> Recorder {
+        let mut recorder = match &self.obs {
+            Some(o) => o.registry.snapshot(),
+            None => Recorder::new(),
+        };
+        self.stats().export_into(&mut recorder);
+        recorder
     }
 
     /// Stops every shard worker and waits for them to exit. Outstanding
@@ -262,16 +308,20 @@ pub struct PoolStats {
 }
 
 impl PoolStats {
-    /// Exports the snapshot into a telemetry [`Recorder`]: `pool_*`
-    /// counters plus `pool_shards` / `pool_clients` /
-    /// `pool_poisoned_shards` gauges.
+    /// Exports the snapshot into a telemetry [`Recorder`] under the
+    /// canonical [`crate::names`] — `pool_*_total` counters plus
+    /// `pool_shards` / `pool_clients` / `pool_poisoned_shards` gauges,
+    /// which the Prometheus exporter prefixes to `hprng_pool_*`.
     pub fn export_into(&self, recorder: &mut Recorder) {
-        recorder.add("pool_refills", self.refills as f64);
-        recorder.add("pool_words", self.words as f64);
-        recorder.add("pool_errors", self.errors as f64);
-        recorder.add("pool_degraded_words", self.degraded_words as f64);
-        recorder.set_gauge("pool_shards", self.shards as f64);
-        recorder.set_gauge("pool_clients", self.clients as f64);
-        recorder.set_gauge("pool_poisoned_shards", self.poisoned_shards.len() as f64);
+        recorder.add(names::POOL_REFILLS, self.refills as f64);
+        recorder.add(names::POOL_WORDS, self.words as f64);
+        recorder.add(names::POOL_ERRORS, self.errors as f64);
+        recorder.add(names::POOL_DEGRADED_WORDS, self.degraded_words as f64);
+        recorder.set_gauge(names::POOL_SHARDS, self.shards as f64);
+        recorder.set_gauge(names::POOL_CLIENTS, self.clients as f64);
+        recorder.set_gauge(
+            names::POOL_POISONED_SHARDS,
+            self.poisoned_shards.len() as f64,
+        );
     }
 }

@@ -8,8 +8,10 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 
 use hprng_core::{HprngError, OnDemandRng};
+use hprng_telemetry::Stage;
 
 use crate::config::SessionKind;
+use crate::obs::ShardObs;
 
 /// A refilled prefetch buffer (or why the refill failed).
 pub(crate) type Reply = Result<Vec<u64>, HprngError>;
@@ -35,6 +37,10 @@ pub(crate) enum Request {
         client: u64,
         /// The exhausted buffer to refill (capacity is reused).
         buf: Vec<u64>,
+        /// When the request entered the queue, in nanoseconds on the
+        /// pool's tracing epoch — the worker computes enqueue-wait from
+        /// it at dequeue. `NaN` when tracing is off.
+        enqueued_ns: f64,
     },
     /// The client is gone; drop its session.
     Detach {
@@ -97,6 +103,7 @@ pub(crate) fn run(
     kind: SessionKind,
     prefetch_words: usize,
     metrics: Arc<ShardMetrics>,
+    obs: Option<Arc<ShardObs>>,
     rx: Receiver<Request>,
 ) {
     let mut guard = PoisonGuard {
@@ -104,7 +111,8 @@ pub(crate) fn run(
         armed: true,
     };
     let mut slots: HashMap<u64, ClientSlot> = HashMap::new();
-    let _ = shard; // shard index is carried by client-side errors
+    // Refills served, for the 1-in-N worker span sampling gate.
+    let mut served_refills: u64 = 0;
 
     while let Ok(request) = rx.recv() {
         match request {
@@ -143,13 +151,25 @@ pub(crate) fn run(
                     }
                 }
             }
-            Request::Refill { client, mut buf } => {
+            Request::Refill {
+                client,
+                mut buf,
+                enqueued_ns,
+            } => {
+                if let Some(o) = &obs {
+                    o.dequeued();
+                    if !enqueued_ns.is_nan() {
+                        let wait = (o.now_ns() - enqueued_ns).max(0.0);
+                        o.enqueue_wait_ns.record_ns(wait as u64);
+                    }
+                }
                 let Some(slot) = slots.get_mut(&client) else {
                     continue; // detached (or attach failed) — drop the buffer
                 };
                 buf.clear();
                 buf.resize(slot.chunk, 0);
                 let lanes = slot.session.lanes().max(1);
+                let service_start = obs.as_ref().map(|o| o.now_ns());
                 let result = buf
                     .chunks_mut(lanes)
                     .try_for_each(|chunk| slot.session.try_next_batch_into(chunk));
@@ -157,6 +177,20 @@ pub(crate) fn run(
                     Ok(()) => {
                         metrics.refills.fetch_add(1, Ordering::Relaxed);
                         metrics.words.fetch_add(buf.len() as u64, Ordering::Relaxed);
+                        if let (Some(o), Some(start)) = (&obs, service_start) {
+                            let end = o.now_ns();
+                            o.service_ns.record_ns((end - start).max(0.0) as u64);
+                            o.words.add(buf.len() as u64);
+                            served_refills += 1;
+                            if served_refills.is_multiple_of(o.sample_every) {
+                                o.record_span(
+                                    Stage::Generate,
+                                    &format!("shard{shard} refill c{client}"),
+                                    start,
+                                    end,
+                                );
+                            }
+                        }
                         Ok(buf)
                     }
                     Err(e) => {

@@ -1,0 +1,227 @@
+//! Acceptance suite for pool request-path observability: a traced pool
+//! run must export a Chrome trace holding both client request spans and
+//! shard worker spans on one shared epoch, and a Prometheus snapshot
+//! covering queue depth, the three phase histograms, and the
+//! stall/degrade/replay outcome counters per shard.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hprng_core::{ExpanderWalkRng, HprngError, OnDemandRng};
+use hprng_pool::{names, FullPolicy, Pool, SessionKind};
+use hprng_telemetry::{chrome_trace, prometheus, Stage};
+
+/// A session whose every refill takes `delay` — the stall probe.
+fn slow_kind(delay: Duration) -> SessionKind {
+    SessionKind::Custom {
+        lanes: 1,
+        factory: Arc::new(move |seed| {
+            struct Slow {
+                inner: ExpanderWalkRng,
+                delay: Duration,
+            }
+            impl OnDemandRng for Slow {
+                fn label(&self) -> &'static str {
+                    "slow"
+                }
+                fn lanes(&self) -> usize {
+                    1
+                }
+                fn try_next_batch_into(&mut self, out: &mut [u64]) -> Result<(), HprngError> {
+                    std::thread::sleep(self.delay);
+                    self.inner.try_next_batch_into(out)
+                }
+                fn words_served(&self) -> u64 {
+                    self.inner.words_served()
+                }
+            }
+            Box::new(Slow {
+                inner: ExpanderWalkRng::from_seed_u64(seed),
+                delay,
+            })
+        }),
+    }
+}
+
+#[test]
+fn traced_run_exports_client_and_shard_spans_on_a_shared_epoch() {
+    let pool = Pool::builder(42)
+        .shards(2)
+        .prefetch_words(32)
+        .tracing(1) // sample every request so the assertion is deterministic
+        .build()
+        .unwrap();
+    let mut a = pool.try_client_with_id(0).unwrap();
+    let mut b = pool.try_client_with_id(1).unwrap();
+    for _ in 0..4 {
+        let mut buf = [0u64; 100]; // spans several refills at prefetch 32
+        a.fill_words(&mut buf).unwrap();
+        b.fill_words(&mut buf).unwrap();
+    }
+    let registry = pool.registry().expect("tracing was enabled");
+    let snapshot = registry.snapshot();
+
+    let client_spans: Vec<_> = snapshot
+        .spans()
+        .iter()
+        .filter(|s| s.stage == Stage::App && s.name.contains("fill#"))
+        .collect();
+    let shard_spans: Vec<_> = snapshot
+        .spans()
+        .iter()
+        .filter(|s| s.stage == Stage::Generate && s.name.contains("refill"))
+        .collect();
+    assert!(!client_spans.is_empty(), "no client request spans recorded");
+    assert!(!shard_spans.is_empty(), "no shard worker spans recorded");
+    assert!(
+        client_spans.iter().any(|s| s.name.starts_with("c0 "))
+            && client_spans.iter().any(|s| s.name.starts_with("c1 ")),
+        "both clients must appear in the request spans"
+    );
+    assert!(
+        shard_spans.iter().any(|s| s.name.starts_with("shard0 "))
+            && shard_spans.iter().any(|s| s.name.starts_with("shard1 ")),
+        "both shards must appear in the worker spans"
+    );
+    // Shared epoch: every span timestamp is non-negative nanoseconds
+    // from the one registry epoch, and the worker's service span falls
+    // within the wall-clock window covered by the run.
+    for s in snapshot.spans() {
+        assert!(s.start_ns >= 0.0 && s.end_ns >= s.start_ns, "span {s:?}");
+        assert!(s.end_ns <= registry.now_ns(), "span after snapshot: {s:?}");
+    }
+
+    // The Chrome trace export covers both kinds on the host process.
+    let trace = chrome_trace(None, Some(&snapshot)).to_json();
+    assert!(trace.contains("fill#"), "client spans missing from trace");
+    assert!(trace.contains("refill c"), "shard spans missing from trace");
+}
+
+#[test]
+fn prometheus_snapshot_covers_queue_phase_and_outcome_instruments() {
+    let shards = 2;
+    let pool = Pool::builder(7)
+        .shards(shards)
+        .prefetch_words(64)
+        .tracing(4)
+        .build()
+        .unwrap();
+    let mut clients: Vec<_> = (0..4u64)
+        .map(|id| pool.try_client_with_id(id).unwrap())
+        .collect();
+    for _ in 0..8 {
+        for c in &mut clients {
+            let mut buf = [0u64; 150];
+            c.fill_words(&mut buf).unwrap();
+        }
+    }
+    let text = prometheus::exposition(&pool.telemetry_snapshot());
+    let exp = prometheus::parse_exposition(&text).expect("exposition parses");
+    exp.validate_histograms().expect("histogram invariants");
+
+    let metric = |raw: &str| prometheus::metric_name(raw);
+    for shard in 0..shards {
+        for gauge in [
+            names::shard_queue_depth(shard),
+            names::shard_queue_occupancy(shard),
+        ] {
+            assert!(
+                exp.value(&metric(&gauge)).is_some(),
+                "missing gauge {gauge}"
+            );
+        }
+        for hist in [
+            names::shard_enqueue_wait_ns(shard),
+            names::shard_service_ns(shard),
+            names::shard_refill_copy_ns(shard),
+        ] {
+            let count = exp.value(&format!("{}_count", metric(&hist)));
+            assert!(count.is_some(), "missing histogram {hist}");
+        }
+        for counter in [
+            names::shard_stalls(shard),
+            names::shard_degraded_words(shard),
+            names::shard_replays(shard),
+            names::shard_words(shard),
+        ] {
+            assert!(
+                exp.value(&metric(&counter)).is_some(),
+                "missing counter {counter}"
+            );
+        }
+        // A healthy blocking run serves words and never stalls/degrades.
+        assert_eq!(exp.value(&metric(&names::shard_stalls(shard))), Some(0.0));
+        assert!(exp.value(&metric(&names::shard_words(shard))).unwrap() > 0.0);
+    }
+    // Refills actually flowed through both phase histograms.
+    let service_total: f64 = (0..shards)
+        .map(|s| {
+            exp.value(&format!("{}_count", metric(&names::shard_service_ns(s))))
+                .unwrap()
+        })
+        .sum();
+    assert!(
+        service_total >= 8.0,
+        "service histogram undercounts refills"
+    );
+    // The unified PoolStats names ride in the same snapshot.
+    assert!(exp.value(&metric(names::POOL_WORDS)).unwrap() > 0.0);
+    assert_eq!(exp.value(&metric(names::POOL_ERRORS)), Some(0.0));
+    assert!(exp.value(&metric(names::POOL_SHARDS)).unwrap() == shards as f64);
+}
+
+#[test]
+fn stalls_and_replays_are_counted_per_shard() {
+    let pool = Pool::builder(8)
+        .shards(1)
+        .prefetch_words(4)
+        .session(slow_kind(Duration::from_millis(30)))
+        .full_policy(FullPolicy::TryFor(Duration::from_millis(1)))
+        .tracing(64)
+        .build()
+        .unwrap();
+    let mut client = pool.try_client_with_id(0).unwrap();
+    let mut got = 0usize;
+    let mut stalls = 0u64;
+    // 7-word requests against a 4-word prefetch force mid-request
+    // stalls, which stage words and replay them on the retry.
+    while got < 20 {
+        let mut buf = [0u64; 7];
+        match client.fill_words(&mut buf) {
+            Ok(()) => got += buf.len(),
+            Err(HprngError::ShardStalled { shard: 0 }) => stalls += 1,
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+    assert!(stalls > 0, "1ms patience against 30ms refills must stall");
+    let registry = pool.registry().unwrap();
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter(&names::shard_stalls(0)),
+        stalls as f64,
+        "every observed ShardStalled must be counted"
+    );
+    assert!(
+        snap.counter(&names::shard_replays(0)) >= 1.0,
+        "mid-request stalls must produce replay re-serves"
+    );
+    // Accounting stays exact through stalls and replays.
+    assert_eq!(client.session_words(), client.words_served());
+    assert_eq!(client.degraded_words(), 0);
+}
+
+#[test]
+fn untraced_pools_expose_no_registry_but_still_export_stats() {
+    let pool = Pool::builder(3).shards(1).build().unwrap();
+    let mut client = pool.try_client().unwrap();
+    let mut buf = [0u64; 64];
+    client.fill_words(&mut buf).unwrap();
+    assert!(pool.registry().is_none());
+    let text = prometheus::exposition(&pool.telemetry_snapshot());
+    let exp = prometheus::parse_exposition(&text).unwrap();
+    assert!(
+        exp.value(&prometheus::metric_name(names::POOL_WORDS))
+            .unwrap()
+            > 0.0
+    );
+}

@@ -430,7 +430,55 @@ fn try_for_multi_word_fills_spanning_refills_lose_no_words() {
         "a 1ms patience against 30ms refills must stall mid-request"
     );
     let want = golden_expander(8, 0, got.len());
-    assert_eq!(got, want, "stalled multi-word fills dropped or reordered words");
+    assert_eq!(
+        got, want,
+        "stalled multi-word fills dropped or reordered words"
+    );
+}
+
+#[test]
+fn degrade_fallback_words_are_accounted_separately_and_sum_to_words_served() {
+    // A deliberately slow session forces the Degrade policy to serve a
+    // mix of fallback and session words. Every delivered word has
+    // exactly one provenance: session_words() counts prefetch-served
+    // words, degraded_words() counts inline-fallback words, and the two
+    // partitions always reassemble words_served().
+    let pool = Pool::builder(11)
+        .shards(1)
+        .prefetch_words(8)
+        .session(slow_kind(Duration::from_millis(5)))
+        .full_policy(FullPolicy::Degrade)
+        .build()
+        .unwrap();
+    let mut client = pool.try_client_with_id(0).unwrap();
+    let sizes = [3usize, 17, 1, 40, 9, 26];
+    let mut total = 0usize;
+    for (i, &take) in sizes.iter().cycle().take(60).enumerate() {
+        let mut buf = vec![0u64; take];
+        client.fill_words(&mut buf).unwrap();
+        total += take;
+        assert_eq!(
+            client.session_words() + client.degraded_words(),
+            client.words_served(),
+            "provenance partition broke after request {i}"
+        );
+        // Let the shard catch up occasionally so both paths serve.
+        if i % 10 == 9 {
+            std::thread::sleep(Duration::from_millis(12));
+        }
+    }
+    assert_eq!(client.words_served(), total as u64);
+    assert!(
+        client.degraded_words() > 0,
+        "a 5ms-per-refill shard under Degrade must serve fallback words"
+    );
+    assert!(
+        client.session_words() > 0,
+        "the session stream must still contribute words"
+    );
+    // The shard-visible aggregate agrees with the client's own count.
+    let stats = pool.stats();
+    assert_eq!(stats.degraded_words, client.degraded_words());
 }
 
 #[test]
@@ -627,8 +675,11 @@ fn stats_track_clients_refills_and_words() {
     assert!(stats.poisoned_shards.is_empty());
     let mut recorder = hprng_telemetry::Recorder::new();
     stats.export_into(&mut recorder);
-    assert_eq!(recorder.gauge("pool_shards"), Some(2.0));
-    assert_eq!(recorder.counter("pool_words"), stats.words as f64);
+    assert_eq!(recorder.gauge(hprng_pool::names::POOL_SHARDS), Some(2.0));
+    assert_eq!(
+        recorder.counter(hprng_pool::names::POOL_WORDS),
+        stats.words as f64
+    );
 }
 
 #[test]

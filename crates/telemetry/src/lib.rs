@@ -17,6 +17,11 @@
 //!   busy fractions from an exported trace, used by tests to prove the
 //!   export is lossless with respect to `PipelineStats`.
 //! * [`json`] — the minimal JSON writer/parser both of the above use.
+//! * [`Registry`] — the thread-safe sibling of [`Recorder`]: shared
+//!   counter/gauge/histogram handles plus a bounded span buffer, with a
+//!   [`Registry::snapshot`] that materializes everything into a
+//!   `Recorder` so both exporters above cover concurrent subsystems
+//!   (the sharded pool's shard workers and clients) with no new code.
 //!
 //! The crate deliberately has no external dependencies and no global
 //! state: a `Recorder` is a plain value you thread to where the
@@ -28,6 +33,9 @@
 
 pub mod json;
 pub mod prometheus;
+pub mod registry;
+
+pub use registry::{Counter, Gauge, HistogramHandle, Registry};
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -212,6 +220,43 @@ impl Histogram {
     /// Sum of all recorded samples in nanoseconds.
     pub fn sum_ns(&self) -> f64 {
         self.sum_ns
+    }
+
+    /// Merges another histogram into this one: buckets add, counts and
+    /// sums add, and min/max extend to cover both inputs. This is the
+    /// primitive behind [`Recorder::absorb`] and the registry snapshot —
+    /// multi-shard merges go through it, so it is proven (by property
+    /// tests) associative and commutative: merge order never changes the
+    /// result.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += n;
+        }
+        if other.count > 0 {
+            self.min_ns = if self.count == 0 {
+                other.min_ns
+            } else {
+                self.min_ns.min(other.min_ns)
+            };
+            self.max_ns = self.max_ns.max(other.max_ns);
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+
+    /// Rebuilds a histogram from raw parts (the registry snapshot path:
+    /// atomic cells are read bucket-wise and reassembled here). `count`
+    /// is derived from the buckets so the Prometheus invariant
+    /// `+Inf bucket == _count` holds even for a mid-flight snapshot.
+    pub(crate) fn from_raw(buckets: [u64; 64], sum_ns: f64, min_ns: f64, max_ns: f64) -> Self {
+        let count = buckets.iter().sum();
+        Self {
+            buckets,
+            count,
+            sum_ns,
+            min_ns: if count == 0 { 0.0 } else { min_ns },
+            max_ns: if count == 0 { 0.0 } else { max_ns },
+        }
     }
 
     /// Approximate quantile (`q` in [0, 1]) from the bucket boundaries.
@@ -419,21 +464,22 @@ impl Recorder {
                     e.insert(h);
                 }
                 std::collections::btree_map::Entry::Occupied(mut e) => {
-                    let mine = e.get_mut();
-                    for (b, n) in mine.buckets.iter_mut().zip(h.buckets.iter()) {
-                        *b += n;
-                    }
-                    if h.count > 0 {
-                        mine.min_ns = if mine.count == 0 {
-                            h.min_ns
-                        } else {
-                            mine.min_ns.min(h.min_ns)
-                        };
-                        mine.max_ns = mine.max_ns.max(h.max_ns);
-                    }
-                    mine.count += h.count;
-                    mine.sum_ns += h.sum_ns;
+                    e.get_mut().merge(&h);
                 }
+            }
+        }
+    }
+
+    /// Merges a pre-built histogram into the named slot (the registry
+    /// snapshot path; equivalent to absorbing a recorder holding only
+    /// this histogram).
+    pub fn merge_histogram(&mut self, name: &str, h: Histogram) {
+        match self.histograms.entry(name.to_string()) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(h);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                e.get_mut().merge(&h);
             }
         }
     }

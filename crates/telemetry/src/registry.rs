@@ -1,0 +1,405 @@
+//! A thread-safe metrics registry with a [`Recorder`] snapshot API.
+//!
+//! The [`Recorder`] is a plain value: perfect for single-threaded
+//! pipelines that thread it to where the measurements happen, useless
+//! for a serving layer where shard workers and any number of client
+//! threads must write instruments concurrently without a lock on the
+//! word-serving hot path. The [`Registry`] fills that gap:
+//!
+//! * Instruments are **registered once** (cold path, a mutex-guarded
+//!   name map) and handed out as cheap clone-able handles —
+//!   [`Counter`], [`Gauge`], [`HistogramHandle`] — that are plain
+//!   relaxed atomics inside. Recording on a handle is wait-free and
+//!   allocation-free, so it is safe to call from a generator's serving
+//!   path.
+//! * Completed spans go through [`Registry::record_span`] into a
+//!   capacity-bounded buffer (default [`DEFAULT_SPAN_CAPACITY`]); the
+//!   overflow count is exported as a `spans_dropped` counter rather
+//!   than silently truncating.
+//! * [`Registry::snapshot`] materializes everything into a [`Recorder`]
+//!   **on the registry's epoch**, so snapshots from one registry — and
+//!   recorders explicitly built with
+//!   [`Recorder::with_epoch`]`(registry.epoch())` — merge onto one
+//!   consistent clock via [`Recorder::absorb`]. From there the existing
+//!   exporters ([`crate::chrome_trace`], [`crate::prometheus`]) cover
+//!   every registry instrument with no new code.
+//!
+//! Histogram cells share the [`Histogram`] log2-bucket layout; a
+//! snapshot derives `count` from the buckets so the Prometheus
+//! invariant (`+Inf` bucket == `_count`) holds even when writers race
+//! the snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::{Histogram, HostSpan, Recorder, Stage};
+
+/// Spans retained by a registry before overflow counting kicks in.
+pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
+
+/// A monotonically increasing counter handle (see [`Registry::counter`]).
+///
+/// Cloning shares the underlying cell; [`Counter::add`] is a relaxed
+/// atomic add — wait-free and allocation-free.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge handle (see [`Registry::gauge`]). Stores
+/// `f64` bits in an atomic word.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge to an absolute value.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// The atomic twin of [`Histogram`]: the same 64 log2-of-nanoseconds
+/// buckets, recorded with relaxed atomics.
+#[derive(Debug)]
+struct AtomicHistogram {
+    buckets: [AtomicU64; 64],
+    /// Sum of samples in integer nanoseconds (histograms measure
+    /// latencies; sub-nanosecond precision is below bucket resolution).
+    sum_ns: AtomicU64,
+    /// Minimum sample; `u64::MAX` while empty.
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0u64; 64].map(AtomicU64::new),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    fn record(&self, ns: u64) {
+        // Must bucket exactly like `Histogram::record` (which goes through
+        // f64), so snapshots and plain recorders stay merge-compatible even
+        // for samples where `ns as f64` rounds across a power of two.
+        let idx = if ns < 1 {
+            0
+        } else {
+            ((ns as f64).log2() as usize).min(63)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Histogram {
+        let mut buckets = [0u64; 64];
+        for (out, cell) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *out = cell.load(Ordering::Relaxed);
+        }
+        let min = self.min_ns.load(Ordering::Relaxed);
+        Histogram::from_raw(
+            buckets,
+            self.sum_ns.load(Ordering::Relaxed) as f64,
+            if min == u64::MAX { 0.0 } else { min as f64 },
+            self.max_ns.load(Ordering::Relaxed) as f64,
+        )
+    }
+}
+
+/// A latency-histogram handle (see [`Registry::histogram`]).
+/// [`HistogramHandle::record_ns`] is a handful of relaxed atomic ops.
+#[derive(Clone, Debug)]
+pub struct HistogramHandle(Arc<AtomicHistogram>);
+
+impl HistogramHandle {
+    /// Records one latency sample in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.0.record(ns);
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> Histogram {
+        self.0.snapshot()
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, HistogramHandle>>,
+    spans: Mutex<Vec<HostSpan>>,
+    spans_dropped: AtomicU64,
+    span_capacity: usize,
+}
+
+/// A shared, thread-safe metrics registry (see the [module
+/// docs](self)). Cloning shares the same instruments and epoch.
+#[derive(Clone, Debug)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A fresh registry whose clock starts now.
+    pub fn new() -> Self {
+        Self::with_epoch(Instant::now())
+    }
+
+    /// A fresh registry measuring time from an explicit epoch — share
+    /// the epoch with any [`Recorder`]s whose spans will be merged with
+    /// this registry's snapshot.
+    pub fn with_epoch(epoch: Instant) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                epoch,
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                spans: Mutex::new(Vec::new()),
+                spans_dropped: AtomicU64::new(0),
+                span_capacity: DEFAULT_SPAN_CAPACITY,
+            }),
+        }
+    }
+
+    /// The instant all span timestamps are relative to.
+    pub fn epoch(&self) -> Instant {
+        self.inner.epoch
+    }
+
+    /// Nanoseconds elapsed since the epoch.
+    pub fn now_ns(&self) -> f64 {
+        self.inner.epoch.elapsed().as_nanos() as f64
+    }
+
+    /// The counter registered under `name` (created on first use).
+    /// Registration takes a lock; keep the handle for the hot path.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner
+            .counters
+            .lock()
+            .expect("registry counter map")
+            .entry(name.to_string())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// The gauge registered under `name` (created on first use, at 0).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner
+            .gauges
+            .lock()
+            .expect("registry gauge map")
+            .entry(name.to_string())
+            .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+            .clone()
+    }
+
+    /// The latency histogram registered under `name` (created on first
+    /// use).
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        self.inner
+            .histograms
+            .lock()
+            .expect("registry histogram map")
+            .entry(name.to_string())
+            .or_insert_with(|| HistogramHandle(Arc::new(AtomicHistogram::default())))
+            .clone()
+    }
+
+    /// Records a completed span with timestamps relative to the
+    /// registry epoch. Once [`DEFAULT_SPAN_CAPACITY`] spans are
+    /// buffered, further spans are counted (exported as the
+    /// `spans_dropped` counter) instead of stored — a long-running
+    /// service degrades to metrics-only rather than growing without
+    /// bound.
+    pub fn record_span(&self, stage: Stage, name: &str, start_ns: f64, end_ns: f64) {
+        let mut spans = self.inner.spans.lock().expect("registry span buffer");
+        if spans.len() >= self.inner.span_capacity {
+            drop(spans);
+            self.inner.spans_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        spans.push(HostSpan {
+            stage,
+            name: name.to_string(),
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+        });
+    }
+
+    /// Number of spans currently buffered.
+    pub fn span_count(&self) -> usize {
+        self.inner.spans.lock().expect("registry span buffer").len()
+    }
+
+    /// Materializes every instrument into a fresh [`Recorder`] on the
+    /// registry's epoch. The registry keeps accumulating; snapshots are
+    /// cheap enough to take per dashboard frame.
+    pub fn snapshot(&self) -> Recorder {
+        let mut r = Recorder::with_epoch(self.inner.epoch);
+        self.snapshot_into(&mut r);
+        r
+    }
+
+    /// Merges every instrument into an existing [`Recorder`] (counters
+    /// add, gauges overwrite, histograms merge bucket-wise, spans
+    /// append). The recorder should share the registry's epoch for the
+    /// span timestamps to be meaningful.
+    pub fn snapshot_into(&self, recorder: &mut Recorder) {
+        for (name, c) in self.inner.counters.lock().expect("counter map").iter() {
+            recorder.add(name, c.get() as f64);
+        }
+        for (name, g) in self.inner.gauges.lock().expect("gauge map").iter() {
+            recorder.set_gauge(name, g.get());
+        }
+        for (name, h) in self.inner.histograms.lock().expect("histogram map").iter() {
+            recorder.merge_histogram(name, h.snapshot());
+        }
+        for span in self.inner.spans.lock().expect("span buffer").iter() {
+            recorder.record_span(span.stage, &span.name, span.start_ns, span.end_ns);
+        }
+        let dropped = self.inner.spans_dropped.load(Ordering::Relaxed);
+        if dropped > 0 {
+            recorder.add("spans_dropped", dropped as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_cells_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("served");
+        let b = reg.counter("served");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+        let g = reg.gauge("depth");
+        g.set(2.5);
+        assert_eq!(reg.gauge("depth").get(), 2.5);
+    }
+
+    #[test]
+    fn atomic_histogram_matches_the_plain_histogram_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        let mut plain = Histogram::new();
+        for ns in [0u64, 1, 2, 900, 1_800, 70_000, u64::MAX >> 1] {
+            h.record_ns(ns);
+            plain.record(ns as f64);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.bucket_counts(), plain.bucket_counts());
+        assert_eq!(snap.count(), plain.count());
+        assert_eq!(snap.min_ns(), plain.min_ns());
+        assert_eq!(snap.max_ns(), plain.max_ns());
+    }
+
+    #[test]
+    fn snapshot_covers_every_instrument_kind_on_the_shared_epoch() {
+        let epoch = Instant::now();
+        let reg = Registry::with_epoch(epoch);
+        reg.counter("words").add(128);
+        reg.gauge("qdepth").set(3.0);
+        reg.histogram("service_ns").record_ns(1_000);
+        reg.record_span(Stage::Generate, "refill", 10.0, 20.0);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.epoch(), epoch);
+        assert_eq!(snap.counter("words"), 128.0);
+        assert_eq!(snap.gauge("qdepth"), Some(3.0));
+        assert_eq!(snap.histogram("service_ns").unwrap().count(), 1);
+        assert_eq!(snap.spans().len(), 1);
+        assert_eq!(snap.spans()[0].name, "refill");
+
+        // A recorder on the same epoch absorbs the snapshot cleanly.
+        let mut host = Recorder::with_epoch(epoch);
+        host.record_span(Stage::App, "request", 5.0, 25.0);
+        host.absorb(reg.snapshot());
+        assert_eq!(host.spans().len(), 2);
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing() {
+        let reg = Registry::new();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let c = reg.counter("hits");
+                let h = reg.histogram("lat");
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        c.add(1);
+                        h.record_ns(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("hits").get(), threads * per_thread);
+        assert_eq!(
+            reg.histogram("lat").snapshot().count(),
+            threads * per_thread
+        );
+    }
+
+    #[test]
+    fn span_overflow_is_counted_not_stored() {
+        let reg = Registry::new();
+        for i in 0..(DEFAULT_SPAN_CAPACITY + 5) {
+            reg.record_span(Stage::App, "s", i as f64, i as f64 + 1.0);
+        }
+        assert_eq!(reg.span_count(), DEFAULT_SPAN_CAPACITY);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("spans_dropped"), 5.0);
+    }
+
+    #[test]
+    fn snapshot_histograms_satisfy_prometheus_invariants() {
+        let reg = Registry::new();
+        let h = reg.histogram("service_ns");
+        for ns in [12u64, 900, 1_800, 40_000] {
+            h.record_ns(ns);
+        }
+        let text = crate::prometheus::exposition(&reg.snapshot());
+        let exp = crate::prometheus::parse_exposition(&text).unwrap();
+        exp.validate_histograms().unwrap();
+        assert_eq!(exp.value("hprng_service_ns_count"), Some(4.0));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the histogram merge algebra.
+//!
+//! Multi-shard telemetry hinges on merging per-shard recorders in
+//! whatever order snapshots happen to arrive ([`Recorder::absorb`],
+//! registry snapshots into a shared recorder). That is only sound if
+//! the log2-histogram merge is **associative and commutative** — the
+//! merged distribution must not depend on shard enumeration order or on
+//! how intermediate merges were grouped. Samples are drawn as integer
+//! nanoseconds below 2^32 with few enough samples that the `sum_ns`
+//! `f64` additions stay exact, so equality here is bit-exact, not
+//! approximate.
+
+use hprng_telemetry::{Histogram, Recorder};
+use proptest::prelude::*;
+
+fn histogram_of(samples: &[u32]) -> Histogram {
+    let mut h = Histogram::new();
+    for &ns in samples {
+        h.record(ns as f64);
+    }
+    h
+}
+
+fn recorder_of(samples: &[u32]) -> Recorder {
+    let mut r = Recorder::new();
+    for &ns in samples {
+        r.observe("service_ns", ns as f64);
+    }
+    r
+}
+
+/// Full observable state of the one histogram under test.
+fn state(h: &Histogram) -> (Vec<u64>, u64, f64, f64, f64) {
+    (
+        h.bucket_counts().to_vec(),
+        h.count(),
+        h.sum_ns(),
+        h.min_ns(),
+        h.max_ns(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge(a, b) == merge(b, a) on every observable field.
+    #[test]
+    fn histogram_merge_is_commutative(
+        a in prop::collection::vec(any::<u32>(), 0..40),
+        b in prop::collection::vec(any::<u32>(), 0..40),
+    ) {
+        let mut ab = histogram_of(&a);
+        ab.merge(&histogram_of(&b));
+        let mut ba = histogram_of(&b);
+        ba.merge(&histogram_of(&a));
+        prop_assert_eq!(state(&ab), state(&ba));
+    }
+
+    /// (a ∪ b) ∪ c == a ∪ (b ∪ c): shard recorders can be folded in any
+    /// grouping.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in prop::collection::vec(any::<u32>(), 0..40),
+        b in prop::collection::vec(any::<u32>(), 0..40),
+        c in prop::collection::vec(any::<u32>(), 0..40),
+    ) {
+        let mut left = histogram_of(&a);
+        left.merge(&histogram_of(&b));
+        left.merge(&histogram_of(&c));
+
+        let mut bc = histogram_of(&b);
+        bc.merge(&histogram_of(&c));
+        let mut right = histogram_of(&a);
+        right.merge(&bc);
+
+        prop_assert_eq!(state(&left), state(&right));
+    }
+
+    /// The same algebra holds one level up, through `Recorder::absorb`
+    /// (the path multi-shard merges actually take), and the merged
+    /// histogram equals recording every sample into one recorder.
+    #[test]
+    fn recorder_absorb_merges_shard_histograms_order_independently(
+        shards in prop::collection::vec(
+            prop::collection::vec(any::<u32>(), 0..25), 1..6),
+        rotation in any::<u64>(),
+    ) {
+        let mut forward = Recorder::new();
+        for samples in &shards {
+            forward.absorb(recorder_of(samples));
+        }
+
+        // Any rotation + reversal of the shard order.
+        let n = shards.len();
+        let start = (rotation as usize) % n;
+        let mut shuffled = Recorder::new();
+        for i in (0..n).rev() {
+            shuffled.absorb(recorder_of(&shards[(start + i) % n]));
+        }
+
+        let mut flat = Recorder::new();
+        for samples in &shards {
+            for &ns in samples {
+                flat.observe("service_ns", ns as f64);
+            }
+        }
+
+        let get = |r: &Recorder| r.histogram("service_ns").cloned().unwrap_or_default();
+        prop_assert_eq!(state(&get(&forward)), state(&get(&shuffled)));
+        prop_assert_eq!(state(&get(&forward)), state(&get(&flat)));
+    }
+}

@@ -101,8 +101,8 @@ fn main() -> hybrid_prng::Result<()> {
     let mut recorder = Recorder::new();
     photon_pool.stats().export_into(&mut recorder);
     println!(
-        "\npool_words counter after the simulation: {}",
-        recorder.counter("pool_words")
+        "\npool_words_total counter after the simulation: {}",
+        recorder.counter(hybrid_prng::pool::names::POOL_WORDS)
     );
     Ok(())
 }

@@ -148,7 +148,7 @@ pub use hprng_monitor::{
     Alert, AlertSink, MonitorConfig, MonitorHandle, MonitorStatus, QualityMonitor,
 };
 pub use hprng_pool::{FullPolicy, Pool, PoolBuilder, PoolClient, PoolStats, SessionKind};
-pub use hprng_telemetry::{Recorder, Stage, WordTap};
+pub use hprng_telemetry::{Counter, Gauge, HistogramHandle, Recorder, Registry, Stage, WordTap};
 
 /// The facade-wide error hierarchy.
 ///
@@ -227,7 +227,7 @@ pub mod prelude {
     pub use hprng_gpu_sim::DeviceConfig;
     pub use hprng_monitor::{AlertSink, MonitorConfig, MonitorHandle};
     pub use hprng_pool::{FullPolicy, Pool, PoolBuilder, PoolClient, PoolStats, SessionKind};
-    pub use hprng_telemetry::{Recorder, WordTap};
+    pub use hprng_telemetry::{Recorder, Registry, WordTap};
     pub use rand_core::{RngCore, SeedableRng};
 }
 
