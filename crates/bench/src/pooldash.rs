@@ -121,8 +121,17 @@ pub fn render_frame(cfg: &PoolDashConfig, snap: &Recorder, served: u64, secs: f6
         "replays",
         "words"
     );
-    let quant = |name: &str, q: f64| snap.histogram(name).map_or(0.0, |h| h.quantile_ns(q));
-    let us = |ns: f64| format!("{:.1}µs", ns / 1_000.0);
+    // A shard that traced no requests has missing or empty histograms;
+    // its quantiles are undefined, shown as `-` rather than a NaN.
+    let quant = |name: &str, q: f64| {
+        snap.histogram(name)
+            .filter(|h| h.count() > 0)
+            .map(|h| h.quantile_ns(q))
+    };
+    let us = |ns: Option<f64>| match ns {
+        Some(ns) => format!("{:.1}µs", ns / 1_000.0),
+        None => "-".to_string(),
+    };
     for shard in 0..cfg.shards.max(1) {
         let depth = snap.gauge(&names::shard_queue_depth(shard)).unwrap_or(0.0);
         let occ = snap
@@ -267,6 +276,20 @@ mod tests {
         assert!(frame.contains("svc p50"), "{frame}");
         assert!(frame.contains("µs"), "{frame}");
         // One header block plus one row per shard.
+        assert_eq!(frame.lines().count(), 3 + cfg.shards, "{frame}");
+    }
+
+    #[test]
+    fn frame_shows_dash_not_nan_for_untraced_shards() {
+        // A snapshot with no request histograms at all — e.g. a shard
+        // that never saw traffic — must render `-`, never `NaN`.
+        let cfg = quick();
+        let empty = Recorder::new();
+        let frame = render_frame(&cfg, &empty, 0, 1.0);
+        assert!(!frame.contains("NaN"), "{frame}");
+        for line in frame.lines().skip(3) {
+            assert!(line.contains('-'), "untraced shard row lacks `-`: {line}");
+        }
         assert_eq!(frame.lines().count(), 3 + cfg.shards, "{frame}");
     }
 

@@ -25,6 +25,7 @@ use crate::pipeline::feed::BitFeed;
 use crate::pipeline::ring::{self, RingReceiver};
 use hprng_gpu_sim::{Resource, Timeline};
 use hprng_telemetry::{Recorder, Stage, WordTap};
+use hprng_transport::BlockPool;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -77,18 +78,24 @@ struct FeedWorker {
     /// FEED spans recorded by the producer thread, on the same epoch as
     /// the engine recorder so merged traces share one clock.
     recorder: Arc<Mutex<Recorder>>,
+    /// Block arena shared with the producer: drained blocks go back here
+    /// instead of to the allocator, so steady state recycles the same
+    /// `PING_PONG_SLOTS + 1` allocations forever.
+    blocks: Arc<BlockPool>,
 }
 
 impl FeedWorker {
     fn spawn(mut feed: Box<dyn BitFeed>, epoch: Instant) -> Self {
         let recorder = Arc::new(Mutex::new(Recorder::with_epoch(epoch)));
+        let blocks = Arc::new(BlockPool::new(RING_BLOCK_WORDS, ring::PING_PONG_SLOTS + 1));
         let (tx, rx) = ring::ping_pong::<Vec<u64>>();
         let worker_recorder = Arc::clone(&recorder);
+        let worker_blocks = Arc::clone(&blocks);
         let join = std::thread::Builder::new()
             .name("hprng-feed".into())
             .spawn(move || loop {
                 let token = lock(&worker_recorder).start_span(Stage::Feed, "feed_block");
-                let mut block = vec![0u64; RING_BLOCK_WORDS];
+                let mut block = worker_blocks.checkout_zeroed(RING_BLOCK_WORDS);
                 feed.fill(&mut block);
                 {
                     let mut rec = lock(&worker_recorder);
@@ -108,6 +115,7 @@ impl FeedWorker {
             cursor: 0,
             join: Some(join),
             recorder,
+            blocks,
         }
     }
 }
@@ -235,7 +243,12 @@ impl<B: Backend> Engine<B> {
                     if w.cursor == w.pending.len() {
                         match w.rx.as_ref().and_then(RingReceiver::recv) {
                             Some(block) => {
-                                w.pending = block;
+                                let drained = std::mem::replace(&mut w.pending, block);
+                                if drained.capacity() > 0 {
+                                    // Recycle the drained block to the feeder
+                                    // instead of the allocator.
+                                    w.blocks.give_back(drained);
+                                }
                                 w.cursor = 0;
                             }
                             None => return Err(HprngError::FeedDisconnected),

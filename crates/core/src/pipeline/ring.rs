@@ -3,255 +3,51 @@
 //!
 //! The paper overlaps FEED and GENERATE by double-buffering bit batches
 //! over PCIe (§IV-A, Figure 4): while the device walks iteration `k`, the
-//! host fills the other buffer with the bits for `k+1`. This module models
-//! that with a two-slot SPSC channel — capacity 2 is exactly the ping-pong
-//! pair — providing:
+//! host fills the other buffer with the bits for `k+1`. The two-slot
+//! channel modeling that pair — and the backpressure, clean-shutdown, and
+//! panic-safety protocol around it — now lives in
+//! [`hprng_transport::ring`], where the sharded pool shares the exact same
+//! implementation for its request queues. This module is the pipeline's
+//! thin alias over it: same types, same semantics, one set of stress
+//! tests (`hprng-transport/tests/stress.rs`).
 //!
-//! * **backpressure**: [`RingSender::send`] blocks while both slots are
-//!   occupied, so the producer can run at most two batches ahead (bounded
-//!   memory, just like the real double buffer);
-//! * **clean shutdown**: dropping either half wakes the other. A producer
-//!   whose consumer went away gets its value back as
-//!   [`SendError`]; a consumer whose producer exited (including by panic,
-//!   which unwinds through the sender's `Drop`) drains the remaining slots
-//!   and then sees `None`.
-//!
-//! Built on `std::sync::{Mutex, Condvar}` only — the crate forbids unsafe
-//! code, and a two-slot queue has no throughput to win from lock-free
-//! cleverness: the payload is a multi-kilobyte bit block, not a pointer.
+//! The engine golden suite pins that the transport swap is invisible:
+//! Concurrent mode remains bit-identical to Synchronous.
 
-use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-
-/// The two-slot capacity of the ping-pong pair.
-pub const PING_PONG_SLOTS: usize = 2;
-
-/// The value a [`RingSender::send`] could not deliver because the consumer
-/// was dropped.
-#[derive(Debug, PartialEq, Eq)]
-pub struct SendError<T>(pub T);
-
-struct Shared<T> {
-    inner: Mutex<Inner<T>>,
-    /// Signalled when a slot frees up or the consumer goes away.
-    not_full: Condvar,
-    /// Signalled when a slot fills up or the producer goes away.
-    not_empty: Condvar,
-}
-
-struct Inner<T> {
-    slots: VecDeque<T>,
-    capacity: usize,
-    producer_alive: bool,
-    consumer_alive: bool,
-}
-
-fn lock<T>(shared: &Shared<T>) -> MutexGuard<'_, Inner<T>> {
-    // A poisoned lock means a peer panicked while holding it; the queue
-    // state is still structurally valid (VecDeque operations are
-    // panic-safe), so shutdown can proceed.
-    shared.inner.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Producer half of the ring. Single-owner: the FEED thread.
-pub struct RingSender<T> {
-    shared: Arc<Shared<T>>,
-}
-
-/// Consumer half of the ring. Single-owner: the engine thread.
-pub struct RingReceiver<T> {
-    shared: Arc<Shared<T>>,
-}
-
-/// Creates the paper-shaped two-slot ping-pong ring.
-pub fn ping_pong<T>() -> (RingSender<T>, RingReceiver<T>) {
-    with_capacity(PING_PONG_SLOTS)
-}
+pub use hprng_transport::ring::{ping_pong, RingReceiver, RingSender, SendError, PING_PONG_SLOTS};
 
 /// Creates a ring with an explicit slot count (tests use 1 to force
-/// immediate backpressure).
+/// immediate backpressure). Alias for [`hprng_transport::ring::bounded`],
+/// kept under the pipeline's historical name.
 ///
 /// # Panics
 /// Panics if `capacity` is zero — a rendezvous channel cannot model a
 /// double buffer.
 pub fn with_capacity<T>(capacity: usize) -> (RingSender<T>, RingReceiver<T>) {
-    assert!(capacity > 0, "ring capacity must be positive");
-    let shared = Arc::new(Shared {
-        inner: Mutex::new(Inner {
-            slots: VecDeque::with_capacity(capacity),
-            capacity,
-            producer_alive: true,
-            consumer_alive: true,
-        }),
-        not_full: Condvar::new(),
-        not_empty: Condvar::new(),
-    });
-    (
-        RingSender {
-            shared: Arc::clone(&shared),
-        },
-        RingReceiver { shared },
-    )
-}
-
-impl<T> RingSender<T> {
-    /// Delivers one block, blocking while both slots are occupied
-    /// (backpressure). Returns the block if the consumer is gone.
-    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        let mut inner = lock(&self.shared);
-        while inner.slots.len() == inner.capacity && inner.consumer_alive {
-            inner = self
-                .shared
-                .not_full
-                .wait(inner)
-                .unwrap_or_else(PoisonError::into_inner);
-        }
-        if !inner.consumer_alive {
-            return Err(SendError(value));
-        }
-        inner.slots.push_back(value);
-        drop(inner);
-        self.shared.not_empty.notify_one();
-        Ok(())
-    }
-
-    /// Non-blocking probe: `true` if a send would currently block.
-    pub fn is_full(&self) -> bool {
-        let inner = lock(&self.shared);
-        inner.slots.len() == inner.capacity
-    }
-}
-
-impl<T> RingReceiver<T> {
-    /// Takes the oldest block, blocking while the ring is empty and the
-    /// producer is alive. `None` means the producer is gone *and* every
-    /// in-flight block has been drained — the clean end-of-stream.
-    pub fn recv(&self) -> Option<T> {
-        let mut inner = lock(&self.shared);
-        while inner.slots.is_empty() && inner.producer_alive {
-            inner = self
-                .shared
-                .not_empty
-                .wait(inner)
-                .unwrap_or_else(PoisonError::into_inner);
-        }
-        let value = inner.slots.pop_front();
-        drop(inner);
-        if value.is_some() {
-            self.shared.not_full.notify_one();
-        }
-        value
-    }
-
-    /// Blocks currently queued, for tests and introspection.
-    pub fn len(&self) -> usize {
-        lock(&self.shared).slots.len()
-    }
-
-    /// Whether no block is currently queued.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
-impl<T> Drop for RingSender<T> {
-    fn drop(&mut self) {
-        lock(&self.shared).producer_alive = false;
-        self.shared.not_empty.notify_all();
-    }
-}
-
-impl<T> Drop for RingReceiver<T> {
-    fn drop(&mut self) {
-        lock(&self.shared).consumer_alive = false;
-        self.shared.not_full.notify_all();
-    }
+    hprng_transport::ring::bounded(capacity)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::thread;
-    use std::time::Duration;
 
+    // The ring's behavioral suite (ordering, backpressure, shutdown,
+    // panic-safety, MPSC) lives with the implementation in
+    // hprng-transport. This smoke test only pins that the alias wires up
+    // the same types under the pipeline's names.
     #[test]
-    fn delivers_in_order() {
-        let (tx, rx) = ping_pong();
-        let producer = thread::spawn(move || {
-            for i in 0..100u64 {
-                tx.send(i).unwrap();
-            }
-        });
-        for i in 0..100u64 {
-            assert_eq!(rx.recv(), Some(i));
-        }
-        assert_eq!(rx.recv(), None); // producer dropped after the loop
-        producer.join().unwrap();
-    }
-
-    #[test]
-    fn producer_blocks_on_full_ring() {
-        let (tx, rx) = ping_pong::<u64>();
-        tx.send(1).unwrap();
-        tx.send(2).unwrap();
-        assert!(tx.is_full());
-        let progressed = Arc::new(AtomicUsize::new(0));
-        let flag = Arc::clone(&progressed);
-        let producer = thread::spawn(move || {
-            tx.send(3).unwrap(); // must block until a recv frees a slot
-            flag.store(1, Ordering::SeqCst);
-        });
-        thread::sleep(Duration::from_millis(30));
-        assert_eq!(
-            progressed.load(Ordering::SeqCst),
-            0,
-            "send did not backpressure on a full ring"
-        );
-        assert_eq!(rx.recv(), Some(1));
-        producer.join().unwrap();
-        assert_eq!(progressed.load(Ordering::SeqCst), 1);
-        assert_eq!(rx.recv(), Some(2));
-        assert_eq!(rx.recv(), Some(3));
-    }
-
-    #[test]
-    fn dropping_receiver_unblocks_producer_with_its_value() {
-        let (tx, rx) = with_capacity::<u64>(1);
+    fn alias_round_trips_blocks() {
+        let (tx, rx) = with_capacity::<u64>(PING_PONG_SLOTS);
         tx.send(7).unwrap();
-        let producer = thread::spawn(move || tx.send(8)); // blocked: full
-        thread::sleep(Duration::from_millis(20));
-        drop(rx);
-        assert_eq!(producer.join().unwrap(), Err(SendError(8)));
-    }
-
-    #[test]
-    fn dropping_sender_drains_then_ends_stream() {
-        let (tx, rx) = ping_pong::<u64>();
-        tx.send(1).unwrap();
-        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Some(7));
         drop(tx);
-        assert_eq!(rx.recv(), Some(1));
-        assert_eq!(rx.recv(), Some(2));
         assert_eq!(rx.recv(), None);
-        assert_eq!(rx.recv(), None); // stays closed
     }
 
     #[test]
-    fn producer_panic_ends_stream_cleanly() {
+    fn alias_reports_consumer_loss() {
         let (tx, rx) = ping_pong::<u64>();
-        let producer = thread::spawn(move || {
-            tx.send(1).unwrap();
-            panic!("feeder died");
-        });
-        assert_eq!(rx.recv(), Some(1));
-        assert_eq!(rx.recv(), None); // sender dropped during unwind
-        assert!(producer.join().is_err());
-    }
-
-    #[test]
-    #[should_panic(expected = "capacity must be positive")]
-    fn zero_capacity_rejected() {
-        let _ = with_capacity::<u64>(0);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
     }
 }

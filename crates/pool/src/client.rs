@@ -1,13 +1,16 @@
 //! The client handle: a double-buffered, allocation-free view of one
 //! deterministic lane of the pool.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use hprng_baselines::SplitMix64;
 use hprng_core::{HprngError, OnDemandRng, ScalarRng};
 use hprng_telemetry::{Stage, WordTap};
+use hprng_transport::{
+    BlockPool, Disconnect, RecvTimeoutError, RingReceiver, RingSender, ShutdownFlag, TryRecvError,
+    TrySendError,
+};
 
 use crate::config::FullPolicy;
 use crate::obs::ShardObs;
@@ -18,7 +21,7 @@ use crate::shard::{Reply, Request, ShardMetrics};
 const DEGRADE_SALT: u64 = 0xD15E_A5ED_FA11_BACC;
 
 enum Acquired {
-    /// The front buffer holds fresh words.
+    /// The front block holds fresh words.
     Front,
     /// No refill available; serve from the inline fallback generator.
     Fallback,
@@ -28,11 +31,12 @@ enum Acquired {
 ///
 /// The stream this handle serves is a pure function of the pool seed, the
 /// session kind, and `id` — never of the shard count, the shard the
-/// client landed on, or how other clients interleave. Two prefetch
-/// buffers circulate between the client and its shard, so the hot path
-/// ([`PoolClient::try_next_u64`], [`PoolClient::fill_words`]) is a slice
-/// copy with no allocation; buffers are recycled through
-/// refill requests.
+/// client landed on, or how other clients interleave. Prefetch blocks
+/// circulate between the client and its shard through the shard's
+/// [`BlockPool`] arena, so the hot path ([`PoolClient::try_next_u64`],
+/// [`PoolClient::fill_words`]) is a slice copy with no allocation:
+/// drained blocks go back to the arena and refills are checked out of it
+/// shard-side.
 ///
 /// Under [`FullPolicy::Degrade`] the determinism guarantee is
 /// deliberately traded away while the shard is behind — see
@@ -42,18 +46,23 @@ pub struct PoolClient {
     shard: usize,
     lanes: usize,
     policy: FullPolicy,
-    tx: SyncSender<Request>,
-    rx: Receiver<Reply>,
+    tx: RingSender<Request>,
+    rx: RingReceiver<Reply>,
+    /// The shard's block arena: drained front blocks and the drained
+    /// replay stash are given back here instead of to the allocator.
+    blocks: Arc<BlockPool>,
     front: Vec<u64>,
     pos: usize,
-    /// Exhausted buffers whose refill request did not fit the shard queue
-    /// yet (non-blocking policies only). At most two buffers exist.
-    pending: Vec<Vec<u64>>,
+    /// Refill requests owed to the shard but not yet enqueued (the ring
+    /// was full under a non-blocking policy). At most two are ever owed.
+    pending_refills: usize,
     /// Words copied out by a request that then failed mid-way (a
     /// [`FullPolicy::TryFor`] stall across a refill boundary). Their
-    /// source buffer may already be recycled, so they are staged here and
-    /// re-served before the front buffer — a failed request therefore
-    /// never drops words from the stream.
+    /// source block may already be recycled, so they are staged here and
+    /// re-served before the front block — a failed request therefore
+    /// never drops words from the stream. The stash is an arena checkout,
+    /// returned (and thereby capped/shrunk) as soon as it drains, so a
+    /// large failed request cannot pin its peak capacity.
     replay: Vec<u64>,
     replay_pos: usize,
     fallback: ScalarRng<SplitMix64>,
@@ -61,7 +70,7 @@ pub struct PoolClient {
     failed: Option<HprngError>,
     served: u64,
     degraded: u64,
-    /// Words delivered from the session stream (prefetch buffers and
+    /// Words delivered from the session stream (prefetch blocks and
     /// replay stash, never the fallback). For a live client,
     /// `session_served + degraded == served` after every successful
     /// request — rolled back on failure so replay re-serves are not
@@ -71,7 +80,7 @@ pub struct PoolClient {
     /// 1-in-N span sampling gate.
     requests: u64,
     tap: Option<Box<dyn WordTap>>,
-    shutdown: Arc<AtomicBool>,
+    shutdown: ShutdownFlag,
     metrics: Arc<ShardMetrics>,
     obs: Option<Arc<ShardObs>>,
 }
@@ -84,9 +93,10 @@ impl PoolClient {
         lanes: usize,
         lane_seed: u64,
         policy: FullPolicy,
-        tx: SyncSender<Request>,
-        rx: Receiver<Reply>,
-        shutdown: Arc<AtomicBool>,
+        tx: RingSender<Request>,
+        rx: RingReceiver<Reply>,
+        blocks: Arc<BlockPool>,
+        shutdown: ShutdownFlag,
         metrics: Arc<ShardMetrics>,
         obs: Option<Arc<ShardObs>>,
     ) -> Self {
@@ -97,9 +107,10 @@ impl PoolClient {
             policy,
             tx,
             rx,
+            blocks,
             front: Vec::new(),
             pos: 0,
-            pending: Vec::new(),
+            pending_refills: 0,
             replay: Vec::new(),
             replay_pos: 0,
             fallback: ScalarRng::labeled(SplitMix64::new(lane_seed ^ DEGRADE_SALT), "pool-degrade"),
@@ -135,7 +146,7 @@ impl PoolClient {
     }
 
     /// Words served from the client's shard-side session stream
-    /// (prefetch buffers, including replay-stash re-serves; never the
+    /// (prefetch blocks, including replay-stash re-serves; never the
     /// fallback generator). Every delivered word has exactly one
     /// provenance, so for a live client
     /// `session_words() + degraded_words() ==`
@@ -145,7 +156,7 @@ impl PoolClient {
     }
 
     /// The next word of this client's stream. Allocation-free: served
-    /// from the prefetch cache, which refills through recycled buffers.
+    /// from the prefetch cache, which refills through arena blocks.
     pub fn try_next_u64(&mut self) -> Result<u64, HprngError> {
         if let Some(e) = &self.failed {
             return Err(e.clone());
@@ -203,7 +214,7 @@ impl PoolClient {
         let mut filled = 0;
         while filled < out.len() {
             // Words stranded by an earlier failed request come first —
-            // they precede the front buffer in the stream.
+            // they precede the front block in the stream.
             if self.replay_pos < self.replay.len() {
                 let take = (out.len() - filled).min(self.replay.len() - self.replay_pos);
                 out[filled..filled + take]
@@ -218,7 +229,13 @@ impl PoolClient {
                     o.replays.add(1);
                 }
                 if self.replay_pos == self.replay.len() {
-                    self.replay.clear();
+                    // Drained: the stash goes back to the arena, which
+                    // caps and shrinks it, so a peak-sized failed request
+                    // does not retain its capacity here forever.
+                    let stash = std::mem::take(&mut self.replay);
+                    if stash.capacity() > 0 {
+                        self.blocks.give_back(stash);
+                    }
                     self.replay_pos = 0;
                 }
                 continue;
@@ -247,13 +264,15 @@ impl PoolClient {
                     filled += 1;
                 }
                 Err(e) => {
-                    // The words already copied came from buffers that may
+                    // The words already copied came from blocks that may
                     // now be recycled; stage them so the next request
                     // re-serves them (the caller must treat `out` as
                     // unwritten on error). `replay` is empty here —
                     // `acquire` is only reached once it has drained.
                     if filled > 0 {
-                        self.replay.extend_from_slice(&out[..filled]);
+                        let mut stash = self.blocks.checkout();
+                        stash.extend_from_slice(&out[..filled]);
+                        self.replay = stash;
                     }
                     self.session_served = session0;
                     self.degraded = degraded0;
@@ -290,26 +309,23 @@ impl PoolClient {
         Ok(())
     }
 
-    /// Obtains a refilled front buffer (or a fallback verdict) after the
+    /// Obtains a refilled front block (or a fallback verdict) after the
     /// current front ran dry.
     fn acquire(&mut self) -> Result<Acquired, HprngError> {
         if self.degraded_forever {
             return Ok(Acquired::Fallback);
         }
-        // Recycle the exhausted front into a refill request. The initial
-        // placeholder (capacity 0; the real buffers start shard-side) is
-        // not a buffer and must not become one.
+        // Return the exhausted front to the arena and owe the shard one
+        // refill for it. The initial placeholder (capacity 0; the real
+        // blocks start shard-side) is not a block and must not become one.
         let old = std::mem::take(&mut self.front);
         self.pos = 0;
         if old.capacity() > 0 {
-            self.pending.push(old);
+            self.blocks.give_back(old);
+            self.pending_refills += 1;
         }
         self.flush_pending()?;
         match self.policy {
-            FullPolicy::Block => match self.rx.recv() {
-                Ok(reply) => self.install(reply),
-                Err(_) => Err(self.fail_disconnected()),
-            },
             FullPolicy::TryFor(patience) => match self.rx.recv_timeout(patience) {
                 Ok(reply) => self.install(reply),
                 // The refill stays in flight; the next call retries.
@@ -324,16 +340,20 @@ impl PoolClient {
             FullPolicy::Degrade => match self.rx.try_recv() {
                 Ok(reply) => self.install(reply).map(|_| Acquired::Front),
                 Err(TryRecvError::Empty) => Ok(Acquired::Fallback),
-                Err(TryRecvError::Disconnected) => {
-                    if self.shutdown.load(Ordering::Acquire) {
-                        Err(self.fail(HprngError::PoolShutdown))
-                    } else {
-                        // Poisoned shard: stay available on the fallback
-                        // stream for good.
+                Err(TryRecvError::Disconnected) => match self.shutdown.classify_disconnect() {
+                    Disconnect::Shutdown => Err(self.fail(HprngError::PoolShutdown)),
+                    // Poisoned shard: stay available on the fallback
+                    // stream for good.
+                    Disconnect::Poisoned => {
                         self.degraded_forever = true;
                         Ok(Acquired::Fallback)
                     }
-                }
+                },
+            },
+            // Block — and any future policy, which waits by default.
+            _ => match self.rx.recv() {
+                Some(reply) => self.install(reply),
+                None => Err(self.fail_disconnected()),
             },
         }
     }
@@ -351,50 +371,32 @@ impl PoolClient {
         }
     }
 
-    /// Pushes stashed refill requests into the shard queue. Blocking
-    /// policy waits for space; the others leave what does not fit for the
-    /// next call.
+    /// Pushes owed refill requests into the shard's request ring.
+    /// Blocking policy waits for space; the others leave what does not
+    /// fit for the next call.
     fn flush_pending(&mut self) -> Result<(), HprngError> {
-        while let Some(buf) = self.pending.pop() {
+        while self.pending_refills > 0 {
             let request = Request::Refill {
                 client: self.id,
-                buf,
                 enqueued_ns: self.obs.as_ref().map_or(f64::NAN, |o| o.now_ns()),
             };
-            // Count the request before it can be dequeued (the worker
-            // may grab it the instant the send lands); roll back on any
-            // send that doesn't.
-            if let Some(o) = &self.obs {
-                o.enqueued();
-            }
             match self.policy {
-                FullPolicy::Block => {
+                FullPolicy::TryFor(_) | FullPolicy::Degrade => match self.tx.try_send(request) {
+                    Ok(()) => self.pending_refills -= 1,
+                    Err(TrySendError::Full(_)) => return Ok(()),
+                    // Let the receive path classify the disconnect
+                    // (buffered replies may still be drainable); the owed
+                    // refill can never be served, but the client is about
+                    // to fail or degrade for good anyway.
+                    Err(TrySendError::Disconnected(_)) => return Ok(()),
+                },
+                // Block — and any future policy, which waits by default.
+                _ => {
                     if self.tx.send(request).is_err() {
-                        if let Some(o) = &self.obs {
-                            o.dequeued();
-                        }
                         return Err(self.fail_disconnected());
                     }
+                    self.pending_refills -= 1;
                 }
-                FullPolicy::TryFor(_) | FullPolicy::Degrade => match self.tx.try_send(request) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(Request::Refill { buf, .. })) => {
-                        if let Some(o) = &self.obs {
-                            o.dequeued();
-                        }
-                        self.pending.push(buf);
-                        return Ok(());
-                    }
-                    Err(TrySendError::Full(_)) => unreachable!("refill came back as refill"),
-                    // Let the receive path classify the disconnect
-                    // (buffered replies may still be drainable).
-                    Err(TrySendError::Disconnected(_)) => {
-                        if let Some(o) = &self.obs {
-                            o.dequeued();
-                        }
-                        return Ok(());
-                    }
-                },
             }
         }
         Ok(())
@@ -406,10 +408,9 @@ impl PoolClient {
     }
 
     fn fail_disconnected(&mut self) -> HprngError {
-        let e = if self.shutdown.load(Ordering::Acquire) {
-            HprngError::PoolShutdown
-        } else {
-            HprngError::ShardPoisoned { shard: self.shard }
+        let e = match self.shutdown.classify_disconnect() {
+            Disconnect::Shutdown => HprngError::PoolShutdown,
+            Disconnect::Poisoned => HprngError::ShardPoisoned { shard: self.shard },
         };
         self.fail(e)
     }
@@ -452,6 +453,16 @@ impl OnDemandRng for PoolClient {
 
 impl Drop for PoolClient {
     fn drop(&mut self) {
+        // Hand cached blocks back to the arena so a churned client
+        // leaves nothing for the allocator.
+        let front = std::mem::take(&mut self.front);
+        if front.capacity() > 0 {
+            self.blocks.give_back(front);
+        }
+        let replay = std::mem::take(&mut self.replay);
+        if replay.capacity() > 0 {
+            self.blocks.give_back(replay);
+        }
         // Best-effort: free the shard-side session. A dead shard returns
         // an error we ignore; a full queue drains because the worker
         // always makes progress.

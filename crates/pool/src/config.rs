@@ -2,7 +2,6 @@
 //! per-client session recipe.
 
 use std::sync::Arc;
-use std::time::Duration;
 
 use hprng_core::pipeline::RING_BLOCK_WORDS;
 use hprng_core::{
@@ -14,33 +13,23 @@ use hprng_gpu_sim::DeviceConfig;
 use crate::pool::Pool;
 
 /// What a [`crate::PoolClient`] does when its shard cannot hand back a
-/// refilled prefetch buffer immediately (the shard's request queue is
+/// refilled prefetch block immediately (the shard's request queue is
 /// full, or the refill has not completed yet).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum FullPolicy {
-    /// Wait for the refill, however long it takes. The client stream stays
-    /// bit-reproducible; latency absorbs the backpressure. This is the
-    /// default.
-    #[default]
-    Block,
-    /// Wait up to the given patience, then fail the request with
-    /// [`HprngError::ShardStalled`]. The refill stays in flight: the next
-    /// request on the same client retries the receive, so a stalled client
-    /// recovers as soon as its shard catches up. The stream stays
-    /// bit-reproducible: a failed request delivers no words, and any words
-    /// the stall caught mid-request are staged client-side and re-served
-    /// by the next request.
-    TryFor(Duration),
-    /// Never wait: serve the request inline from a per-client scalar
-    /// fallback generator (`SplitMix64` under the client's lane seed) until
-    /// the refill arrives, then resume the session stream where it left
-    /// off. Availability over reproducibility — the served stream becomes
-    /// an interleaving of the session stream and fallback words that
-    /// depends on timing. Fallback words are counted in
-    /// [`crate::PoolClient::degraded_words`] and the pool stats.
-    Degrade,
-}
+///
+/// This is the workspace-wide [`hprng_transport::Backpressure`] policy,
+/// re-exported under the pool's historical name. Pool-specific behavior
+/// of each variant:
+///
+/// * [`FullPolicy::Block`] — wait for the refill; the stream stays
+///   bit-reproducible, latency absorbs the backpressure (default).
+/// * [`FullPolicy::TryFor`] — wait up to the patience, then fail with
+///   [`HprngError::ShardStalled`]. The refill stays in flight and words a
+///   stall caught mid-request are staged client-side and re-served by
+///   the next request, so retrying resumes the stream without a gap.
+/// * [`FullPolicy::Degrade`] — serve inline from a per-client salted
+///   `SplitMix64` fallback until the refill arrives; fallback words are
+///   counted in [`crate::PoolClient::degraded_words`] and the pool stats.
+pub use hprng_transport::Backpressure as FullPolicy;
 
 /// A user-supplied session recipe: maps a client's 64-bit lane seed to the
 /// generator that serves its stream inside the shard worker.

@@ -17,14 +17,18 @@
 //! shard count changes throughput, never a single bit of any client's
 //! stream.
 //!
-//! Flow control is explicit: each client circulates two prefetch buffers
-//! with its shard over a bounded request queue, and [`FullPolicy`] picks
-//! what happens when the shard falls behind — wait ([`FullPolicy::Block`]),
-//! fail fast with [`hprng_core::HprngError::ShardStalled`]
-//! ([`FullPolicy::TryFor`]), or degrade to an inline scalar generator
-//! ([`FullPolicy::Degrade`]). A worker panic poisons only its own shard
-//! (mirroring the pipeline ring's poisoning discipline); peers keep
-//! serving, and [`Pool::stats`] reports the casualty.
+//! Flow control is explicit and built on the workspace transport layer
+//! (`hprng-transport`): each shard's request queue is a bounded
+//! [`hprng_transport::BlockRing`] (clients clone the sender), prefetch
+//! blocks circulate through a per-shard [`hprng_transport::BlockPool`]
+//! arena instead of the allocator, and [`FullPolicy`] — the pool's name
+//! for [`hprng_transport::Backpressure`] — picks what happens when the
+//! shard falls behind: wait ([`FullPolicy::Block`]), fail fast with
+//! [`hprng_core::HprngError::ShardStalled`] ([`FullPolicy::TryFor`]), or
+//! degrade to an inline scalar generator ([`FullPolicy::Degrade`]). A
+//! worker panic poisons only its own shard (the transport
+//! [`hprng_transport::PoisonGuard`] discipline, shared with the pipeline
+//! ring); peers keep serving, and [`Pool::stats`] reports the casualty.
 //!
 //! Request-path observability is built in: [`PoolBuilder::tracing`]
 //! turns on per-shard queue-depth/occupancy gauges, enqueue-wait /

@@ -8,10 +8,16 @@
 //! (the same gate discipline as the quality monitor), so the only
 //! allocating work — formatting a span name — happens on a small,
 //! configurable fraction of requests.
-
-use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! Queue depth and occupancy are transport-level instruments: each
+//! shard's request ring is built with
+//! [`hprng_transport::RingInstruments`] over the gauges registered
+//! here, so the exported depth is exact (updated inside the ring lock on
+//! every send and receive) rather than tracked by a racy external
+//! counter.
 
 use hprng_telemetry::{Counter, Gauge, HistogramHandle, Registry};
+use hprng_transport::RingInstruments;
 
 /// The canonical metric names of the pool, shared by
 /// [`crate::PoolStats::export_into`] and the tracing registry so a
@@ -22,9 +28,9 @@ use hprng_telemetry::{Counter, Gauge, HistogramHandle, Registry};
 /// [`hprng_telemetry::prometheus::METRIC_PREFIX`], so e.g.
 /// [`POOL_WORDS`] scrapes as `hprng_pool_words_total`.
 pub mod names {
-    /// Prefetch-buffer refills served, pool-wide (counter).
+    /// Prefetch-block refills served, pool-wide (counter).
     pub const POOL_REFILLS: &str = "pool_refills_total";
-    /// Words produced into prefetch buffers, pool-wide (counter).
+    /// Words produced into prefetch blocks, pool-wide (counter).
     pub const POOL_WORDS: &str = "pool_words_total";
     /// Refills failed with a session error, pool-wide (counter).
     pub const POOL_ERRORS: &str = "pool_errors_total";
@@ -37,7 +43,7 @@ pub mod names {
     /// Shards whose worker died by panic (gauge).
     pub const POOL_POISONED_SHARDS: &str = "pool_poisoned_shards";
 
-    /// Refill requests currently in shard `shard`'s queue (gauge).
+    /// Requests currently in shard `shard`'s request ring (gauge).
     pub fn shard_queue_depth(shard: usize) -> String {
         format!("pool_shard{shard}_queue_depth")
     }
@@ -84,7 +90,7 @@ pub mod names {
     }
 
     /// Session-stream words shard `shard`'s worker produced into
-    /// prefetch buffers (counter).
+    /// prefetch blocks (counter).
     pub fn shard_words(shard: usize) -> String {
         format!("pool_shard{shard}_words_total")
     }
@@ -99,10 +105,10 @@ pub(crate) struct PoolObs {
 }
 
 impl PoolObs {
-    pub fn new(shards: usize, sample_every: u64, queue_capacity: usize) -> Self {
+    pub fn new(shards: usize, sample_every: u64) -> Self {
         let registry = Registry::new();
         let shards = (0..shards)
-            .map(|i| std::sync::Arc::new(ShardObs::new(&registry, i, sample_every, queue_capacity)))
+            .map(|i| std::sync::Arc::new(ShardObs::new(&registry, i, sample_every)))
             .collect();
         Self { registry, shards }
     }
@@ -115,10 +121,6 @@ pub(crate) struct ShardObs {
     /// Span sampling gate: 1-in-`sample_every` requests / refills emit
     /// a span (histograms and counters always record — they are cheap).
     pub sample_every: u64,
-    queue_capacity: usize,
-    /// Refill requests currently sitting in the shard queue
-    /// (incremented on send, decremented on worker dequeue).
-    inflight: AtomicU64,
     queue_depth: Gauge,
     queue_occupancy: Gauge,
     pub enqueue_wait_ns: HistogramHandle,
@@ -131,12 +133,10 @@ pub(crate) struct ShardObs {
 }
 
 impl ShardObs {
-    fn new(registry: &Registry, shard: usize, sample_every: u64, queue_capacity: usize) -> Self {
+    fn new(registry: &Registry, shard: usize, sample_every: u64) -> Self {
         Self {
             registry: registry.clone(),
             sample_every: sample_every.max(1),
-            queue_capacity: queue_capacity.max(1),
-            inflight: AtomicU64::new(0),
             queue_depth: registry.gauge(&names::shard_queue_depth(shard)),
             queue_occupancy: registry.gauge(&names::shard_queue_occupancy(shard)),
             enqueue_wait_ns: registry.histogram(&names::shard_enqueue_wait_ns(shard)),
@@ -159,34 +159,13 @@ impl ShardObs {
         self.registry.record_span(stage, name, start, end);
     }
 
-    /// A refill request is entering the shard queue. Callers increment
-    /// *before* the send (and roll back with [`Self::dequeued`] if the
-    /// send fails): the worker may dequeue the instant the send lands,
-    /// and a decrement racing ahead of its increment would wrap the
-    /// depth below zero.
-    pub fn enqueued(&self) {
-        let n = self
-            .inflight
-            .fetch_add(1, Ordering::Relaxed)
-            .saturating_add(1);
-        self.set_queue_gauges(n);
-    }
-
-    /// The worker dequeued a refill request (or a failed send rolled its
-    /// reservation back). Saturates at zero so the gauge can never wrap.
-    pub fn dequeued(&self) {
-        let prev = self
-            .inflight
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
-                Some(v.saturating_sub(1))
-            })
-            .unwrap_or(0);
-        self.set_queue_gauges(prev.saturating_sub(1));
-    }
-
-    fn set_queue_gauges(&self, depth: u64) {
-        self.queue_depth.set(depth as f64);
-        self.queue_occupancy
-            .set(depth as f64 / self.queue_capacity as f64);
+    /// The queue gauges, packaged for
+    /// [`hprng_transport::ring::bounded_instrumented`] — the shard's
+    /// request ring updates them exactly, under its own lock.
+    pub fn ring_instruments(&self) -> RingInstruments {
+        RingInstruments {
+            depth: self.queue_depth.clone(),
+            occupancy: self.queue_occupancy.clone(),
+        }
     }
 }

@@ -1,18 +1,20 @@
 //! The pool: shard workers, client admission, shutdown, and stats.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use hprng_core::{HprngError, SplitOnDemand};
 use hprng_telemetry::{Recorder, Registry};
+use hprng_transport::{
+    bounded, bounded_instrumented, BlockPool, Disconnect, RingSender, ShutdownFlag,
+};
 
 use crate::client::PoolClient;
 use crate::config::{FullPolicy, PoolBuilder, SessionKind};
 use crate::obs::{names, PoolObs};
-use crate::shard::{self, Request, ShardMetrics};
+use crate::shard::{self, Reply, Request, ShardMetrics};
 
 /// A sharded randomness pool: `shards` worker threads serving any number
 /// of concurrent [`PoolClient`] handles.
@@ -25,11 +27,20 @@ use crate::shard::{self, Request, ShardMetrics};
 /// *who serves whom* (clients are assigned `id % shards`), never *what is
 /// served*.
 ///
+/// The serving path is built on [`hprng_transport`]: each shard's request
+/// queue is a bounded [`hprng_transport::BlockRing`] (MPSC — clients
+/// clone the sender), prefetch blocks circulate through a per-shard
+/// [`BlockPool`] arena instead of the allocator, and shutdown follows the
+/// [`ShutdownFlag`]-before-close protocol so disconnects classify as
+/// [`HprngError::PoolShutdown`] vs [`HprngError::ShardPoisoned`].
+///
 /// The pool implements [`SplitOnDemand`], so the parallel applications
 /// (photon migration's per-chunk lanes) run on it unchanged.
 pub struct Pool {
-    shutdown: Arc<AtomicBool>,
-    txs: Vec<SyncSender<Request>>,
+    shutdown: ShutdownFlag,
+    txs: Vec<RingSender<Request>>,
+    /// One block arena per shard, shared with the worker and its clients.
+    arenas: Vec<Arc<BlockPool>>,
     metrics: Vec<Arc<ShardMetrics>>,
     handles: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
@@ -53,34 +64,59 @@ impl Pool {
     }
 
     pub(crate) fn spawn(builder: PoolBuilder, shards: usize) -> Self {
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let obs = builder
-            .trace_sample_every
-            .map(|n| PoolObs::new(shards, n, builder.queue_depth));
+        let shutdown = ShutdownFlag::new();
+        let obs = builder.trace_sample_every.map(|n| PoolObs::new(shards, n));
+        let lanes = builder.kind.lanes().max(1);
+        let chunk = builder.prefetch_words.div_ceil(lanes) * lanes;
         let mut txs = Vec::with_capacity(shards);
+        let mut arenas = Vec::with_capacity(shards);
         let mut metrics = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for index in 0..shards {
-            let (tx, rx) = sync_channel(builder.queue_depth);
+            // The request ring is the backpressure surface; when tracing
+            // is on it updates the shard's queue-depth/occupancy gauges
+            // exactly, inside the ring lock.
+            let (tx, rx) = match &obs {
+                Some(o) => {
+                    bounded_instrumented(builder.queue_depth, o.shards[index].ring_instruments())
+                }
+                None => bounded(builder.queue_depth),
+            };
+            // Retention bound: enough free blocks to cover a full request
+            // queue of refills plus the pair each client keeps in flight;
+            // beyond that, returned blocks are dropped rather than cached.
+            let blocks = Arc::new(BlockPool::new(chunk, (2 * builder.queue_depth).max(8)));
             let shard_metrics = Arc::new(ShardMetrics::default());
             let kind = builder.kind.clone();
             let seed = builder.seed;
             let prefetch = builder.prefetch_words;
+            let worker_blocks = Arc::clone(&blocks);
             let worker_metrics = Arc::clone(&shard_metrics);
             let worker_obs = obs.as_ref().map(|o| Arc::clone(&o.shards[index]));
             let handle = std::thread::Builder::new()
                 .name(format!("hprng-pool-shard-{index}"))
                 .spawn(move || {
-                    shard::run(index, seed, kind, prefetch, worker_metrics, worker_obs, rx)
+                    shard::run(
+                        index,
+                        seed,
+                        kind,
+                        prefetch,
+                        worker_blocks,
+                        worker_metrics,
+                        worker_obs,
+                        rx,
+                    )
                 })
                 .expect("spawning a pool shard worker thread");
             txs.push(tx);
+            arenas.push(blocks);
             metrics.push(shard_metrics);
             handles.push(handle);
         }
         Self {
             shutdown,
             txs,
+            arenas,
             metrics,
             handles,
             next_id: AtomicU64::new(0),
@@ -131,51 +167,36 @@ impl Pool {
         self.claimed_ids.lock().expect("claimed-id set").insert(id);
         let shard = (id % self.txs.len() as u64) as usize;
         let tx = self.txs[shard].clone();
-        let (reply_tx, reply_rx) = sync_channel(2);
-        let attach = Request::Attach {
+        let (reply_tx, reply_rx) = bounded::<Reply>(2);
+        let shard_obs = self.obs.as_ref().map(|o| Arc::clone(&o.shards[shard]));
+        let admission_failed = |pool: &Self| match pool.shutdown.classify_disconnect() {
+            Disconnect::Shutdown => HprngError::PoolShutdown,
+            Disconnect::Poisoned => HprngError::ShardPoisoned { shard },
+        };
+        tx.send(Request::Attach {
             client: id,
             reply: reply_tx,
-        };
-        let admission_failed = |pool: &Self| {
-            if pool.shutdown.load(Ordering::Acquire) {
-                HprngError::PoolShutdown
-            } else {
-                HprngError::ShardPoisoned { shard }
-            }
-        };
-        tx.send(attach).map_err(|_| admission_failed(self))?;
-        // Two buffers in flight give the double-buffered prefetch: the
-        // shard refills one while the client drains the other.
-        let lanes = self.kind.lanes().max(1);
-        let chunk = self.prefetch_words.div_ceil(lanes) * lanes;
-        let shard_obs = self.obs.as_ref().map(|o| Arc::clone(&o.shards[shard]));
+        })
+        .map_err(|_| admission_failed(self))?;
+        // Two refills in flight give the double-buffered prefetch: the
+        // shard fills one block while the client drains the other.
         for _ in 0..2 {
-            // Count the request before it can be dequeued; roll back if
-            // the send never lands.
-            if let Some(o) = &shard_obs {
-                o.enqueued();
-            }
             tx.send(Request::Refill {
                 client: id,
-                buf: Vec::with_capacity(chunk),
                 enqueued_ns: shard_obs.as_ref().map_or(f64::NAN, |o| o.now_ns()),
             })
-            .map_err(|_| {
-                if let Some(o) = &shard_obs {
-                    o.dequeued();
-                }
-                admission_failed(self)
-            })?;
+            .map_err(|_| admission_failed(self))?;
         }
         Ok(PoolClient::new(
             id,
             shard,
-            lanes,
+            self.kind.lanes().max(1),
             hprng_core::seeding::lane_seed(self.seed, id),
             self.policy,
             tx,
             reply_rx,
-            Arc::clone(&self.shutdown),
+            Arc::clone(&self.arenas[shard]),
+            self.shutdown.clone(),
             Arc::clone(&self.metrics[shard]),
             shard_obs,
         ))
@@ -193,7 +214,7 @@ impl Pool {
             stats.words += m.words.load(Ordering::Relaxed);
             stats.errors += m.errors.load(Ordering::Relaxed);
             stats.degraded_words += m.degraded_words.load(Ordering::Relaxed);
-            if m.poisoned.load(Ordering::Acquire) {
+            if m.poisoned.is_poisoned() {
                 stats.poisoned_shards.push(index);
             }
         }
@@ -226,19 +247,21 @@ impl Pool {
     }
 
     /// Stops every shard worker and waits for them to exit. Outstanding
-    /// clients keep serving from their cached buffers and then fail with
+    /// clients keep serving from their cached blocks and then fail with
     /// [`HprngError::PoolShutdown`]. Dropping the pool does the same.
     pub fn shutdown(mut self) {
         self.shutdown_impl();
     }
 
     fn shutdown_impl(&mut self) {
-        if self.shutdown.swap(true, Ordering::AcqRel) {
+        // Flag before close: a client that observes a disconnect after
+        // this point classifies it as an orderly shutdown, not a crash.
+        if !self.shutdown.request() {
             return;
         }
         for tx in &self.txs {
             // Blocking send: the worker always drains its queue, and a
-            // dead worker disconnects the channel, so this cannot hang.
+            // dead worker disconnects the ring, so this cannot hang.
             let _ = tx.send(Request::Shutdown);
         }
         for handle in self.handles.drain(..) {
@@ -294,9 +317,9 @@ pub struct PoolStats {
     pub shards: usize,
     /// Currently attached client sessions.
     pub clients: usize,
-    /// Prefetch-buffer refills served.
+    /// Prefetch-block refills served.
     pub refills: u64,
-    /// Words produced into prefetch buffers.
+    /// Words produced into prefetch blocks.
     pub words: u64,
     /// Refills that failed with a session error.
     pub errors: u64,

@@ -1,42 +1,44 @@
 //! The shard worker: one thread hosting the private sessions of every
-//! client assigned to it, serving prefetch-buffer refills from a bounded
-//! request queue.
+//! client assigned to it, serving prefetch-block refills from a bounded
+//! transport ring.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use hprng_core::{HprngError, OnDemandRng};
 use hprng_telemetry::Stage;
+use hprng_transport::{BlockPool, PoisonFlag, PoisonGuard, RingReceiver, RingSender, SendError};
 
 use crate::config::SessionKind;
 use crate::obs::ShardObs;
 
-/// A refilled prefetch buffer (or why the refill failed).
+/// A refilled prefetch block (or why the refill failed). Blocks are
+/// checked out of the shard's [`BlockPool`] arena and given back by the
+/// client once drained.
 pub(crate) type Reply = Result<Vec<u64>, HprngError>;
 
-/// The shard request protocol. Clients own a clone of the shard's bounded
-/// `SyncSender<Request>`; the queue bound is the backpressure surface.
+/// The shard request protocol. Clients own a clone of the shard's
+/// bounded request-[`RingSender`]; the ring bound is the backpressure
+/// surface.
 pub(crate) enum Request {
     /// A new client: build its session from its lane seed and remember its
     /// reply channel.
     Attach {
         /// Client id (the lane index of the seed derivation).
         client: u64,
-        /// Where refilled buffers go. Capacity 2 — matching the two
-        /// prefetch buffers a client keeps in flight — so the worker's
+        /// Where refilled blocks go. Capacity 2 — matching the two
+        /// prefetch blocks a client keeps in flight — so the worker's
         /// reply sends never block on a live client.
-        reply: SyncSender<Reply>,
+        reply: RingSender<Reply>,
     },
-    /// Refill `buf` with the next prefetch chunk of `client`'s stream and
-    /// send it back on the client's reply channel. The buffer is recycled:
-    /// the steady-state serving path allocates nothing.
+    /// Refill one prefetch block of `client`'s stream — checked out of
+    /// the shared arena shard-side, sent back on the client's reply
+    /// channel, and returned to the arena by the client once drained.
+    /// The steady-state serving path allocates nothing.
     Refill {
         /// Which client's session to draw from.
         client: u64,
-        /// The exhausted buffer to refill (capacity is reused).
-        buf: Vec<u64>,
         /// When the request entered the queue, in nanoseconds on the
         /// pool's tracing epoch — the worker computes enqueue-wait from
         /// it at dequeue. `NaN` when tracing is off.
@@ -59,70 +61,56 @@ pub(crate) struct ShardMetrics {
     pub clients: AtomicUsize,
     /// Refill requests served.
     pub refills: AtomicU64,
-    /// Words produced into prefetch buffers.
+    /// Words produced into prefetch blocks.
     pub words: AtomicU64,
     /// Refills that failed with a session error.
     pub errors: AtomicU64,
     /// Words clients served from their inline fallback generator
     /// ([`crate::FullPolicy::Degrade`]).
     pub degraded_words: AtomicU64,
-    /// Set when the worker thread died by panic (never on clean shutdown).
-    pub poisoned: AtomicBool,
-}
-
-/// Marks the shard poisoned if the worker unwinds; disarmed on clean
-/// shutdown. This mirrors the PR 3 ring-poisoning discipline: a dead
-/// worker is observable state, not a silent hang.
-struct PoisonGuard {
-    metrics: Arc<ShardMetrics>,
-    armed: bool,
-}
-
-impl Drop for PoisonGuard {
-    fn drop(&mut self) {
-        if self.armed {
-            self.metrics.poisoned.store(true, Ordering::Release);
-        }
-    }
+    /// Set when the worker thread died by panic (never on clean
+    /// shutdown). Observed through [`hprng_transport::PoisonGuard`].
+    pub poisoned: PoisonFlag,
 }
 
 struct ClientSlot {
     session: Box<dyn OnDemandRng + Send>,
-    reply: SyncSender<Reply>,
+    reply: RingSender<Reply>,
     /// Prefetch size rounded up to a multiple of the session's lane count,
-    /// so the worker always requests full-width batches and buffer size
+    /// so the worker always requests full-width batches and block size
     /// never changes the stream.
     chunk: usize,
 }
 
 /// The worker loop. Runs on its own thread until [`Request::Shutdown`]
 /// arrives or every request sender is gone.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run(
     shard: usize,
     pool_seed: u64,
     kind: SessionKind,
     prefetch_words: usize,
+    blocks: Arc<BlockPool>,
     metrics: Arc<ShardMetrics>,
     obs: Option<Arc<ShardObs>>,
-    rx: Receiver<Request>,
+    rx: RingReceiver<Request>,
 ) {
-    let mut guard = PoisonGuard {
-        metrics: Arc::clone(&metrics),
-        armed: true,
-    };
+    // Mirrors the pipeline ring's poisoning discipline: a dead worker is
+    // observable state, not a silent hang.
+    let guard = PoisonGuard::arm(metrics.poisoned.clone());
     let mut slots: HashMap<u64, ClientSlot> = HashMap::new();
     // Refills served, for the 1-in-N worker span sampling gate.
     let mut served_refills: u64 = 0;
 
-    while let Ok(request) = rx.recv() {
+    while let Some(request) = rx.recv() {
         match request {
             Request::Attach { client, reply } => {
                 let seed = hprng_core::seeding::lane_seed(pool_seed, client);
                 match kind.build(seed) {
                     // The session must be as wide as the kind advertises:
-                    // `PoolClient::lanes()` and the client's initial buffer
-                    // capacity are both derived from the advertised count,
-                    // so a `Custom` factory that lies about its width would
+                    // `PoolClient::lanes()` and the client's block sizing
+                    // are both derived from the advertised count, so a
+                    // `Custom` factory that lies about its width would
                     // silently desync them.
                     Ok(session) if session.lanes() != kind.lanes() => {
                         let _ = reply.send(Err(HprngError::InvalidParam {
@@ -153,21 +141,18 @@ pub(crate) fn run(
             }
             Request::Refill {
                 client,
-                mut buf,
                 enqueued_ns,
             } => {
                 if let Some(o) = &obs {
-                    o.dequeued();
                     if !enqueued_ns.is_nan() {
                         let wait = (o.now_ns() - enqueued_ns).max(0.0);
                         o.enqueue_wait_ns.record_ns(wait as u64);
                     }
                 }
                 let Some(slot) = slots.get_mut(&client) else {
-                    continue; // detached (or attach failed) — drop the buffer
+                    continue; // detached (or attach failed) — nothing to refill
                 };
-                buf.clear();
-                buf.resize(slot.chunk, 0);
+                let mut buf = blocks.checkout_zeroed(slot.chunk);
                 let lanes = slot.session.lanes().max(1);
                 let service_start = obs.as_ref().map(|o| o.now_ns());
                 let result = buf
@@ -195,11 +180,16 @@ pub(crate) fn run(
                     }
                     Err(e) => {
                         metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        blocks.give_back(buf);
                         Err(e)
                     }
                 };
-                if slot.reply.send(reply).is_err() {
-                    // Client dropped its receiver without detaching.
+                if let Err(SendError(reply)) = slot.reply.send(reply) {
+                    // Client dropped its receiver without detaching; the
+                    // undelivered block goes back to the arena.
+                    if let Ok(buf) = reply {
+                        blocks.give_back(buf);
+                    }
                     slots.remove(&client);
                     metrics.clients.fetch_sub(1, Ordering::Relaxed);
                 }
@@ -212,5 +202,5 @@ pub(crate) fn run(
             Request::Shutdown => break,
         }
     }
-    guard.armed = false;
+    guard.disarm();
 }

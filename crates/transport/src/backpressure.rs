@@ -1,0 +1,58 @@
+//! [`Backpressure`]: the one policy enum for a consumer whose producer
+//! fell behind.
+//!
+//! Grew out of `hprng-pool`'s `FullPolicy` (which is now a re-export of
+//! this type). The paper's on-demand contract says a consumer asks for
+//! words *when it needs them*; this enum is the workspace's single answer
+//! to "and what if they are not ready?" — the same three options whether
+//! the producer is a pipeline feed thread or a pool shard worker.
+
+use std::time::Duration;
+
+/// What a block consumer does when its producer cannot deliver
+/// immediately (the transport ring is full on the send side, or the
+/// refilled block has not arrived on the receive side).
+///
+/// Marked `#[non_exhaustive]`: downstream matches keep a wildcard arm so
+/// a future policy (e.g. spilling to a second-tier producer) is not a
+/// breaking change.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Backpressure {
+    /// Wait however long it takes. The consumer's stream stays exactly
+    /// the producer's stream; latency absorbs the pressure. The default.
+    #[default]
+    Block,
+    /// Wait up to the given patience, then fail the request with a
+    /// retryable error. The block stays in flight: the next request
+    /// resumes the same wait, so a stalled consumer recovers as soon as
+    /// its producer catches up, without losing or reordering words.
+    TryFor(Duration),
+    /// Never wait: the consumer serves from a caller-provided fallback
+    /// source until the block arrives, then resumes the primary stream
+    /// where it left off. Availability over reproducibility — the served
+    /// stream becomes a timing-dependent interleaving, so implementations
+    /// must account fallback words separately.
+    Degrade,
+}
+
+impl Backpressure {
+    /// Whether this policy is allowed to block the calling thread
+    /// indefinitely.
+    pub fn may_block(&self) -> bool {
+        matches!(self, Backpressure::Block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_blocks() {
+        assert_eq!(Backpressure::default(), Backpressure::Block);
+        assert!(Backpressure::Block.may_block());
+        assert!(!Backpressure::TryFor(Duration::from_millis(1)).may_block());
+        assert!(!Backpressure::Degrade.may_block());
+    }
+}

@@ -1,0 +1,54 @@
+//! The transport layer: how pre-generated random blocks move from
+//! producers to consumers.
+//!
+//! The paper's on-demand contract lives or dies on how cheaply blocks of
+//! pre-generated words travel from the thread that made them to the
+//! thread that serves them. Before this crate existed that path was
+//! implemented three different ways — the pipeline's Mutex+Condvar
+//! ping-pong ring, the pool's `sync_channel` request queues, and the
+//! per-client double-buffer recycling — each with its own backpressure,
+//! shutdown, and poisoning logic. This crate is the one disciplined
+//! implementation all of them now share:
+//!
+//! * [`ring`] — [`BlockRing`]: a bounded blocking MPSC ring generalizing
+//!   the paper's two-slot PCIe double buffer ([`PING_PONG_SLOTS`]).
+//!   Backpressure by blocking (or [`RingSender::try_send`] /
+//!   [`RingReceiver::recv_timeout`] for the impatient), clean shutdown on
+//!   drop from either side, optional transport-level queue-depth
+//!   instrumentation ([`RingInstruments`]).
+//! * [`arena`] — [`BlockPool`]: a recycled-buffer arena for `Vec<u64>`
+//!   blocks. Steady-state checkout/return is allocation-free, returned
+//!   blocks are cleared (so [`BlockPool::checkout_zeroed`] can promise
+//!   all-zero content), and oversized blocks are shrunk on return so one
+//!   peak request cannot pin its capacity forever.
+//! * [`backpressure`] — [`Backpressure`]: the single policy enum for
+//!   what a consumer does when its producer falls behind (block, fail
+//!   fast after a patience, or degrade to a caller-provided fallback).
+//! * [`shutdown`] — the shutdown-flag-before-close protocol:
+//!   [`ShutdownFlag`] is flipped *before* any queue closes so a
+//!   disconnected peer can [`classify`](ShutdownFlag::classify_disconnect)
+//!   the disconnect as an orderly [`Disconnect::Shutdown`] rather than a
+//!   crash, and [`PoisonGuard`] marks a [`PoisonFlag`] if a worker
+//!   unwinds — a dead worker is observable state, not a silent hang.
+//!
+//! The pipeline engine's ring (`hprng-core::pipeline::ring`) and the
+//! sharded pool (`hprng-pool`) are both thin layers over these types;
+//! their golden bit-identity suites prove the transport is invisible in
+//! the served streams.
+
+#![forbid(unsafe_code)]
+#![deny(deprecated)]
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod backpressure;
+pub mod ring;
+pub mod shutdown;
+
+pub use arena::{ArenaStats, BlockPool};
+pub use backpressure::Backpressure;
+pub use ring::{
+    bounded, bounded_instrumented, ping_pong, BlockRing, RecvTimeoutError, RingInstruments,
+    RingReceiver, RingSender, SendError, TryRecvError, TrySendError, PING_PONG_SLOTS,
+};
+pub use shutdown::{Disconnect, PoisonFlag, PoisonGuard, ShutdownFlag};

@@ -1,0 +1,538 @@
+//! [`BlockRing`]: the bounded blocking block ring.
+//!
+//! The paper overlaps FEED and GENERATE by double-buffering bit batches
+//! over PCIe (§IV-A, Figure 4): while the device walks iteration `k`, the
+//! host fills the other buffer with the bits for `k+1`. The two-slot
+//! instance of this ring ([`ping_pong`]) is exactly that pair; deeper
+//! rings generalize it to producers allowed to run `capacity` blocks
+//! ahead, and cloning the sender generalizes SPSC to MPSC (the pool's
+//! many-clients-one-shard request queues). The protocol:
+//!
+//! * **backpressure**: [`RingSender::send`] blocks while every slot is
+//!   occupied, so producers can run at most `capacity` blocks ahead
+//!   (bounded memory, just like the real double buffer);
+//!   [`RingSender::try_send`] refuses instead of blocking.
+//! * **clean shutdown**: dropping either half wakes the other. A producer
+//!   whose consumer went away gets its value back as [`SendError`]; a
+//!   consumer whose producers all exited (including by panic, which
+//!   unwinds through the senders' `Drop`) drains the remaining slots and
+//!   then sees end-of-stream.
+//! * **observability**: a ring built with [`bounded_instrumented`]
+//!   updates its queue-depth and occupancy gauges inside the ring lock,
+//!   so the exported depth is exact — no racy external inflight counter.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` only — the crate forbids unsafe
+//! code, and a small blocking queue has no throughput to win from
+//! lock-free cleverness: the payload is a multi-kilobyte block of words,
+//! not a pointer.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use hprng_telemetry::Gauge;
+
+/// The two-slot capacity of the paper's ping-pong pair.
+pub const PING_PONG_SLOTS: usize = 2;
+
+/// The value a [`RingSender::send`] could not deliver because the
+/// consumer was dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Why a [`RingSender::try_send`] refused, carrying the undelivered
+/// value.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// Every slot is occupied; a blocking send would wait.
+    Full(T),
+    /// The consumer is gone; no send can ever succeed again.
+    Disconnected(T),
+}
+
+/// Why a [`RingReceiver::try_recv`] returned nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No block is queued right now, but producers are still alive.
+    Empty,
+    /// Every producer is gone and the ring is drained.
+    Disconnected,
+}
+
+/// Why a [`RingReceiver::recv_timeout`] returned nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The patience elapsed with producers still alive; the block may
+    /// still arrive — retrying resumes the wait.
+    Timeout,
+    /// Every producer is gone and the ring is drained.
+    Disconnected,
+}
+
+/// Transport-level queue instruments: exact depth and occupancy gauges
+/// updated inside the ring lock on every send and receive.
+///
+/// Handles come from a [`hprng_telemetry::Registry`]; updating them is a
+/// relaxed atomic store, so instrumentation adds no locks beyond the one
+/// the ring already holds.
+#[derive(Clone, Debug)]
+pub struct RingInstruments {
+    /// Blocks currently queued.
+    pub depth: Gauge,
+    /// Depth over capacity, in `0..=1`.
+    pub occupancy: Gauge,
+}
+
+impl RingInstruments {
+    fn set(&self, depth: usize, capacity: usize) {
+        self.depth.set(depth as f64);
+        self.occupancy.set(depth as f64 / capacity.max(1) as f64);
+    }
+}
+
+/// The shared state of one ring: the slot queue, peer liveness, and the
+/// optional instruments. Users hold [`RingSender`]/[`RingReceiver`]
+/// halves, never a `BlockRing` directly.
+#[derive(Debug)]
+pub struct BlockRing<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled when a slot frees up or the consumer goes away.
+    not_full: Condvar,
+    /// Signalled when a slot fills up or the last producer goes away.
+    not_empty: Condvar,
+    instruments: Option<RingInstruments>,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    slots: VecDeque<T>,
+    capacity: usize,
+    /// Live [`RingSender`] clones. End-of-stream once zero *and* drained.
+    producers: usize,
+    consumer_alive: bool,
+}
+
+fn lock<T>(ring: &BlockRing<T>) -> MutexGuard<'_, Inner<T>> {
+    // A poisoned lock means a peer panicked while holding it; the queue
+    // state is still structurally valid (VecDeque operations are
+    // panic-safe), so shutdown can proceed.
+    ring.inner.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<T> BlockRing<T> {
+    fn new(capacity: usize, instruments: Option<RingInstruments>) -> Arc<Self> {
+        assert!(capacity > 0, "ring capacity must be positive");
+        if let Some(i) = &instruments {
+            i.set(0, capacity);
+        }
+        Arc::new(Self {
+            inner: Mutex::new(Inner {
+                slots: VecDeque::with_capacity(capacity),
+                capacity,
+                producers: 1,
+                consumer_alive: true,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            instruments,
+        })
+    }
+
+    fn record_depth(&self, inner: &Inner<T>) {
+        if let Some(i) = &self.instruments {
+            i.set(inner.slots.len(), inner.capacity);
+        }
+    }
+}
+
+/// Producer half of a ring. Cloning adds a producer (MPSC); the stream
+/// ends once every clone is dropped and the slots are drained.
+pub struct RingSender<T> {
+    ring: Arc<BlockRing<T>>,
+}
+
+/// Consumer half of a ring. Single-owner: the serving thread.
+pub struct RingReceiver<T> {
+    ring: Arc<BlockRing<T>>,
+}
+
+/// Creates the paper-shaped two-slot ping-pong ring.
+pub fn ping_pong<T>() -> (RingSender<T>, RingReceiver<T>) {
+    bounded(PING_PONG_SLOTS)
+}
+
+/// Creates a ring with an explicit slot count (tests use 1 to force
+/// immediate backpressure; the pool uses its queue depth).
+///
+/// # Panics
+/// Panics if `capacity` is zero — a rendezvous channel cannot model a
+/// double buffer.
+pub fn bounded<T>(capacity: usize) -> (RingSender<T>, RingReceiver<T>) {
+    halves(BlockRing::new(capacity, None))
+}
+
+/// [`bounded`], with queue-depth/occupancy gauges updated inside the
+/// ring lock (both initialized to zero here, so an idle ring is already
+/// visible on a scrape).
+pub fn bounded_instrumented<T>(
+    capacity: usize,
+    instruments: RingInstruments,
+) -> (RingSender<T>, RingReceiver<T>) {
+    halves(BlockRing::new(capacity, Some(instruments)))
+}
+
+fn halves<T>(ring: Arc<BlockRing<T>>) -> (RingSender<T>, RingReceiver<T>) {
+    (
+        RingSender {
+            ring: Arc::clone(&ring),
+        },
+        RingReceiver { ring },
+    )
+}
+
+impl<T> RingSender<T> {
+    /// Delivers one block, blocking while every slot is occupied
+    /// (backpressure). Returns the block if the consumer is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = lock(&self.ring);
+        while inner.slots.len() == inner.capacity && inner.consumer_alive {
+            inner = self
+                .ring
+                .not_full
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if !inner.consumer_alive {
+            return Err(SendError(value));
+        }
+        inner.slots.push_back(value);
+        self.ring.record_depth(&inner);
+        drop(inner);
+        self.ring.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Delivers one block only if a slot is free right now; never blocks.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut inner = lock(&self.ring);
+        if !inner.consumer_alive {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if inner.slots.len() == inner.capacity {
+            return Err(TrySendError::Full(value));
+        }
+        inner.slots.push_back(value);
+        self.ring.record_depth(&inner);
+        drop(inner);
+        self.ring.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking probe: `true` if a send would currently block.
+    pub fn is_full(&self) -> bool {
+        let inner = lock(&self.ring);
+        inner.slots.len() == inner.capacity
+    }
+}
+
+impl<T> Clone for RingSender<T> {
+    fn clone(&self) -> Self {
+        lock(&self.ring).producers += 1;
+        Self {
+            ring: Arc::clone(&self.ring),
+        }
+    }
+}
+
+impl<T> RingReceiver<T> {
+    /// Takes the oldest block, blocking while the ring is empty and any
+    /// producer is alive. `None` means every producer is gone *and* every
+    /// in-flight block has been drained — the clean end-of-stream.
+    pub fn recv(&self) -> Option<T> {
+        let mut inner = lock(&self.ring);
+        while inner.slots.is_empty() && inner.producers > 0 {
+            inner = self
+                .ring
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        self.take(&mut inner)
+    }
+
+    /// Takes the oldest block if one is queued right now; never blocks.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = lock(&self.ring);
+        match self.take(&mut inner) {
+            Some(value) => Ok(value),
+            None if inner.producers == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Takes the oldest block, waiting up to `patience` for one to
+    /// arrive. On [`RecvTimeoutError::Timeout`] the stream is intact —
+    /// calling again resumes the wait for the same in-flight block.
+    pub fn recv_timeout(&self, patience: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + patience;
+        let mut inner = lock(&self.ring);
+        while inner.slots.is_empty() && inner.producers > 0 {
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            inner = self
+                .ring
+                .not_empty
+                .wait_timeout(inner, remaining)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        self.take(&mut inner).ok_or(RecvTimeoutError::Disconnected)
+    }
+
+    fn take(&self, inner: &mut MutexGuard<'_, Inner<T>>) -> Option<T> {
+        let value = inner.slots.pop_front();
+        if value.is_some() {
+            self.ring.record_depth(inner);
+            self.ring.not_full.notify_one();
+        }
+        value
+    }
+
+    /// Blocks currently queued, for tests and introspection.
+    pub fn len(&self) -> usize {
+        lock(&self.ring).slots.len()
+    }
+
+    /// Whether no block is currently queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for RingSender<T> {
+    fn drop(&mut self) {
+        let mut inner = lock(&self.ring);
+        inner.producers = inner.producers.saturating_sub(1);
+        let last = inner.producers == 0;
+        drop(inner);
+        if last {
+            self.ring.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for RingReceiver<T> {
+    fn drop(&mut self) {
+        let mut inner = lock(&self.ring);
+        inner.consumer_alive = false;
+        // Destroy queued blocks with the consumer (`sync_channel`
+        // semantics). Queued values may themselves hold senders of other
+        // rings — the pool's `Attach { reply }` requests do — and those
+        // peers must see end-of-stream now, not when the last sender of
+        // *this* ring (held indefinitely by the pool) finally drops.
+        let drained: Vec<T> = inner.slots.drain(..).collect();
+        self.ring.record_depth(&inner);
+        drop(inner);
+        drop(drained);
+        self.ring.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn delivers_in_order() {
+        let (tx, rx) = ping_pong();
+        let producer = thread::spawn(move || {
+            for i in 0..100u64 {
+                tx.send(i).unwrap();
+            }
+        });
+        for i in 0..100u64 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+        assert_eq!(rx.recv(), None); // producer dropped after the loop
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn producer_blocks_on_full_ring() {
+        let (tx, rx) = ping_pong::<u64>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(tx.is_full());
+        let progressed = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::clone(&progressed);
+        let producer = thread::spawn(move || {
+            tx.send(3).unwrap(); // must block until a recv frees a slot
+            flag.store(1, Ordering::SeqCst);
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(
+            progressed.load(Ordering::SeqCst),
+            0,
+            "send did not backpressure on a full ring"
+        );
+        assert_eq!(rx.recv(), Some(1));
+        producer.join().unwrap();
+        assert_eq!(progressed.load(Ordering::SeqCst), 1);
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+    }
+
+    #[test]
+    fn try_send_refuses_instead_of_blocking() {
+        let (tx, rx) = bounded::<u64>(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Some(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_recovers() {
+        let (tx, rx) = bounded::<u64>(2);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = bounded::<u64>(2);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(5).unwrap();
+        assert_eq!(rx.try_recv(), Ok(5));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn dropping_receiver_unblocks_producer_with_its_value() {
+        let (tx, rx) = bounded::<u64>(1);
+        tx.send(7).unwrap();
+        let producer = thread::spawn(move || tx.send(8)); // blocked: full
+        thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(producer.join().unwrap(), Err(SendError(8)));
+    }
+
+    #[test]
+    fn dropping_every_sender_clone_drains_then_ends_stream() {
+        let (tx, rx) = ping_pong::<u64>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        drop(tx);
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv(), Some(1));
+        drop(tx2);
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None); // stays closed
+    }
+
+    #[test]
+    fn mpsc_senders_interleave_without_loss() {
+        let (tx, rx) = bounded::<u64>(4);
+        let handles: Vec<_> = (0..4u64)
+            .map(|k| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..50u64 {
+                        tx.send(k * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv() {
+            got.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got.len(), 200);
+        // Per-producer order is preserved even though streams interleave.
+        for k in 0..4u64 {
+            let lane: Vec<u64> = got.iter().copied().filter(|v| v / 1000 == k).collect();
+            assert_eq!(lane, (0..50).map(|i| k * 1000 + i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn producer_panic_ends_stream_cleanly() {
+        let (tx, rx) = ping_pong::<u64>();
+        let producer = thread::spawn(move || {
+            tx.send(1).unwrap();
+            panic!("feeder died");
+        });
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), None); // sender dropped during unwind
+        assert!(producer.join().is_err());
+    }
+
+    #[test]
+    fn dropping_receiver_destroys_queued_values() {
+        // A queued value holding a sender of a second ring must die with
+        // the consumer — otherwise a consumer of the second ring would
+        // wait forever on a producer buried in a dead queue.
+        let (tx, rx) = bounded::<RingSender<u64>>(2);
+        let (inner_tx, inner_rx) = ping_pong::<u64>();
+        assert!(tx.send(inner_tx).is_ok());
+        drop(rx); // never dequeued — the queued sender must drop here
+        assert_eq!(
+            inner_rx.recv(),
+            None,
+            "queued sender leaked past receiver drop"
+        );
+        drop(tx);
+    }
+
+    #[test]
+    fn instrumented_ring_tracks_exact_depth() {
+        let registry = hprng_telemetry::Registry::new();
+        let depth = registry.gauge("ring_depth");
+        let occupancy = registry.gauge("ring_occupancy");
+        let (tx, rx) = bounded_instrumented::<u64>(
+            4,
+            RingInstruments {
+                depth: depth.clone(),
+                occupancy: occupancy.clone(),
+            },
+        );
+        assert_eq!(depth.get(), 0.0);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(depth.get(), 2.0);
+        assert_eq!(occupancy.get(), 0.5);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(depth.get(), 1.0);
+        assert_eq!(occupancy.get(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = bounded::<u64>(0);
+    }
+}

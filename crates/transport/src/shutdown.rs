@@ -1,0 +1,151 @@
+//! The shutdown-flag-before-close protocol and worker poison tracking.
+//!
+//! A consumer that finds its transport disconnected needs to know *why*:
+//! an orderly teardown should read as a clean shutdown error, a worker
+//! crash as a poisoning. The protocol, extracted from the pool's
+//! original hand-rolled version:
+//!
+//! 1. The owner flips its [`ShutdownFlag`] **before** closing any queue
+//!    or joining any worker.
+//! 2. A peer that later observes a disconnect calls
+//!    [`ShutdownFlag::classify_disconnect`]: flag already set ⇒
+//!    [`Disconnect::Shutdown`] (expected, orderly); flag clear ⇒
+//!    [`Disconnect::Poisoned`] (the worker died on its own).
+//!
+//! Worker threads pair this with a [`PoisonGuard`]: armed on entry,
+//! disarmed on every orderly exit path. If the worker unwinds, the
+//! guard's `Drop` runs during the panic and marks the [`PoisonFlag`] —
+//! so a dead worker is observable state for everyone holding the flag,
+//! not a silent hang.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Why a transport peer observed a disconnect (see
+/// [`ShutdownFlag::classify_disconnect`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Disconnect {
+    /// The owner requested shutdown before the queue closed — orderly.
+    Shutdown,
+    /// The peer vanished without a shutdown request — it crashed.
+    Poisoned,
+}
+
+/// A shared shutdown announcement, flipped **before** any queue closes
+/// (see the [module docs](self)). Cloning shares the flag.
+#[derive(Clone, Debug, Default)]
+pub struct ShutdownFlag(Arc<AtomicBool>);
+
+impl ShutdownFlag {
+    /// A fresh, un-requested flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Announces shutdown. Returns `true` if this call was the first —
+    /// exactly one caller wins and should perform the actual teardown
+    /// (close queues, join workers); idempotent repeats see `false`.
+    pub fn request(&self) -> bool {
+        !self.0.swap(true, Ordering::AcqRel)
+    }
+
+    /// Whether shutdown has been announced.
+    pub fn is_requested(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Classifies a just-observed disconnect: announced shutdown is
+    /// orderly, anything else means the peer crashed.
+    pub fn classify_disconnect(&self) -> Disconnect {
+        if self.is_requested() {
+            Disconnect::Shutdown
+        } else {
+            Disconnect::Poisoned
+        }
+    }
+}
+
+/// A shared marker that a worker died by panic. Cloning shares the flag.
+#[derive(Clone, Debug, Default)]
+pub struct PoisonFlag(Arc<AtomicBool>);
+
+impl PoisonFlag {
+    /// A fresh, unpoisoned flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the guarded worker unwound.
+    pub fn is_poisoned(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+
+    fn mark(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
+/// Marks a [`PoisonFlag`] if dropped while armed — place one at the top
+/// of a worker loop and [`disarm`](PoisonGuard::disarm) it on every
+/// orderly exit path; a panic unwinds past the disarm and the flag is
+/// set during the unwind.
+#[derive(Debug)]
+pub struct PoisonGuard {
+    flag: PoisonFlag,
+    armed: bool,
+}
+
+impl PoisonGuard {
+    /// An armed guard over `flag`.
+    pub fn arm(flag: PoisonFlag) -> Self {
+        Self { flag, armed: true }
+    }
+
+    /// Declares an orderly exit: dropping this guard no longer poisons.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PoisonGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            self.flag.mark();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_request_wins_and_classification_follows_the_flag() {
+        let flag = ShutdownFlag::new();
+        assert_eq!(flag.classify_disconnect(), Disconnect::Poisoned);
+        assert!(flag.request());
+        assert!(!flag.request()); // idempotent repeat
+        assert!(flag.is_requested());
+        assert_eq!(flag.clone().classify_disconnect(), Disconnect::Shutdown);
+    }
+
+    #[test]
+    fn disarmed_guard_does_not_poison() {
+        let flag = PoisonFlag::new();
+        let guard = PoisonGuard::arm(flag.clone());
+        guard.disarm();
+        assert!(!flag.is_poisoned());
+    }
+
+    #[test]
+    fn panic_unwind_marks_the_flag() {
+        let flag = PoisonFlag::new();
+        let cloned = flag.clone();
+        let worker = std::thread::spawn(move || {
+            let _guard = PoisonGuard::arm(cloned);
+            panic!("worker died mid-refill");
+        });
+        assert!(worker.join().is_err());
+        assert!(flag.is_poisoned());
+    }
+}

@@ -136,6 +136,7 @@ pub use hprng_montecarlo as montecarlo;
 pub use hprng_pool as pool;
 pub use hprng_stattests as stattests;
 pub use hprng_telemetry as telemetry;
+pub use hprng_transport as transport;
 
 pub use hprng_core::{
     Backend, BitFeed, CpuBackend, CpuParallelPrng, DeviceBackend, Engine, ExpanderLanes,
