@@ -476,6 +476,161 @@ pub fn pool_obs_bench(seed: u64, words: usize, sample_every: u64) -> json::Value
     obj
 }
 
+/// Measures the checkpoint/restore round trip on both resumable paths:
+/// the expander walk's rich state (checkpoint → JSON → parse → exact
+/// [`ExpanderWalkRng::resume`]) and the pool failover path (a live
+/// [`hprng_pool::PoolClient`]'s counters-only checkpoint re-admitted
+/// through [`hprng_pool::Pool::try_client_resumed`] on a standby pool).
+///
+/// Failover re-runs this round trip on the request path — a client that
+/// loses its shard checkpoints, reattaches, and serves its next word off
+/// the resumed session — so the cost is gated, not just recorded: each
+/// path's p99 must come in under the 1 ms budget or [`checkpoint_gate`]
+/// fails the run.
+pub fn checkpoint_bench(seed: u64, iters: usize) -> json::Value {
+    use hprng_core::StreamState;
+    use hprng_pool::Pool;
+
+    const BUDGET_NS: f64 = 1_000_000.0; // 1 ms per round trip, at p99
+    const POSITION: usize = 4096; // words served before the first checkpoint
+    let iters = iters.clamp(16, 4096);
+
+    let quantile = |sorted: &[u64], q: f64| -> f64 {
+        match sorted.len() {
+            0 => 0.0,
+            n => sorted[(((n - 1) as f64) * q).round() as usize] as f64,
+        }
+    };
+    let mut passed = true;
+    let mut rows = Vec::new();
+    let mut row = |name: &str, mut samples: Vec<u64>| {
+        samples.sort_unstable();
+        let p99 = quantile(&samples, 0.99);
+        passed &= p99 <= BUDGET_NS;
+        let mut obj = json::Value::object();
+        obj.set("name", json::Value::String(name.to_string()));
+        obj.set("iterations", json::Value::Number(samples.len() as f64));
+        obj.set("p50_ns", json::Value::Number(quantile(&samples, 0.50)));
+        obj.set("p90_ns", json::Value::Number(quantile(&samples, 0.90)));
+        obj.set("p99_ns", json::Value::Number(p99));
+        obj.set(
+            "max_ns",
+            json::Value::Number(samples.last().copied().unwrap_or(0) as f64),
+        );
+        rows.push(obj);
+    };
+
+    // Rich state: the expander walk's exact O(position) resume, through
+    // the same dependency-free JSON the persistence path uses.
+    let mut rng = ExpanderWalkRng::from_seed_u64(seed);
+    for _ in 0..POSITION {
+        rng.next_u64();
+    }
+    let mut expander_ns = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let state = rng.checkpoint().expect("expander walk has rich state");
+        let text = state.to_json();
+        let parsed = StreamState::from_json(&text).expect("state round-trips");
+        std::hint::black_box(ExpanderWalkRng::resume(&parsed).expect("state resumes"));
+        expander_ns.push(start.elapsed().as_nanos() as u64);
+        rng.next_u64(); // walk the position forward between iterations
+    }
+    row("expander_rich_json", expander_ns);
+
+    // The failover round trip: counters-only client checkpoint,
+    // re-admission on a standby pool, shard-side session rebuild and
+    // fast-forward, and the first word served off the resumed stream —
+    // everything a client pays between losing its shard and producing
+    // again. Small prefetch blocks keep the standby worker's per-lap
+    // refill work from queueing up behind the measurement; serving the
+    // word paces the loop so ring backpressure never bleeds one lap's
+    // generation time into the next lap's sample.
+    const WARMUP: usize = 16;
+    let pool = Pool::builder(seed)
+        .prefetch_words(64)
+        .build()
+        .expect("pool configuration");
+    let standby = Pool::builder(seed)
+        .prefetch_words(64)
+        .build()
+        .expect("pool configuration");
+    let mut client = pool.try_client_with_id(7).expect("healthy pool");
+    let mut out = [0u64; 64];
+    client.fill_words(&mut out).expect("healthy pool client");
+    let mut failover_ns = Vec::with_capacity(iters);
+    let mut one = [0u64; 1];
+    for lap in 0..iters + WARMUP {
+        let start = Instant::now();
+        let state = client.checkpoint();
+        let mut resumed = standby
+            .try_client_resumed(&state)
+            .expect("standby admits the checkpoint");
+        resumed.fill_words(&mut one).expect("resumed stream serves");
+        std::hint::black_box(&one);
+        if lap >= WARMUP {
+            failover_ns.push(start.elapsed().as_nanos() as u64);
+        }
+        drop(resumed); // release the id on the standby for the next lap
+    }
+    row("pool_client_failover", failover_ns);
+    pool.shutdown();
+    standby.shutdown();
+
+    let mut obj = json::Value::object();
+    obj.set("budget_ns", json::Value::Number(BUDGET_NS));
+    obj.set("paths", json::Value::Array(rows));
+    obj.set("passed", json::Value::Bool(passed));
+    obj
+}
+
+/// Checks the checkpoint-cost gate of a bench document (the `checkpoint`
+/// object [`checkpoint_bench`] writes): `Ok(summary)` when every
+/// measured path's p99 round trip fit the 1 ms budget, `Err(explanation)`
+/// on a miss or a document without the measurement.
+pub fn checkpoint_gate(doc: &json::Value) -> Result<String, String> {
+    let bench = doc
+        .get("checkpoint")
+        .ok_or("document has no checkpoint section (was the bench run with --pool?)")?;
+    let budget = bench
+        .get("budget_ns")
+        .and_then(|v| v.as_f64())
+        .ok_or("checkpoint has no numeric budget_ns")?;
+    let paths = bench
+        .get("paths")
+        .and_then(|p| p.as_array())
+        .filter(|p| !p.is_empty())
+        .ok_or("checkpoint has no paths array")?;
+    let passed = match bench.get("passed") {
+        Some(json::Value::Bool(b)) => *b,
+        _ => return Err("checkpoint has no boolean passed".to_string()),
+    };
+    let mut parts = Vec::new();
+    for path in paths {
+        let name = path
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or("checkpoint path has no name")?;
+        let p99 = path
+            .get("p99_ns")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("checkpoint path {name} has no numeric p99_ns"))?;
+        parts.push(format!("{name} p99 {:.1}us", p99 / 1e3));
+    }
+    let summary = format!(
+        "checkpoint+restore round trips ({}) within the {:.0} ms budget",
+        parts.join(", "),
+        budget / 1e6
+    );
+    if passed {
+        Ok(summary)
+    } else {
+        Err(format!(
+            "checkpoint round trip beyond its budget — {summary}"
+        ))
+    }
+}
+
 /// Checks the tracing-overhead gate of a bench document (the
 /// `pool_observability` object [`pool_obs_bench`] writes): `Ok(summary)`
 /// when tracing at the default sampling cost less than its budget,
@@ -794,6 +949,49 @@ mod tests {
         // error, not a silent pass.
         assert!(pool_gate(&json::parse("{}").unwrap()).is_err());
         assert!(pool_gate(&json::parse(r#"{"pool": {"gate": {}}}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn checkpoint_bench_reports_both_paths_with_quantiles() {
+        let doc = checkpoint_bench(3, 16);
+        let paths = doc.get("paths").and_then(|p| p.as_array()).unwrap();
+        assert_eq!(paths.len(), 2);
+        for path in paths {
+            let name = path.get("name").and_then(|v| v.as_str()).unwrap();
+            let p50 = path.get("p50_ns").and_then(|v| v.as_f64()).unwrap();
+            let p99 = path.get("p99_ns").and_then(|v| v.as_f64()).unwrap();
+            let max = path.get("max_ns").and_then(|v| v.as_f64()).unwrap();
+            assert!(p50 > 0.0, "{name} has zero p50");
+            assert!(p99 >= p50, "{name} quantiles out of order");
+            assert!(max >= p99, "{name} max below p99");
+        }
+        assert!(matches!(doc.get("passed"), Some(json::Value::Bool(_))));
+    }
+
+    #[test]
+    fn checkpoint_gate_enforces_the_passed_flag() {
+        let doc = |passed: bool| {
+            json::parse(&format!(
+                r#"{{"checkpoint": {{"budget_ns": 1000000.0, "passed": {passed},
+                    "paths": [{{"name": "expander_rich_json", "iterations": 64,
+                                "p50_ns": 1000.0, "p90_ns": 2000.0,
+                                "p99_ns": 3000.0, "max_ns": 4000.0}}]}}}}"#
+            ))
+            .unwrap()
+        };
+        let summary = checkpoint_gate(&doc(true)).unwrap();
+        assert!(summary.contains("expander_rich_json"), "{summary}");
+        let reason = checkpoint_gate(&doc(false)).unwrap_err();
+        assert!(reason.contains("beyond its budget"), "{reason}");
+        // A document without the measurement (or with a mangled one) is
+        // an error, not a silent pass.
+        assert!(checkpoint_gate(&json::parse("{}").unwrap()).is_err());
+        assert!(checkpoint_gate(&json::parse(r#"{"checkpoint": {}}"#).unwrap()).is_err());
+        assert!(checkpoint_gate(
+            &json::parse(r#"{"checkpoint": {"budget_ns": 1.0, "passed": true, "paths": []}}"#)
+                .unwrap()
+        )
+        .is_err());
     }
 
     #[test]

@@ -19,11 +19,14 @@
 //!             [--max-drop <frac>]     fail if hybrid words/s drops by more
 //!                                     than the fraction (default 0.2)
 //!             [--pool]                add the sharded-pool consumer sweep
-//!                                     (pool vs shared-mutex engine) plus
-//!                                     the tracing-overhead measurement,
-//!                                     and fail if the pool misses its
-//!                                     speedup floor or tracing costs
-//!                                     more than its 5% budget
+//!                                     (pool vs shared-mutex engine), the
+//!                                     tracing-overhead measurement, and
+//!                                     the checkpoint-cost microbench;
+//!                                     fail if the pool misses its
+//!                                     speedup floor, tracing costs more
+//!                                     than its 5% budget, or a
+//!                                     checkpoint+restore round trip's
+//!                                     p99 exceeds 1 ms
 //! repro monitor [--generator hybrid|pool|mt|glibc-low|constant]
 //!               [--words W] [--sample-every N] [--prom-out <path>]
 //!               [--assert-clean | --assert-alerts]
@@ -317,6 +320,7 @@ fn main() {
                 "pool_observability",
                 benchjson::pool_obs_bench(args.seed, words, args.sample_every),
             );
+            doc.set("checkpoint", benchjson::checkpoint_bench(args.seed, 256));
         }
         match &args.json_out {
             Some(path) => {
@@ -344,6 +348,16 @@ fn main() {
             // Same treatment for the tracing-overhead budget: paying
             // more than 5% words/s for observability fails the run.
             match benchjson::pool_obs_gate(&doc) {
+                Ok(summary) => println!("OK: {summary}"),
+                Err(reason) => {
+                    eprintln!("FAIL: {reason}");
+                    std::process::exit(1);
+                }
+            }
+            // And the checkpoint-cost budget: failover re-runs the
+            // checkpoint/restore round trip on the request path, so a
+            // p99 beyond 1 ms fails the run.
+            match benchjson::checkpoint_gate(&doc) {
                 Ok(summary) => println!("OK: {summary}"),
                 Err(reason) => {
                     eprintln!("FAIL: {reason}");

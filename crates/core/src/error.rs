@@ -55,6 +55,21 @@ pub enum HprngError {
     /// The randomness pool was shut down while this client was still
     /// drawing from it.
     PoolShutdown,
+    /// The provider does not implement the checkpoint/restore pair of the
+    /// [`crate::OnDemandRng`] contract (the default for custom sessions).
+    CheckpointUnsupported {
+        /// The provider's [`crate::OnDemandRng::label`].
+        label: &'static str,
+    },
+    /// A [`crate::StreamState`] could not be applied to this provider: a
+    /// field disagrees with the provider's construction or current
+    /// position, or the serialized form was malformed.
+    RestoreMismatch {
+        /// Which state field was rejected.
+        field: &'static str,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for HprngError {
@@ -84,6 +99,12 @@ impl fmt::Display for HprngError {
             }
             HprngError::PoolShutdown => {
                 write!(f, "the randomness pool was shut down")
+            }
+            HprngError::CheckpointUnsupported { label } => {
+                write!(f, "provider {label} does not support checkpoint/restore")
+            }
+            HprngError::RestoreMismatch { field, reason } => {
+                write!(f, "cannot restore stream state: {field}: {reason}")
             }
         }
     }

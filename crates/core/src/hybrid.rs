@@ -73,6 +73,25 @@ impl HybridPrng {
         Ok(HybridSession { engine })
     }
 
+    /// Reopens a session from a [`crate::StreamState`] checkpoint captured
+    /// by [`HybridSession::checkpoint`]: Algorithm 1 re-runs, then the
+    /// request history is replayed and verified so the resumed session's
+    /// streams continue bit-identically from the checkpointed position.
+    ///
+    /// The prng's seed must match the one the state was captured under;
+    /// mismatches fail with [`HprngError::RestoreMismatch`].
+    pub fn try_resume_session(
+        &mut self,
+        state: &crate::StreamState,
+    ) -> Result<HybridSession<'_>, HprngError> {
+        self.device.reset_timeline();
+        let backend = DeviceBackend::new(&self.device, self.params);
+        let feed = Box::new(GlibcFeed::from_master_seed(self.seed));
+        let mut engine = Engine::with_mode(backend, feed, self.params.mode);
+        engine.restore_from(state)?;
+        Ok(HybridSession { engine })
+    }
+
     /// Bulk generation (Figure 3's workload): produces exactly `n` numbers
     /// using `ceil(n / S)` threads generating `S` numbers each.
     ///
@@ -154,6 +173,13 @@ impl HybridSession<'_> {
         self.engine.stats()
     }
 
+    /// Captures the session's resumable identity — walk labels, feed seed,
+    /// served counters — for [`HybridPrng::try_resume_session`] or JSON
+    /// persistence via [`crate::StreamState::to_json`].
+    pub fn checkpoint(&self) -> Result<crate::StreamState, HprngError> {
+        self.engine.checkpoint()
+    }
+
     /// The device timeline (Figure 4's raw material).
     pub fn timeline(&self) -> Timeline {
         self.engine.timeline().unwrap_or_default()
@@ -211,6 +237,14 @@ impl crate::ondemand::OnDemandRng for HybridSession<'_> {
 
     fn take_tap(&mut self) -> Option<Box<dyn WordTap>> {
         self.engine.take_tap()
+    }
+
+    fn try_checkpoint(&mut self) -> Result<crate::StreamState, HprngError> {
+        self.engine.checkpoint()
+    }
+
+    fn try_restore(&mut self, state: &crate::StreamState) -> Result<(), HprngError> {
+        self.engine.restore_from(state)
     }
 }
 
@@ -374,6 +408,45 @@ mod tests {
         );
         // The session stays usable after a rejected request.
         assert_eq!(session.try_next_batch(8).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn resumed_session_continues_bit_identically() {
+        // Checkpoint after full-width batches, serialize through JSON,
+        // resume on a *different* HybridPrng instance (same seed), and the
+        // streams must continue identically — the facade-level guarantee
+        // the pool's cross-shard migration is built on.
+        let mut original_prng = tiny_prng(31);
+        let mut session = original_prng.try_session(32).unwrap();
+        for _ in 0..4 {
+            session.try_next_batch(32).unwrap();
+        }
+        let json = session.checkpoint().unwrap().to_json();
+        let state = crate::StreamState::from_json(&json).unwrap();
+
+        let mut resumed_prng = tiny_prng(31);
+        let mut resumed = resumed_prng.try_resume_session(&state).unwrap();
+        for round in 0..3 {
+            assert_eq!(
+                resumed.try_next_batch(32).unwrap(),
+                session.try_next_batch(32).unwrap(),
+                "round {round} diverged after resume"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_seed() {
+        let mut prng = tiny_prng(1);
+        let mut session = prng.try_session(8).unwrap();
+        session.try_next_batch(8).unwrap();
+        let state = session.checkpoint().unwrap();
+        drop(session);
+        let mut other = tiny_prng(2);
+        assert!(matches!(
+            other.try_resume_session(&state),
+            Err(HprngError::RestoreMismatch { field: "seed", .. })
+        ));
     }
 
     #[test]

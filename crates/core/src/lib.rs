@@ -42,6 +42,7 @@ mod params;
 pub mod pipeline;
 mod rng;
 pub mod seeding;
+pub mod state;
 
 pub use bitsource::{CountingBitSource, RngBitSource};
 pub use cpu_parallel::{CpuParallelPrng, CpuParallelSession};
@@ -56,3 +57,4 @@ pub use pipeline::{
     Backend, BitFeed, CpuBackend, DeviceBackend, Engine, GlibcFeed, SharedDeviceBackend,
 };
 pub use rng::ExpanderWalkRng;
+pub use state::{Checkpoint, Restore, StreamState};

@@ -98,6 +98,35 @@ pub trait OnDemandRng {
     fn take_tap(&mut self) -> Option<Box<dyn WordTap>> {
         None
     }
+
+    /// Captures this stream's resumable identity as a
+    /// [`StreamState`](crate::StreamState).
+    ///
+    /// The default declines with [`HprngError::CheckpointUnsupported`];
+    /// providers with a positional notion of state (the expander-walk
+    /// generators, the pipeline engines, pool clients) override it. Being
+    /// a trait method keeps it callable on `Box<dyn OnDemandRng>` — the
+    /// shape pool shard workers hold sessions in.
+    fn try_checkpoint(&mut self) -> Result<crate::StreamState, HprngError> {
+        Err(HprngError::CheckpointUnsupported {
+            label: self.label(),
+        })
+    }
+
+    /// Fast-forwards this provider onto a checkpointed
+    /// [`StreamState`](crate::StreamState).
+    ///
+    /// Restores never rewind: call this on a freshly built provider (same
+    /// seed, same parameters) and it advances to the recorded position,
+    /// after which the served words are bit-identical to the uninterrupted
+    /// stream. The default declines with
+    /// [`HprngError::CheckpointUnsupported`].
+    fn try_restore(&mut self, state: &crate::StreamState) -> Result<(), HprngError> {
+        let _ = state;
+        Err(HprngError::CheckpointUnsupported {
+            label: self.label(),
+        })
+    }
 }
 
 impl<T: OnDemandRng + ?Sized> OnDemandRng for &mut T {
@@ -131,6 +160,14 @@ impl<T: OnDemandRng + ?Sized> OnDemandRng for &mut T {
 
     fn take_tap(&mut self) -> Option<Box<dyn WordTap>> {
         (**self).take_tap()
+    }
+
+    fn try_checkpoint(&mut self) -> Result<crate::StreamState, HprngError> {
+        (**self).try_checkpoint()
+    }
+
+    fn try_restore(&mut self, state: &crate::StreamState) -> Result<(), HprngError> {
+        (**self).try_restore(state)
     }
 }
 

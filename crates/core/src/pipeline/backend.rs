@@ -90,6 +90,14 @@ pub trait Backend {
 
     /// The simulated timeline, for backends that model one.
     fn timeline(&self) -> Option<Timeline>;
+
+    /// Packed labels of the resident walks, one per thread (empty when the
+    /// backend cannot expose them). Checkpoints embed these so a
+    /// replay-based restore can *verify* the replayed positions against
+    /// the originals instead of trusting the request history blindly.
+    fn walk_labels(&self) -> Vec<u64> {
+        Vec::new()
+    }
 }
 
 /// The mutable simulated-device state shared by the borrowing
@@ -273,6 +281,10 @@ impl Backend for DeviceBackend<'_> {
     fn timeline(&self) -> Option<Timeline> {
         Some(self.device.timeline())
     }
+
+    fn walk_labels(&self) -> Vec<u64> {
+        self.state.states.as_slice().to_vec()
+    }
 }
 
 /// An *owning* simulated-GPU backend: identical accounting to
@@ -341,6 +353,10 @@ impl Backend for SharedDeviceBackend {
 
     fn timeline(&self) -> Option<Timeline> {
         Some(self.device.timeline())
+    }
+
+    fn walk_labels(&self) -> Vec<u64> {
+        self.state.states.as_slice().to_vec()
     }
 }
 
@@ -427,6 +443,10 @@ impl Backend for CpuBackend {
 
     fn timeline(&self) -> Option<Timeline> {
         None
+    }
+
+    fn walk_labels(&self) -> Vec<u64> {
+        self.states.clone()
     }
 }
 

@@ -153,6 +153,9 @@ pub struct Engine<B: Backend> {
     wall_start: Instant,
     recorder: Recorder,
     tap: Option<Box<dyn WordTap>>,
+    /// The feed's master seed, captured at construction (before the feed
+    /// may move onto its producer thread) so checkpoints can carry it.
+    feed_seed: Option<u64>,
 }
 
 impl<B: Backend> Engine<B> {
@@ -162,6 +165,7 @@ impl<B: Backend> Engine<B> {
     pub fn with_mode(backend: B, feed: Box<dyn BitFeed>, mode: PipelineMode) -> Self {
         let recorder = Recorder::new();
         let mode = mode.resolve();
+        let feed_seed = feed.master_seed();
         let feed = match mode {
             PipelineMode::Concurrent => {
                 FeedSource::Worker(FeedWorker::spawn(feed, recorder.epoch()))
@@ -178,6 +182,7 @@ impl<B: Backend> Engine<B> {
             wall_start: Instant::now(),
             recorder,
             tap: None,
+            feed_seed,
         }
     }
 
@@ -389,6 +394,130 @@ impl<B: Backend> Engine<B> {
         }
         out
     }
+
+    /// Captures the engine's resumable identity: the feed's master seed,
+    /// the served/consumed counters, and the packed label of every
+    /// resident walk.
+    ///
+    /// Fails with [`HprngError::CheckpointUnsupported`] when the feed did
+    /// not expose a master seed (see
+    /// [`BitFeed::master_seed`](crate::pipeline::BitFeed::master_seed)) —
+    /// without it a restore could not rebuild the raw-bit stream.
+    pub fn checkpoint(&self) -> Result<crate::StreamState, HprngError> {
+        let seed = self.feed_seed.ok_or(HprngError::CheckpointUnsupported {
+            label: self.backend.label(),
+        })?;
+        let walks = self
+            .backend
+            .walk_labels()
+            .into_iter()
+            // Backends rebuild each lane's Walk per batch, so step parity
+            // restarts at zero every round; the packed vertex is the whole
+            // per-lane state.
+            .map(|vertex| hprng_expander::WalkState { vertex, steps: 0 })
+            .collect();
+        Ok(crate::StreamState {
+            label: self.backend.label().to_string(),
+            id: 0,
+            seed,
+            lanes: self.backend.threads(),
+            words_served: self.numbers as u64,
+            session_words: self.numbers as u64,
+            degraded_words: 0,
+            feed_words: self.feed_words,
+            feed_chunks: 0,
+            walks,
+        })
+    }
+
+    /// Restores a freshly constructed engine onto `state` by replaying the
+    /// request history as uniform full-lane-width rounds plus one
+    /// remainder batch.
+    ///
+    /// That replay shape is exact for full-width consumers — the
+    /// `hprng-pool` shard workers always refill whole lane-width rows —
+    /// and for any engine whose batches never varied in size. Because a
+    /// differently-batched history assigns feed words to lanes
+    /// differently, the restore *verifies* the replayed walk labels (and
+    /// feed cursor) against the checkpoint whenever the state carries
+    /// them, and rejects the result with [`HprngError::RestoreMismatch`]
+    /// instead of silently resuming a perturbed stream.
+    ///
+    /// The engine must be freshly constructed over a fresh feed with the
+    /// same parameters: either uninitialized, or initialized to
+    /// `state.lanes` walks with no numbers served yet (the
+    /// [`crate::HybridSession`] shape).
+    pub fn restore_from(&mut self, state: &crate::StreamState) -> Result<(), HprngError> {
+        if self.numbers != 0 {
+            return Err(HprngError::RestoreMismatch {
+                field: "engine",
+                reason: "restore needs a freshly constructed engine",
+            });
+        }
+        match self.feed_seed {
+            Some(seed) if seed == state.seed => {}
+            Some(_) => {
+                return Err(HprngError::RestoreMismatch {
+                    field: "seed",
+                    reason: "state belongs to a different master seed",
+                })
+            }
+            None => {
+                return Err(HprngError::CheckpointUnsupported {
+                    label: self.backend.label(),
+                })
+            }
+        }
+        if !state.walks.is_empty() && state.walks.len() != state.lanes {
+            return Err(HprngError::RestoreMismatch {
+                field: "walks",
+                reason: "walk count disagrees with the lane count",
+            });
+        }
+        match self.backend.threads() {
+            0 => self.initialize(state.lanes)?,
+            t if t == state.lanes => {}
+            _ => {
+                return Err(HprngError::RestoreMismatch {
+                    field: "lanes",
+                    reason: "engine was initialized with a different lane count",
+                })
+            }
+        }
+        let lanes = state.lanes;
+        let total = state.session_words;
+        let rounds = total / lanes as u64;
+        let remainder = (total % lanes as u64) as usize;
+        let mut scratch = vec![0u64; lanes];
+        for _ in 0..rounds {
+            self.try_next_batch_into(&mut scratch)?;
+        }
+        if remainder > 0 {
+            self.try_next_batch_into(&mut scratch[..remainder])?;
+        }
+        if !state.walks.is_empty() {
+            let replayed = self.backend.walk_labels();
+            let matches = replayed.len() == state.walks.len()
+                && replayed
+                    .iter()
+                    .zip(&state.walks)
+                    .all(|(&vertex, walk)| vertex == walk.vertex);
+            if !matches {
+                return Err(HprngError::RestoreMismatch {
+                    field: "walks",
+                    reason: "replayed walk positions disagree with the checkpoint \
+                             (parameters or request history differ)",
+                });
+            }
+        }
+        if state.feed_words != 0 && self.feed_words != state.feed_words {
+            return Err(HprngError::RestoreMismatch {
+                field: "feed_words",
+                reason: "replayed feed cursor disagrees with the checkpoint",
+            });
+        }
+        Ok(())
+    }
 }
 
 impl<B: Backend> crate::ondemand::OnDemandRng for Engine<B> {
@@ -423,6 +552,14 @@ impl<B: Backend> crate::ondemand::OnDemandRng for Engine<B> {
 
     fn take_tap(&mut self) -> Option<Box<dyn WordTap>> {
         Engine::take_tap(self)
+    }
+
+    fn try_checkpoint(&mut self) -> Result<crate::StreamState, HprngError> {
+        Engine::checkpoint(self)
+    }
+
+    fn try_restore(&mut self, state: &crate::StreamState) -> Result<(), HprngError> {
+        Engine::restore_from(self, state)
     }
 }
 
@@ -488,6 +625,87 @@ mod tests {
         let mut e = engine(PipelineMode::Concurrent, 3);
         e.initialize(4).unwrap();
         drop(e); // must return promptly
+    }
+
+    #[test]
+    fn engine_restore_replays_to_a_bit_identical_stream() {
+        // Full-width request history (the pool shard shape): replay is
+        // exact and verification passes.
+        let mut original = engine(PipelineMode::Synchronous, 77);
+        original.initialize(16).unwrap();
+        for _ in 0..9 {
+            original.try_next_batch(16).unwrap();
+        }
+        let state = original.checkpoint().unwrap();
+        assert_eq!(state.lanes, 16);
+        assert_eq!(state.session_words, 9 * 16);
+
+        let mut resumed = engine(PipelineMode::Concurrent, 77);
+        resumed.restore_from(&state).unwrap();
+        for round in 0..5 {
+            assert_eq!(
+                resumed.try_next_batch(16).unwrap(),
+                original.try_next_batch(16).unwrap(),
+                "round {round} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_restore_survives_the_json_round_trip() {
+        let mut original = engine(PipelineMode::Synchronous, 5);
+        original.initialize(8).unwrap();
+        original.try_next_batch(8).unwrap();
+        let json = original.checkpoint().unwrap().to_json();
+        let state = crate::StreamState::from_json(&json).unwrap();
+        let mut resumed = engine(PipelineMode::Synchronous, 5);
+        resumed.restore_from(&state).unwrap();
+        assert_eq!(
+            resumed.try_next_batch(8).unwrap(),
+            original.try_next_batch(8).unwrap()
+        );
+    }
+
+    #[test]
+    fn engine_restore_rejects_divergent_histories() {
+        // Ragged request history: the full-width replay cannot reproduce
+        // it, and the walk-label verification must catch that instead of
+        // resuming a perturbed stream.
+        let mut ragged = engine(PipelineMode::Synchronous, 3);
+        ragged.initialize(8).unwrap();
+        ragged.try_next_batch(3).unwrap();
+        ragged.try_next_batch(8).unwrap();
+        let state = ragged.checkpoint().unwrap();
+        let mut resumed = engine(PipelineMode::Synchronous, 3);
+        assert!(matches!(
+            resumed.restore_from(&state),
+            Err(HprngError::RestoreMismatch { field: "walks", .. })
+        ));
+    }
+
+    #[test]
+    fn engine_restore_rejects_wrong_seed_and_used_engines() {
+        let mut original = engine(PipelineMode::Synchronous, 1);
+        original.initialize(4).unwrap();
+        original.try_next_batch(4).unwrap();
+        let state = original.checkpoint().unwrap();
+
+        let mut wrong_seed = engine(PipelineMode::Synchronous, 2);
+        assert!(matches!(
+            wrong_seed.restore_from(&state),
+            Err(HprngError::RestoreMismatch { field: "seed", .. })
+        ));
+
+        let mut used = engine(PipelineMode::Synchronous, 1);
+        used.initialize(4).unwrap();
+        used.try_next_batch(4).unwrap();
+        assert!(matches!(
+            used.restore_from(&state),
+            Err(HprngError::RestoreMismatch {
+                field: "engine",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -30,12 +30,21 @@ pub trait BitFeed: Send + 'static {
     fn label(&self) -> &'static str {
         "bitfeed"
     }
+
+    /// The 64-bit master seed this feed's stream is a pure function of,
+    /// when the feed knows it (`None` otherwise). Engines capture it at
+    /// construction so their [`crate::StreamState`] checkpoints carry
+    /// everything needed to rebuild the feed on restore.
+    fn master_seed(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// The paper's FEED: glibc `rand()`, two 31-bit values and a parity draw
 /// per 64-bit word.
 pub struct GlibcFeed {
     rng: GlibcRand,
+    master_seed: Option<u64>,
 }
 
 impl GlibcFeed {
@@ -43,13 +52,17 @@ impl GlibcFeed {
     pub fn new(glibc_seed: u32) -> Self {
         Self {
             rng: GlibcRand::new(glibc_seed),
+            master_seed: None,
         }
     }
 
     /// The hybrid pipeline's canonical derivation: the glibc seed is
     /// [`seeding::feed_seed`] of the 64-bit master seed.
     pub fn from_master_seed(seed: u64) -> Self {
-        Self::new(seeding::feed_seed(seed))
+        Self {
+            rng: GlibcRand::new(seeding::feed_seed(seed)),
+            master_seed: Some(seed),
+        }
     }
 }
 
@@ -69,12 +82,17 @@ impl BitFeed for GlibcFeed {
     fn label(&self) -> &'static str {
         "glibc"
     }
+
+    fn master_seed(&self) -> Option<u64> {
+        self.master_seed
+    }
 }
 
 /// A SplitMix64 feed: one mixer step per word. Faster and better
 /// distributed than glibc — the ablation feed.
 pub struct SplitMixFeed {
     rng: SplitMix64,
+    seed: u64,
 }
 
 impl SplitMixFeed {
@@ -82,6 +100,7 @@ impl SplitMixFeed {
     pub fn new(seed: u64) -> Self {
         Self {
             rng: SplitMix64::new(seed),
+            seed,
         }
     }
 }
@@ -95,6 +114,10 @@ impl BitFeed for SplitMixFeed {
 
     fn label(&self) -> &'static str {
         "splitmix64"
+    }
+
+    fn master_seed(&self) -> Option<u64> {
+        Some(self.seed)
     }
 }
 

@@ -26,6 +26,10 @@ pub struct ExpanderWalkRng<S: BitSource = RngBitSource<GlibcRand>> {
     bits: TriBitReader<S>,
     params: WalkParams,
     generated: u64,
+    /// The master seed the bit source was derived from, when known.
+    /// Checkpoints require it: a restored stream rebuilds the source from
+    /// this seed and fast-forwards to the checkpointed chunk cursor.
+    seed: Option<u64>,
 }
 
 impl ExpanderWalkRng<RngBitSource<GlibcRand>> {
@@ -34,10 +38,23 @@ impl ExpanderWalkRng<RngBitSource<GlibcRand>> {
     pub fn from_seed_u64(seed: u64) -> Self {
         // Decorrelate the 32-bit glibc seed from the raw u64.
         let glibc_seed = SplitMix64::new(seed).next() as u32;
-        Self::with_params(
+        let mut rng = Self::with_params(
             RngBitSource::new(GlibcRand::new(glibc_seed)),
             WalkParams::default(),
-        )
+        );
+        rng.seed = Some(seed);
+        rng
+    }
+
+    /// Rebuilds a generator from a checkpointed [`StreamState`] captured
+    /// by [`ExpanderWalkRng::checkpoint`] (or by a pool shard hosting one):
+    /// reconstructs the paper's configuration from `state.seed` and
+    /// fast-forwards to the checkpointed position in O(chunks) via
+    /// [`TriBitReader::skip_chunks`] — the walk itself is never replayed.
+    pub fn resume(state: &crate::StreamState) -> Result<Self, crate::HprngError> {
+        let mut rng = Self::from_seed_u64(state.seed);
+        rng.restore_from(state)?;
+        Ok(rng)
     }
 }
 
@@ -60,7 +77,82 @@ impl<S: BitSource> ExpanderWalkRng<S> {
             bits,
             params,
             generated: 0,
+            seed: None,
         }
+    }
+
+    /// Captures the stream's resumable identity: the walk position and
+    /// step count plus the raw-chunk cursor. Fails with
+    /// [`crate::HprngError::CheckpointUnsupported`] when the generator was
+    /// built over an anonymous bit source (only
+    /// [`ExpanderWalkRng::from_seed_u64`] records its seed).
+    pub fn checkpoint(&self) -> Result<crate::StreamState, crate::HprngError> {
+        let seed = self.seed.ok_or(crate::HprngError::CheckpointUnsupported {
+            label: "expander-walk",
+        })?;
+        let chunks = self.bits.chunks_consumed();
+        Ok(crate::StreamState {
+            label: "expander-walk".to_string(),
+            id: 0,
+            seed,
+            lanes: 1,
+            words_served: self.generated,
+            session_words: self.generated,
+            degraded_words: 0,
+            feed_words: chunks.div_ceil(hprng_expander::bits::CHUNKS_PER_WORD as u64),
+            feed_chunks: chunks,
+            walks: vec![self.walk.checkpoint()],
+        })
+    }
+
+    /// Fast-forwards this generator onto `state`.
+    ///
+    /// Restores never rewind: the target chunk cursor must be at or past
+    /// the current one (a freshly built generator over the same seed
+    /// always qualifies). The raw-bit cursor is advanced with
+    /// [`TriBitReader::skip_chunks`] and the walk position is installed
+    /// directly, so the cost is O(chunks skipped), not O(walk steps).
+    pub fn restore_from(&mut self, state: &crate::StreamState) -> Result<(), crate::HprngError> {
+        if state.label != "expander-walk" {
+            return Err(crate::HprngError::RestoreMismatch {
+                field: "label",
+                reason: "state was not captured from an expander-walk provider",
+            });
+        }
+        if let Some(seed) = self.seed {
+            if seed != state.seed {
+                return Err(crate::HprngError::RestoreMismatch {
+                    field: "seed",
+                    reason: "state belongs to a different seed",
+                });
+            }
+        }
+        if state.lanes != 1 {
+            return Err(crate::HprngError::RestoreMismatch {
+                field: "lanes",
+                reason: "expander-walk providers are single-lane",
+            });
+        }
+        let walk = match state.walks.as_slice() {
+            [walk] => *walk,
+            _ => {
+                return Err(crate::HprngError::RestoreMismatch {
+                    field: "walks",
+                    reason: "expected exactly one walk position",
+                })
+            }
+        };
+        let cursor = self.bits.chunks_consumed();
+        if state.feed_chunks < cursor {
+            return Err(crate::HprngError::RestoreMismatch {
+                field: "feed_chunks",
+                reason: "cannot rewind a live bit source; restore onto a fresh generator",
+            });
+        }
+        self.bits.skip_chunks(state.feed_chunks - cursor);
+        self.walk.restore(walk);
+        self.generated = state.session_words;
+        Ok(())
     }
 
     /// The walk parameters in use.
@@ -153,6 +245,14 @@ impl<S: BitSource> crate::ondemand::OnDemandRng for ExpanderWalkRng<S> {
                 .chunks_consumed()
                 .div_ceil(hprng_expander::bits::CHUNKS_PER_WORD as u64),
         )
+    }
+
+    fn try_checkpoint(&mut self) -> Result<crate::StreamState, crate::HprngError> {
+        ExpanderWalkRng::checkpoint(self)
+    }
+
+    fn try_restore(&mut self, state: &crate::StreamState) -> Result<(), crate::HprngError> {
+        self.restore_from(state)
     }
 }
 
@@ -264,5 +364,99 @@ mod tests {
         let mut a: ExpanderWalkRng = SeedableRng::seed_from_u64(77);
         let mut b = ExpanderWalkRng::from_seed_u64(77);
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn resume_from_checkpoint_is_bit_identical() {
+        let mut original = ExpanderWalkRng::from_seed_u64(4242);
+        for _ in 0..137 {
+            original.get_next_rand();
+        }
+        let state = original.checkpoint().unwrap();
+        assert_eq!(state.session_words, 137);
+        let mut resumed = ExpanderWalkRng::resume(&state).unwrap();
+        for i in 0..200 {
+            assert_eq!(
+                resumed.get_next_rand(),
+                original.get_next_rand(),
+                "word {i}"
+            );
+        }
+        assert_eq!(resumed.numbers_generated(), original.numbers_generated());
+        assert_eq!(resumed.chunks_consumed(), original.chunks_consumed());
+    }
+
+    #[test]
+    fn checkpoint_survives_the_json_round_trip() {
+        let mut original = ExpanderWalkRng::from_seed_u64(99);
+        for _ in 0..10 {
+            original.get_next_rand();
+        }
+        let json = original.checkpoint().unwrap().to_json();
+        let state = crate::StreamState::from_json(&json).unwrap();
+        let mut resumed = ExpanderWalkRng::resume(&state).unwrap();
+        for _ in 0..50 {
+            assert_eq!(resumed.get_next_rand(), original.get_next_rand());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_foreign_and_rewound_states() {
+        let mut a = ExpanderWalkRng::from_seed_u64(1);
+        a.get_next_rand();
+        let state = a.checkpoint().unwrap();
+
+        // Wrong seed.
+        let mut other = ExpanderWalkRng::from_seed_u64(2);
+        assert_eq!(
+            other.restore_from(&state),
+            Err(crate::HprngError::RestoreMismatch {
+                field: "seed",
+                reason: "state belongs to a different seed",
+            })
+        );
+
+        // Rewinding a generator that is already past the checkpoint.
+        let mut ahead = ExpanderWalkRng::from_seed_u64(1);
+        for _ in 0..5 {
+            ahead.get_next_rand();
+        }
+        assert!(matches!(
+            ahead.restore_from(&state),
+            Err(crate::HprngError::RestoreMismatch {
+                field: "feed_chunks",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn anonymous_sources_decline_checkpoints() {
+        use crate::ondemand::OnDemandRng;
+        let mut rng = ExpanderWalkRng::with_params(
+            RngBitSource::new(SplitMix64::new(5)),
+            WalkParams::default(),
+        );
+        assert_eq!(
+            rng.try_checkpoint(),
+            Err(crate::HprngError::CheckpointUnsupported {
+                label: "expander-walk",
+            })
+        );
+    }
+
+    #[test]
+    fn checkpoint_via_boxed_dyn_trait_object_works() {
+        use crate::ondemand::OnDemandRng;
+        let mut boxed: Box<dyn OnDemandRng + Send> = Box::new(ExpanderWalkRng::from_seed_u64(8));
+        for _ in 0..3 {
+            boxed.get_next_rand();
+        }
+        let state = boxed.try_checkpoint().unwrap();
+        let mut resumed: Box<dyn OnDemandRng + Send> = Box::new(ExpanderWalkRng::from_seed_u64(8));
+        resumed.try_restore(&state).unwrap();
+        for _ in 0..20 {
+            assert_eq!(resumed.get_next_rand(), boxed.get_next_rand());
+        }
     }
 }

@@ -4,9 +4,40 @@
 use hprng_baselines::SplitMix64;
 use hprng_core::ondemand::{BitProvider, OnDemandBits, TappedBits};
 use hprng_core::seeding::{lane_seed, mix64, worker_seed};
-use hprng_core::ScalarRng;
+use hprng_core::{ScalarRng, StreamState};
+use hprng_expander::WalkState;
 use hprng_telemetry::WordTap;
 use proptest::prelude::*;
+
+const STATE_LABELS: [&str; 4] = ["expander-walk", "gpu-sim", "cpu-threads", "pool-lane"];
+
+/// Assembles a `StreamState` from raw proptest draws (the vendored
+/// proptest has no `prop_map`, so composition happens in the test body).
+fn build_state(
+    label_idx: usize,
+    ids: (u64, u64),
+    lanes: usize,
+    counters: (u64, u64, u64, u64),
+    walks: Vec<(u64, u64)>,
+) -> StreamState {
+    let (id, seed) = ids;
+    let (session, degraded, feed_words, feed_chunks) = counters;
+    StreamState {
+        label: STATE_LABELS[label_idx].to_string(),
+        id,
+        seed,
+        lanes,
+        words_served: session.wrapping_add(degraded),
+        session_words: session,
+        degraded_words: degraded,
+        feed_words,
+        feed_chunks,
+        walks: walks
+            .into_iter()
+            .map(|(vertex, steps)| WalkState { vertex, steps })
+            .collect(),
+    }
+}
 
 struct Collect(Vec<u64>);
 
@@ -89,5 +120,41 @@ proptest! {
             expected.push(word);
         }
         prop_assert_eq!(tap.0, expected);
+    }
+
+    /// Stream states survive the JSON round trip losslessly for arbitrary
+    /// walk positions (full 64-bit labels), lane counts, and cursors — the
+    /// persistence leg of the pool's checkpoint/failover mechanism. The
+    /// telemetry JSON number is an f64, so this fails immediately if any
+    /// u64 field ever rides as a number instead of a decimal string.
+    #[test]
+    fn stream_state_json_round_trip_is_lossless(
+        label_idx in 0usize..4,
+        ids in (any::<u64>(), any::<u64>()),
+        lanes in 1usize..4097,
+        counters in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        walks in prop::collection::vec((any::<u64>(), any::<u64>()), 0..16),
+    ) {
+        let state = build_state(label_idx, ids, lanes, counters, walks);
+        let text = state.to_json();
+        let back = StreamState::from_json(&text).unwrap();
+        prop_assert_eq!(back, state);
+    }
+
+    /// Serialization is canonical enough to re-serialize: parsing and
+    /// re-emitting yields byte-identical JSON (BTreeMap key order), so
+    /// snapshots can be diffed and content-addressed.
+    #[test]
+    fn stream_state_json_is_canonical(
+        label_idx in 0usize..4,
+        ids in (any::<u64>(), any::<u64>()),
+        lanes in 1usize..4097,
+        counters in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        walks in prop::collection::vec((any::<u64>(), any::<u64>()), 0..16),
+    ) {
+        let state = build_state(label_idx, ids, lanes, counters, walks);
+        let text = state.to_json();
+        let again = StreamState::from_json(&text).unwrap().to_json();
+        prop_assert_eq!(text, again);
     }
 }

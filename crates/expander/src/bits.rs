@@ -154,6 +154,39 @@ impl<S: BitSource> TriBitReader<S> {
         self.chunks_left = CHUNKS_PER_WORD as u32;
     }
 
+    /// Advances the cursor past the next `n` chunks without yielding them.
+    ///
+    /// This is the restore fast path for checkpointed walk generators: a
+    /// resumed stream rebuilds its bit source from the seed and skips to
+    /// the checkpointed [`TriBitReader::chunks_consumed`] cursor. Whole
+    /// words are skipped without shifting chunks out one by one, so the
+    /// cost is one source word per 21 chunks plus a small remainder.
+    pub fn skip_chunks(&mut self, n: u64) {
+        let mut remaining = n;
+        // Drain whatever is left in the shift register first.
+        while remaining > 0 && self.chunks_left > 0 {
+            self.current >>= 3;
+            self.chunks_left -= 1;
+            self.consumed += 1;
+            remaining -= 1;
+        }
+        // Skip whole words: load them (refilling the buffer as needed) and
+        // discard all 21 chunks at once.
+        while remaining >= CHUNKS_PER_WORD as u64 {
+            if self.word_idx == self.buf.len() {
+                self.source.fill(&mut self.buf);
+                self.word_idx = 0;
+            }
+            self.word_idx += 1;
+            self.consumed += CHUNKS_PER_WORD as u64;
+            remaining -= CHUNKS_PER_WORD as u64;
+        }
+        // The remainder positions the register mid-word.
+        for _ in 0..remaining {
+            self.next3();
+        }
+    }
+
     /// Total number of 3-bit chunks handed out so far.
     #[inline]
     pub fn chunks_consumed(&self) -> u64 {
@@ -228,6 +261,45 @@ mod tests {
         let mut r = TriBitReader::new(SliceBitSource::new(&words));
         for _ in 0..CHUNKS_PER_WORD {
             assert_eq!(r.next3(), 0);
+        }
+    }
+
+    #[test]
+    fn skip_chunks_lands_on_the_same_cursor_as_reading() {
+        let words: Vec<u64> = (0..64u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        for skip in [0u64, 1, 5, 20, 21, 22, 41, 42, 100, 419, 420, 421, 1000] {
+            let mut read = TriBitReader::new(SliceBitSource::new(&words));
+            for _ in 0..skip {
+                read.next3();
+            }
+            let mut skipped = TriBitReader::new(SliceBitSource::new(&words));
+            skipped.skip_chunks(skip);
+            assert_eq!(skipped.chunks_consumed(), skip);
+            for i in 0..50 {
+                assert_eq!(read.next3(), skipped.next3(), "skip {skip}, chunk {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn skip_chunks_works_mid_register() {
+        let words: Vec<u64> = (0..8u64).map(|i| !i).collect();
+        let mut read = TriBitReader::new(SliceBitSource::new(&words));
+        let mut skipped = TriBitReader::new(SliceBitSource::new(&words));
+        // Consume 3 chunks on both, then skip across a word boundary.
+        for _ in 0..3 {
+            read.next3();
+            skipped.next3();
+        }
+        for _ in 0..45 {
+            read.next3();
+        }
+        skipped.skip_chunks(45);
+        assert_eq!(read.chunks_consumed(), skipped.chunks_consumed());
+        for _ in 0..30 {
+            assert_eq!(read.next3(), skipped.next3());
         }
     }
 

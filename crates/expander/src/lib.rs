@@ -54,5 +54,5 @@ mod walk;
 mod zm;
 
 pub use graph::{GabberGalil, GabberGalilGeneric, DEGREE};
-pub use walk::{NeighborSampling, Walk, WalkMode};
+pub use walk::{NeighborSampling, Walk, WalkMode, WalkState};
 pub use zm::{GenVertex, Vertex};

@@ -50,6 +50,24 @@ pub enum WalkMode {
     Bipartite,
 }
 
+/// The resumable identity of a [`Walk`]: the vertex it stands on and the
+/// number of steps taken.
+///
+/// This is the paper's whole per-stream state — a walk is a pure function
+/// of `(position, steps, future bits)`, so capturing these two words and
+/// later replaying them onto a walk over the same graph policies resumes
+/// the trajectory bit-identically. The higher layers
+/// (`hprng_core::StreamState`) embed this to checkpoint whole generators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkState {
+    /// The packed 64-bit label of the current vertex
+    /// ([`Vertex::pack`]).
+    pub vertex: u64,
+    /// Steps taken since construction (self-loops count; selects the edge
+    /// direction parity in [`WalkMode::Bipartite`]).
+    pub steps: u64,
+}
+
 /// A stateful random-walk cursor.
 #[derive(Clone, Debug)]
 pub struct Walk {
@@ -96,6 +114,26 @@ impl Walk {
     pub fn teleport(&mut self, v: Vertex) {
         self.pos = v;
         self.steps = 0;
+    }
+
+    /// Captures the walk's resumable identity: current vertex plus step
+    /// count. Policies (sampling, mode) are construction parameters, not
+    /// state — the caller re-supplies them on restore.
+    #[inline]
+    pub fn checkpoint(&self) -> WalkState {
+        WalkState {
+            vertex: self.pos.pack(),
+            steps: self.steps,
+        }
+    }
+
+    /// Repositions the walk onto a checkpointed `state`. Unlike
+    /// [`Walk::teleport`] the step count is restored too, so bipartite
+    /// direction parity resumes where the checkpoint left it.
+    #[inline]
+    pub fn restore(&mut self, state: WalkState) {
+        self.pos = Vertex::unpack(state.vertex);
+        self.steps = state.steps;
     }
 
     /// Advances one step using an explicit neighbour choice in `0..8`.
@@ -265,6 +303,48 @@ mod tests {
         w.teleport(Vertex::new(9, 9));
         assert_eq!(w.position(), Vertex::new(9, 9));
         assert_eq!(w.steps_taken(), 0);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_the_trajectory_bit_identically() {
+        let words = [0x0f1e_2d3c_4b5a_6978u64, 0x8796_a5b4_c3d2_e1f0];
+        for mode in [WalkMode::Directed, WalkMode::Bipartite] {
+            let mut original =
+                Walk::new(Vertex::new(3, 5), NeighborSampling::MaskWithSelfLoop, mode);
+            let mut r = reader(&words);
+            // Odd step count so bipartite parity is mid-cycle at the cut.
+            for _ in 0..7 {
+                original.step_with(&mut r);
+            }
+            let state = original.checkpoint();
+            assert_eq!(state.steps, 7);
+            // Restore onto a fresh walk with the same policies, feed it the
+            // same remaining bits, and require identical futures.
+            let mut resumed =
+                Walk::new(Vertex::new(0, 0), NeighborSampling::MaskWithSelfLoop, mode);
+            resumed.restore(state);
+            let mut r2 = reader(&words);
+            for _ in 0..7 {
+                r2.next3(); // burn the bits the original consumed
+            }
+            for _ in 0..40 {
+                assert_eq!(original.step_with(&mut r), resumed.step_with(&mut r2));
+            }
+        }
+    }
+
+    #[test]
+    fn restore_differs_from_teleport_by_keeping_steps() {
+        let mut w = Walk::paper_default(Vertex::new(1, 2));
+        w.step_choice(3);
+        w.step_choice(4);
+        let state = w.checkpoint();
+        let mut other = Walk::paper_default(Vertex::new(0, 0));
+        other.restore(state);
+        assert_eq!(other.position(), w.position());
+        assert_eq!(other.steps_taken(), 2);
+        other.teleport(Vertex::unpack(state.vertex));
+        assert_eq!(other.steps_taken(), 0);
     }
 
     #[test]

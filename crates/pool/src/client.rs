@@ -5,16 +5,17 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use hprng_baselines::SplitMix64;
-use hprng_core::{HprngError, OnDemandRng, ScalarRng};
+use hprng_core::{HprngError, OnDemandRng, ScalarRng, StreamState};
 use hprng_telemetry::{Stage, WordTap};
 use hprng_transport::{
-    BlockPool, Disconnect, RecvTimeoutError, RingReceiver, RingSender, ShutdownFlag, TryRecvError,
-    TrySendError,
+    bounded, BlockPool, Disconnect, RecvTimeoutError, RingReceiver, RingSender, ShutdownFlag,
+    TryRecvError, TrySendError,
 };
 
 use crate::config::FullPolicy;
 use crate::obs::ShardObs;
-use crate::shard::{Reply, Request, ShardMetrics};
+use crate::pool::PoolShared;
+use crate::shard::{Reply, Request, ShardMetrics, StateReply};
 
 /// Domain-separation salt of the [`FullPolicy::Degrade`] fallback stream,
 /// so the inline generator never collides with the lane's session seed.
@@ -45,6 +46,9 @@ pub struct PoolClient {
     id: u64,
     shard: usize,
     lanes: usize,
+    /// `lane_seed(pool_seed, id)` — the seed the shard-side session is a
+    /// pure function of, carried in every checkpoint this client emits.
+    lane_seed: u64,
     policy: FullPolicy,
     tx: RingSender<Request>,
     rx: RingReceiver<Reply>,
@@ -83,6 +87,15 @@ pub struct PoolClient {
     shutdown: ShutdownFlag,
     metrics: Arc<ShardMetrics>,
     obs: Option<Arc<ShardObs>>,
+    /// The pool-wide serving fabric: shard senders, arenas, and metrics
+    /// for reattachment, plus the claimed-id registry released on drop.
+    shared: Arc<PoolShared>,
+    /// Automatic reattach-on-poison, from [`crate::PoolBuilder::failover`].
+    failover_enabled: bool,
+    /// Words to skip from the first front block installed after a resume:
+    /// the `session_words % lanes` remainder the shard cannot
+    /// fast-forward, because it only replays whole lane-width rounds.
+    resume_skip: usize,
 }
 
 impl PoolClient {
@@ -95,19 +108,18 @@ impl PoolClient {
         policy: FullPolicy,
         tx: RingSender<Request>,
         rx: RingReceiver<Reply>,
-        blocks: Arc<BlockPool>,
-        shutdown: ShutdownFlag,
-        metrics: Arc<ShardMetrics>,
-        obs: Option<Arc<ShardObs>>,
+        shared: Arc<PoolShared>,
+        failover_enabled: bool,
     ) -> Self {
         Self {
             id,
             shard,
             lanes,
+            lane_seed,
             policy,
             tx,
             rx,
-            blocks,
+            blocks: Arc::clone(&shared.arenas[shard]),
             front: Vec::new(),
             pos: 0,
             pending_refills: 0,
@@ -121,10 +133,31 @@ impl PoolClient {
             session_served: 0,
             requests: 0,
             tap: None,
-            shutdown,
-            metrics,
-            obs,
+            shutdown: shared.shutdown.clone(),
+            metrics: Arc::clone(&shared.metrics[shard]),
+            obs: shared.obs.as_ref().map(|o| Arc::clone(&o.shards[shard])),
+            shared,
+            failover_enabled,
+            resume_skip: 0,
         }
+    }
+
+    /// Primes a freshly admitted client onto a checkpointed state: the
+    /// provenance counters resume where the checkpoint left off, the
+    /// degrade fallback fast-forwards past its served words, and the
+    /// first installed block skips the sub-round remainder the shard
+    /// could not fast-forward.
+    pub(crate) fn prime_from_state(&mut self, state: &StreamState) {
+        self.served = state.words_served;
+        self.session_served = state.session_words;
+        self.degraded = state.degraded_words;
+        // The fallback stream is client-side state; replay it to the
+        // degrade-resume point so a later degrade continues, rather than
+        // repeats, the salted stream.
+        for _ in 0..state.degraded_words {
+            self.fallback.get_next_rand();
+        }
+        self.resume_skip = (state.session_words % self.lanes as u64) as usize;
     }
 
     /// The client's lane index (the `index` of
@@ -153,6 +186,176 @@ impl PoolClient {
     /// [`words_served`](OnDemandRng::words_served).
     pub fn session_words(&self) -> u64 {
         self.session_served
+    }
+
+    /// True once the stream has failed permanently (the error every
+    /// subsequent request returns).
+    pub fn has_failed(&self) -> bool {
+        self.failed.is_some()
+    }
+
+    /// The client's consumer-exact resumable identity, built from its own
+    /// acked counters — no shard round-trip, so it works even while (or
+    /// after) the serving shard dies. This is the state the automatic
+    /// failover path reattaches with, and the one to persist (via
+    /// [`StreamState::to_json`]) for [`crate::Pool::try_client_resumed`].
+    ///
+    /// The state is *minimal*: it records how many session and degraded
+    /// words were consumed, and the restore side reconstructs the
+    /// position by fast-forwarding a fresh session. Words sitting in
+    /// not-yet-consumed prefetch blocks are deliberately not part of the
+    /// stream yet and are regenerated on resume.
+    pub fn checkpoint(&self) -> StreamState {
+        let mut state = StreamState::minimal(
+            "pool",
+            self.id,
+            self.lane_seed,
+            self.lanes,
+            self.session_served,
+        );
+        state.degraded_words = self.degraded;
+        state.words_served = self.session_served + self.degraded;
+        state
+    }
+
+    /// Asks the serving shard for the session's own checkpoint
+    /// ([`Request::Checkpoint`] round-trip). Unlike
+    /// [`PoolClient::checkpoint`], the returned state sits at the words
+    /// the session *produced* — ahead of this client's consumption by up
+    /// to the in-flight prefetch — and, for providers with rich state
+    /// (expander walks, engines), carries the exact walk vertices and
+    /// feed cursors for an O(cursor) restore.
+    pub fn session_checkpoint(&mut self) -> Result<StreamState, HprngError> {
+        let disconnected = |client: &Self| match client.shutdown.classify_disconnect() {
+            Disconnect::Shutdown => HprngError::PoolShutdown,
+            Disconnect::Poisoned => HprngError::ShardPoisoned {
+                shard: client.shard,
+            },
+        };
+        let (reply_tx, reply_rx) = bounded::<StateReply>(1);
+        self.tx
+            .send(Request::Checkpoint {
+                client: self.id,
+                reply: reply_tx,
+            })
+            .map_err(|_| disconnected(self))?;
+        match reply_rx.recv() {
+            Some(result) => result,
+            None => Err(disconnected(self)),
+        }
+    }
+
+    /// Moves this client onto shard `target`, live: checkpoints the
+    /// stream from the acked counters, attaches a resumed session on the
+    /// target shard, detaches from the old one, and swaps the serving
+    /// rails. The stream continues bit-identically — undelivered
+    /// prefetched words are regenerated by the resumed session.
+    ///
+    /// A no-op when the client already sits on `target`.
+    pub fn migrate_to(&mut self, target: usize) -> Result<(), HprngError> {
+        if target >= self.shared.txs.len() {
+            return Err(HprngError::InvalidParam {
+                field: "shard",
+                reason: "no such shard in this pool",
+            });
+        }
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        if target == self.shard {
+            return Ok(());
+        }
+        let state = self.checkpoint();
+        let old_tx = self.tx.clone();
+        self.reattach(target, &state)?;
+        // Graceful: free the old session. The old worker may still be
+        // filling owed refills; their reply sends fail (the old reply
+        // receiver is gone) and the worker recycles those blocks itself.
+        let _ = old_tx.send(Request::Detach { client: self.id });
+        self.shared.migrations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Attaches a resumed session on shard `target` and swaps this
+    /// client's serving rails over to it. On error the client is
+    /// untouched and keeps serving from its current shard.
+    fn reattach(&mut self, target: usize, state: &StreamState) -> Result<(), HprngError> {
+        let tx = self.shared.txs[target].clone();
+        let obs = self
+            .shared
+            .obs
+            .as_ref()
+            .map(|o| Arc::clone(&o.shards[target]));
+        let (reply_tx, reply_rx) = bounded::<Reply>(2);
+        let unavailable = HprngError::ShardPoisoned { shard: target };
+        tx.send(Request::Attach {
+            client: self.id,
+            reply: reply_tx,
+            resume: Some(Box::new(state.clone())),
+        })
+        .map_err(|_| unavailable.clone())?;
+        for _ in 0..2 {
+            if tx
+                .send(Request::Refill {
+                    client: self.id,
+                    enqueued_ns: obs.as_ref().map_or(f64::NAN, |o| o.now_ns()),
+                })
+                .is_err()
+            {
+                // Half-admitted: the target accepted the attach but died
+                // before the prefetch was primed. Free the orphan session
+                // best-effort and stay on the current shard.
+                let _ = tx.send(Request::Detach { client: self.id });
+                return Err(unavailable);
+            }
+        }
+        // Point of no return: drop the local buffers (the resumed session
+        // regenerates their words) and swap every per-shard rail.
+        let front = std::mem::take(&mut self.front);
+        if front.capacity() > 0 {
+            self.blocks.give_back(front);
+        }
+        let replay = std::mem::take(&mut self.replay);
+        if replay.capacity() > 0 {
+            self.blocks.give_back(replay);
+        }
+        self.pos = 0;
+        self.replay_pos = 0;
+        self.pending_refills = 0;
+        self.shard = target;
+        self.tx = tx;
+        self.rx = reply_rx;
+        self.blocks = Arc::clone(&self.shared.arenas[target]);
+        self.metrics = Arc::clone(&self.shared.metrics[target]);
+        self.obs = obs;
+        self.resume_skip = (state.session_words % self.lanes as u64) as usize;
+        self.degraded_forever = false;
+        Ok(())
+    }
+
+    /// The automatic failover path: on a poisoned-shard disconnect,
+    /// checkpoint from the acked counters and reattach to the next
+    /// healthy shard. Returns `true` when the stream was re-established
+    /// (the caller retries its receive on the new shard).
+    fn try_failover(&mut self) -> bool {
+        if !self.failover_enabled
+            || matches!(self.shutdown.classify_disconnect(), Disconnect::Shutdown)
+        {
+            return false;
+        }
+        let state = self.checkpoint();
+        let shards = self.shared.txs.len();
+        for offset in 1..=shards {
+            let target = (self.shard + offset) % shards;
+            if self.shared.metrics[target].poisoned.is_poisoned() {
+                continue;
+            }
+            if self.reattach(target, &state).is_ok() {
+                self.shared.failovers.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
     }
 
     /// The next word of this client's stream. Allocation-free: served
@@ -311,50 +514,79 @@ impl PoolClient {
 
     /// Obtains a refilled front block (or a fallback verdict) after the
     /// current front ran dry.
+    ///
+    /// A loop because failover restarts the receive: when the shard's
+    /// disconnect classifies as poisoned and
+    /// [`crate::PoolBuilder::failover`] is on, the client reattaches to a
+    /// healthy shard and retries there instead of failing (or degrading
+    /// forever).
     fn acquire(&mut self) -> Result<Acquired, HprngError> {
-        if self.degraded_forever {
-            return Ok(Acquired::Fallback);
-        }
-        // Return the exhausted front to the arena and owe the shard one
-        // refill for it. The initial placeholder (capacity 0; the real
-        // blocks start shard-side) is not a block and must not become one.
-        let old = std::mem::take(&mut self.front);
-        self.pos = 0;
-        if old.capacity() > 0 {
-            self.blocks.give_back(old);
-            self.pending_refills += 1;
-        }
-        self.flush_pending()?;
-        match self.policy {
-            FullPolicy::TryFor(patience) => match self.rx.recv_timeout(patience) {
-                Ok(reply) => self.install(reply),
-                // The refill stays in flight; the next call retries.
-                Err(RecvTimeoutError::Timeout) => {
-                    if let Some(o) = &self.obs {
-                        o.stalls.add(1);
+        loop {
+            if self.degraded_forever {
+                return Ok(Acquired::Fallback);
+            }
+            // Return the exhausted front to the arena and owe the shard one
+            // refill for it. The initial placeholder (capacity 0; the real
+            // blocks start shard-side) is not a block and must not become
+            // one. On a failover retry the front is already an empty
+            // placeholder, so nothing is double-returned or double-owed.
+            let old = std::mem::take(&mut self.front);
+            self.pos = 0;
+            if old.capacity() > 0 {
+                self.blocks.give_back(old);
+                self.pending_refills += 1;
+            }
+            self.flush_pending()?;
+            match self.policy {
+                FullPolicy::TryFor(patience) => match self.rx.recv_timeout(patience) {
+                    Ok(reply) => return self.install(reply),
+                    // The refill stays in flight; the next call retries.
+                    Err(RecvTimeoutError::Timeout) => {
+                        if let Some(o) = &self.obs {
+                            o.stalls.add(1);
+                        }
+                        return Err(HprngError::ShardStalled { shard: self.shard });
                     }
-                    Err(HprngError::ShardStalled { shard: self.shard })
-                }
-                Err(RecvTimeoutError::Disconnected) => Err(self.fail_disconnected()),
-            },
-            FullPolicy::Degrade => match self.rx.try_recv() {
-                Ok(reply) => self.install(reply).map(|_| Acquired::Front),
-                Err(TryRecvError::Empty) => Ok(Acquired::Fallback),
-                Err(TryRecvError::Disconnected) => match self.shutdown.classify_disconnect() {
-                    Disconnect::Shutdown => Err(self.fail(HprngError::PoolShutdown)),
-                    // Poisoned shard: stay available on the fallback
-                    // stream for good.
-                    Disconnect::Poisoned => {
-                        self.degraded_forever = true;
-                        Ok(Acquired::Fallback)
+                    Err(RecvTimeoutError::Disconnected) => {
+                        if self.try_failover() {
+                            continue;
+                        }
+                        return Err(self.fail_disconnected());
                     }
                 },
-            },
-            // Block — and any future policy, which waits by default.
-            _ => match self.rx.recv() {
-                Some(reply) => self.install(reply),
-                None => Err(self.fail_disconnected()),
-            },
+                FullPolicy::Degrade => match self.rx.try_recv() {
+                    Ok(reply) => return self.install(reply).map(|_| Acquired::Front),
+                    Err(TryRecvError::Empty) => return Ok(Acquired::Fallback),
+                    Err(TryRecvError::Disconnected) => {
+                        match self.shutdown.classify_disconnect() {
+                            Disconnect::Shutdown => return Err(self.fail(HprngError::PoolShutdown)),
+                            Disconnect::Poisoned => {
+                                // Reattach if allowed; the retry usually
+                                // serves a few fallback words while the
+                                // new shard primes the prefetch, then the
+                                // degrade counter stops growing.
+                                if self.try_failover() {
+                                    continue;
+                                }
+                                // Otherwise stay available on the fallback
+                                // stream for good.
+                                self.degraded_forever = true;
+                                return Ok(Acquired::Fallback);
+                            }
+                        }
+                    }
+                },
+                // Block — and any future policy, which waits by default.
+                _ => match self.rx.recv() {
+                    Some(reply) => return self.install(reply),
+                    None => {
+                        if self.try_failover() {
+                            continue;
+                        }
+                        return Err(self.fail_disconnected());
+                    }
+                },
+            }
         }
     }
 
@@ -363,6 +595,14 @@ impl PoolClient {
             Ok(buf) => {
                 self.front = buf;
                 self.pos = 0;
+                // First block after a resume: skip the sub-round
+                // remainder the shard could not fast-forward (blocks are
+                // at least one full lane-width round, so one block always
+                // covers it).
+                if self.resume_skip > 0 {
+                    self.pos = self.resume_skip.min(self.front.len());
+                    self.resume_skip = 0;
+                }
                 Ok(Acquired::Front)
             }
             // A session error (failed attach or a dead session) is
@@ -449,6 +689,19 @@ impl OnDemandRng for PoolClient {
     fn take_tap(&mut self) -> Option<Box<dyn WordTap>> {
         self.tap.take()
     }
+
+    fn try_checkpoint(&mut self) -> Result<hprng_core::StreamState, HprngError> {
+        Ok(PoolClient::checkpoint(self))
+    }
+
+    /// A pool stream is restored by *admission*, not in place — the
+    /// session lives shard-side. Use [`crate::Pool::try_client_resumed`].
+    fn try_restore(&mut self, _state: &hprng_core::StreamState) -> Result<(), HprngError> {
+        Err(HprngError::RestoreMismatch {
+            field: "client",
+            reason: "restore a pool stream through Pool::try_client_resumed",
+        })
+    }
 }
 
 impl Drop for PoolClient {
@@ -467,6 +720,9 @@ impl Drop for PoolClient {
         // an error we ignore; a full queue drains because the worker
         // always makes progress.
         let _ = self.tx.send(Request::Detach { client: self.id });
+        // Release the id claim so churned clients do not leak lane
+        // indices out of the auto-assignment space forever.
+        self.shared.release(self.id);
     }
 }
 

@@ -159,6 +159,7 @@ pub struct PoolBuilder {
     pub(crate) prefetch_words: usize,
     pub(crate) queue_depth: usize,
     pub(crate) trace_sample_every: Option<u64>,
+    pub(crate) failover: bool,
 }
 
 impl PoolBuilder {
@@ -174,6 +175,7 @@ impl PoolBuilder {
             prefetch_words: RING_BLOCK_WORDS,
             queue_depth: 32,
             trace_sample_every: None,
+            failover: false,
         }
     }
 
@@ -208,6 +210,26 @@ impl PoolBuilder {
     /// Bound of each shard's request queue (backpressure depth).
     pub fn queue_depth(mut self, depth: usize) -> Self {
         self.queue_depth = depth;
+        self
+    }
+
+    /// Enables automatic shard failover (off by default).
+    ///
+    /// When a client observes its shard poisoned (the worker thread died
+    /// by panic), it checkpoints its stream from its own acked counters
+    /// ([`hprng_core::StreamState::minimal`]), reattaches to the next
+    /// healthy shard with that state, and resumes the *same* session
+    /// stream bit-identically — the shard fast-forwards a fresh session
+    /// past the words the client already consumed. Words sitting in
+    /// undelivered prefetch blocks are regenerated, never skipped.
+    ///
+    /// Off by default because failover deliberately changes the failure
+    /// contract: without it a poisoned shard permanently fails its
+    /// clients ([`hprng_core::HprngError::ShardPoisoned`]) or parks them
+    /// on the degrade fallback forever ([`FullPolicy::Degrade`]), which
+    /// existing deployments may rely on observing.
+    pub fn failover(mut self, enabled: bool) -> Self {
+        self.failover = enabled;
         self
     }
 

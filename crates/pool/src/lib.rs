@@ -30,6 +30,17 @@
 //! [`hprng_transport::PoisonGuard`] discipline, shared with the pipeline
 //! ring); peers keep serving, and [`Pool::stats`] reports the casualty.
 //!
+//! Because every client stream is a pure function of its lane seed, a
+//! client's resumable identity is a tiny serializable
+//! [`StreamState`]: [`PoolClient::checkpoint`] captures it from the
+//! client's own acked counters, [`Pool::try_client_resumed`] re-admits it
+//! on any pool with the same seed and session kind (any shard count), and
+//! the stream continues bit-identically. The same mechanism powers
+//! automatic failover off a poisoned shard ([`PoolBuilder::failover`]),
+//! live migration between shards ([`Pool::rebalance`] /
+//! [`PoolClient::migrate_to`]), and persistence through the
+//! dependency-free telemetry JSON ([`StreamState::to_json`]).
+//!
 //! Request-path observability is built in: [`PoolBuilder::tracing`]
 //! turns on per-shard queue-depth/occupancy gauges, enqueue-wait /
 //! service / refill-copy latency histograms, stall/degrade/replay
@@ -63,3 +74,8 @@ pub use client::PoolClient;
 pub use config::{FullPolicy, PoolBuilder, SessionFactory, SessionKind};
 pub use obs::names;
 pub use pool::{Pool, PoolStats};
+
+// The checkpoint/restore vocabulary the pool's failover, migration, and
+// persistence APIs speak, re-exported so pool users need not depend on
+// `hprng-core` directly.
+pub use hprng_core::{Checkpoint, Restore, StreamState};

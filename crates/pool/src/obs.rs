@@ -42,6 +42,13 @@ pub mod names {
     pub const POOL_CLIENTS: &str = "pool_clients";
     /// Shards whose worker died by panic (gauge).
     pub const POOL_POISONED_SHARDS: &str = "pool_poisoned_shards";
+    /// Clients that automatically reattached to a healthy shard after
+    /// their shard was poisoned (counter; see
+    /// [`crate::PoolBuilder::failover`]).
+    pub const POOL_FAILOVERS: &str = "pool_failovers_total";
+    /// Clients moved between live shards by [`crate::Pool::rebalance`] /
+    /// [`crate::PoolClient::migrate_to`] (counter).
+    pub const POOL_MIGRATIONS: &str = "pool_migrations_total";
 
     /// Requests currently in shard `shard`'s request ring (gauge).
     pub fn shard_queue_depth(shard: usize) -> String {

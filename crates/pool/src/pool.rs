@@ -1,11 +1,12 @@
-//! The pool: shard workers, client admission, shutdown, and stats.
+//! The pool: shard workers, client admission, failover/migration
+//! plumbing, shutdown, and stats.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use hprng_core::{HprngError, SplitOnDemand};
+use hprng_core::{HprngError, SplitOnDemand, StreamState};
 use hprng_telemetry::{Recorder, Registry};
 use hprng_transport::{
     bounded, bounded_instrumented, BlockPool, Disconnect, RingSender, ShutdownFlag,
@@ -15,6 +16,73 @@ use crate::client::PoolClient;
 use crate::config::{FullPolicy, PoolBuilder, SessionKind};
 use crate::obs::{names, PoolObs};
 use crate::shard::{self, Reply, Request, ShardMetrics};
+
+/// The per-shard serving fabric, shared between the [`Pool`] handle and
+/// every live [`PoolClient`]. Clients hold an `Arc` so they can reattach
+/// to a different shard (failover, [`Pool::rebalance`]) and release
+/// their claimed id on drop without going through the pool handle.
+pub(crate) struct PoolShared {
+    pub(crate) shutdown: ShutdownFlag,
+    pub(crate) txs: Vec<RingSender<Request>>,
+    /// One block arena per shard, shared with the worker and its clients.
+    pub(crate) arenas: Vec<Arc<BlockPool>>,
+    pub(crate) metrics: Vec<Arc<ShardMetrics>>,
+    /// Present when [`PoolBuilder::tracing`] enabled request-path
+    /// observability.
+    pub(crate) obs: Option<PoolObs>,
+    /// Live-handle count per claimed id. [`Pool::try_client`] skips any
+    /// id with a non-zero count (or one claimed explicitly and still
+    /// live), and a client's `Drop` releases its claim — so churned ids
+    /// return to the auto-assignment space instead of leaking forever.
+    claimed: Mutex<HashMap<u64, usize>>,
+    /// Clients that reattached to a healthy shard after a poison.
+    pub(crate) failovers: AtomicU64,
+    /// Clients moved between live shards by rebalance / migrate_to.
+    pub(crate) migrations: AtomicU64,
+}
+
+impl PoolShared {
+    /// Registers one more live handle on `id`.
+    pub(crate) fn claim(&self, id: u64) {
+        *self
+            .claimed
+            .lock()
+            .expect("claimed-id map")
+            .entry(id)
+            .or_insert(0) += 1;
+    }
+
+    /// Releases one live handle on `id`; the id becomes auto-assignable
+    /// again once the last handle is gone.
+    pub(crate) fn release(&self, id: u64) {
+        let mut claimed = self.claimed.lock().expect("claimed-id map");
+        if let Some(count) = claimed.get_mut(&id) {
+            *count -= 1;
+            if *count == 0 {
+                claimed.remove(&id);
+            }
+        }
+    }
+
+    fn is_claimed(&self, id: u64) -> bool {
+        self.claimed
+            .lock()
+            .expect("claimed-id map")
+            .contains_key(&id)
+    }
+
+    /// The first healthy shard at or after `id`'s home shard (wrapping);
+    /// the home shard itself when every shard is poisoned (the attach
+    /// will then fail with the honest [`HprngError::ShardPoisoned`]).
+    fn healthy_shard_for(&self, id: u64) -> usize {
+        let shards = self.txs.len();
+        let home = (id % shards as u64) as usize;
+        (0..shards)
+            .map(|offset| (home + offset) % shards)
+            .find(|&s| !self.metrics[s].poisoned.is_poisoned())
+            .unwrap_or(home)
+    }
+}
 
 /// A sharded randomness pool: `shards` worker threads serving any number
 /// of concurrent [`PoolClient`] handles.
@@ -27,6 +95,16 @@ use crate::shard::{self, Reply, Request, ShardMetrics};
 /// *who serves whom* (clients are assigned `id % shards`), never *what is
 /// served*.
 ///
+/// Because streams are pure functions of their lane seed, a client is
+/// *portable*: its resumable identity is a tiny
+/// [`hprng_core::StreamState`] that can be captured
+/// ([`PoolClient::checkpoint`]), serialized to JSON, and re-admitted on
+/// any pool with the same seed and session kind
+/// ([`Pool::try_client_resumed`]) — including a pool with a different
+/// shard count. The same mechanism powers automatic failover off a
+/// poisoned shard ([`PoolBuilder::failover`]) and live migration between
+/// shards ([`Pool::rebalance`]).
+///
 /// The serving path is built on [`hprng_transport`]: each shard's request
 /// queue is a bounded [`hprng_transport::BlockRing`] (MPSC — clients
 /// clone the sender), prefetch blocks circulate through a per-shard
@@ -37,24 +115,14 @@ use crate::shard::{self, Reply, Request, ShardMetrics};
 /// The pool implements [`SplitOnDemand`], so the parallel applications
 /// (photon migration's per-chunk lanes) run on it unchanged.
 pub struct Pool {
-    shutdown: ShutdownFlag,
-    txs: Vec<RingSender<Request>>,
-    /// One block arena per shard, shared with the worker and its clients.
-    arenas: Vec<Arc<BlockPool>>,
-    metrics: Vec<Arc<ShardMetrics>>,
+    shared: Arc<PoolShared>,
     handles: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
-    /// Every id handed out through [`Pool::try_client_with_id`] (and thus
-    /// [`SplitOnDemand::lane`]). [`Pool::try_client`] skips these so mixed
-    /// usage never silently duplicates a lane.
-    claimed_ids: Mutex<HashSet<u64>>,
     seed: u64,
     kind: SessionKind,
     policy: FullPolicy,
     prefetch_words: usize,
-    /// Present when [`PoolBuilder::tracing`] enabled request-path
-    /// observability.
-    obs: Option<PoolObs>,
+    failover: bool,
 }
 
 impl Pool {
@@ -114,18 +182,23 @@ impl Pool {
             handles.push(handle);
         }
         Self {
-            shutdown,
-            txs,
-            arenas,
-            metrics,
+            shared: Arc::new(PoolShared {
+                shutdown,
+                txs,
+                arenas,
+                metrics,
+                obs,
+                claimed: Mutex::new(HashMap::new()),
+                failovers: AtomicU64::new(0),
+                migrations: AtomicU64::new(0),
+            }),
             handles,
             next_id: AtomicU64::new(0),
-            claimed_ids: Mutex::new(HashSet::new()),
             seed: builder.seed,
             kind: builder.kind,
             policy: builder.policy,
             prefetch_words: builder.prefetch_words,
-            obs,
+            failover: builder.failover,
         }
     }
 
@@ -136,13 +209,14 @@ impl Pool {
 
     /// Number of shard workers.
     pub fn shards(&self) -> usize {
-        self.txs.len()
+        self.shared.txs.len()
     }
 
     /// Admits a new client on the next unused lane index (0, 1, 2, …),
-    /// skipping any index already claimed through
+    /// skipping any index currently claimed through
     /// [`Pool::try_client_with_id`] or [`SplitOnDemand::lane`] — mixing
-    /// auto-assigned and explicit ids never duplicates a lane.
+    /// auto-assigned and explicit ids never silently duplicates a live
+    /// lane. Dropping a client releases its id.
     ///
     /// Fails with [`HprngError::ShardPoisoned`] (or
     /// [`HprngError::PoolShutdown`]) when the lane's shard cannot accept
@@ -150,8 +224,7 @@ impl Pool {
     pub fn try_client(&self) -> Result<PoolClient, HprngError> {
         let id = loop {
             let candidate = self.next_id.fetch_add(1, Ordering::Relaxed);
-            let claimed = self.claimed_ids.lock().expect("claimed-id set");
-            if !claimed.contains(&candidate) {
+            if !self.shared.is_claimed(candidate) {
                 break candidate;
             }
         };
@@ -161,21 +234,115 @@ impl Pool {
     /// Admits a client on an explicit lane index. The stream for a given
     /// `(seed, id)` pair is always the same; two live clients that
     /// deliberately share an id each get their own session and therefore
-    /// observe identical streams. Ids used here are remembered so
-    /// [`Pool::try_client`] never auto-assigns them.
+    /// observe identical streams. Ids used here are claimed while any
+    /// holder is alive, so [`Pool::try_client`] never auto-assigns them.
+    ///
+    /// With [`crate::PoolBuilder::failover`] enabled, admission routes
+    /// around poisoned shards the same way live clients do — a lane whose
+    /// home shard has died lands on the next healthy one (the stream is
+    /// shard-agnostic, so nothing else changes). Without the opt-in, the
+    /// home shard is authoritative and a poisoned one fails the
+    /// admission.
     pub fn try_client_with_id(&self, id: u64) -> Result<PoolClient, HprngError> {
-        self.claimed_ids.lock().expect("claimed-id set").insert(id);
-        let shard = (id % self.txs.len() as u64) as usize;
-        let tx = self.txs[shard].clone();
+        let shard = if self.failover {
+            self.shared.healthy_shard_for(id)
+        } else {
+            (id % self.shared.txs.len() as u64) as usize
+        };
+        self.admit(id, shard, None)
+    }
+
+    /// Re-admits a client from a checkpointed [`StreamState`] — captured
+    /// by [`PoolClient::checkpoint`] (consumer-exact) or restored from
+    /// its JSON serialization — and resumes its stream bit-identically
+    /// where the checkpoint left off.
+    ///
+    /// The state must belong to this pool's seed lattice
+    /// (`state.seed == lane_seed(pool_seed, state.id)`) and match the
+    /// session kind's lane count; the shard count may differ freely. The
+    /// client lands on its home shard (`id % shards`) unless that shard
+    /// is poisoned, in which case the next healthy shard takes it.
+    pub fn try_client_resumed(&self, state: &StreamState) -> Result<PoolClient, HprngError> {
+        let shard = self.shared.healthy_shard_for(state.id);
+        self.try_client_resumed_on(state, shard)
+    }
+
+    /// [`Pool::try_client_resumed`] pinned onto an explicit shard —
+    /// restores are shard-agnostic, so any live shard can take the
+    /// stream.
+    pub fn try_client_resumed_on(
+        &self,
+        state: &StreamState,
+        shard: usize,
+    ) -> Result<PoolClient, HprngError> {
+        if shard >= self.shared.txs.len() {
+            return Err(HprngError::InvalidParam {
+                field: "shard",
+                reason: "no such shard in this pool",
+            });
+        }
+        if state.seed != hprng_core::seeding::lane_seed(self.seed, state.id) {
+            return Err(HprngError::RestoreMismatch {
+                field: "seed",
+                reason: "state seed does not derive from this pool's seed and the client id",
+            });
+        }
+        if state.lanes != self.kind.lanes().max(1) {
+            return Err(HprngError::RestoreMismatch {
+                field: "lanes",
+                reason: "state lane count disagrees with this pool's session kind",
+            });
+        }
+        if !state.accounting_is_consistent() {
+            return Err(HprngError::RestoreMismatch {
+                field: "words_served",
+                reason: "session_words + degraded_words must equal words_served",
+            });
+        }
+        self.admit(state.id, shard, Some(state))
+    }
+
+    /// The one admission path: claims the id, attaches (optionally with a
+    /// resume state), primes the double-buffered prefetch, and builds the
+    /// client handle.
+    fn admit(
+        &self,
+        id: u64,
+        shard: usize,
+        resume: Option<&StreamState>,
+    ) -> Result<PoolClient, HprngError> {
+        self.shared.claim(id);
+        match self.admit_claimed(id, shard, resume) {
+            Ok(client) => Ok(client),
+            Err(e) => {
+                // A failed admission must not leak the claim.
+                self.shared.release(id);
+                Err(e)
+            }
+        }
+    }
+
+    fn admit_claimed(
+        &self,
+        id: u64,
+        shard: usize,
+        resume: Option<&StreamState>,
+    ) -> Result<PoolClient, HprngError> {
+        let tx = self.shared.txs[shard].clone();
         let (reply_tx, reply_rx) = bounded::<Reply>(2);
-        let shard_obs = self.obs.as_ref().map(|o| Arc::clone(&o.shards[shard]));
-        let admission_failed = |pool: &Self| match pool.shutdown.classify_disconnect() {
+        let shard_obs = self
+            .shared
+            .obs
+            .as_ref()
+            .map(|o| Arc::clone(&o.shards[shard]));
+        let admission_failed = |pool: &Self| match pool.shared.shutdown.classify_disconnect() {
             Disconnect::Shutdown => HprngError::PoolShutdown,
             Disconnect::Poisoned => HprngError::ShardPoisoned { shard },
         };
         tx.send(Request::Attach {
             client: id,
             reply: reply_tx,
+            resume: resume.map(|state| Box::new(state.clone())),
         })
         .map_err(|_| admission_failed(self))?;
         // Two refills in flight give the double-buffered prefetch: the
@@ -187,7 +354,7 @@ impl Pool {
             })
             .map_err(|_| admission_failed(self))?;
         }
-        Ok(PoolClient::new(
+        let mut client = PoolClient::new(
             id,
             shard,
             self.kind.lanes().max(1),
@@ -195,20 +362,62 @@ impl Pool {
             self.policy,
             tx,
             reply_rx,
-            Arc::clone(&self.arenas[shard]),
-            self.shutdown.clone(),
-            Arc::clone(&self.metrics[shard]),
-            shard_obs,
-        ))
+            Arc::clone(&self.shared),
+            self.failover,
+        );
+        if let Some(state) = resume {
+            client.prime_from_state(state);
+        }
+        Ok(client)
+    }
+
+    /// Spreads `clients` round-robin across the currently healthy shards,
+    /// migrating each one that is not already where the assignment puts
+    /// it ([`PoolClient::migrate_to`]). Every migrated stream continues
+    /// bit-identically — migration moves the serving session, never the
+    /// lane seed. Returns how many clients actually moved.
+    ///
+    /// Clients that have already failed permanently are left untouched.
+    /// Fails with [`HprngError::ShardPoisoned`] when no healthy shard is
+    /// left to rebalance onto.
+    pub fn rebalance<'a, I>(&self, clients: I) -> Result<usize, HprngError>
+    where
+        I: IntoIterator<Item = &'a mut PoolClient>,
+    {
+        let healthy: Vec<usize> = self
+            .shared
+            .metrics
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !m.poisoned.is_poisoned())
+            .map(|(index, _)| index)
+            .collect();
+        if healthy.is_empty() {
+            return Err(HprngError::ShardPoisoned { shard: 0 });
+        }
+        let mut moved = 0;
+        for (index, client) in clients.into_iter().enumerate() {
+            if client.has_failed() {
+                continue;
+            }
+            let target = healthy[index % healthy.len()];
+            if client.shard() != target {
+                client.migrate_to(target)?;
+                moved += 1;
+            }
+        }
+        Ok(moved)
     }
 
     /// A point-in-time snapshot of the pool's serving counters.
     pub fn stats(&self) -> PoolStats {
         let mut stats = PoolStats {
-            shards: self.txs.len(),
+            shards: self.shared.txs.len(),
+            failovers: self.shared.failovers.load(Ordering::Relaxed),
+            migrations: self.shared.migrations.load(Ordering::Relaxed),
             ..PoolStats::default()
         };
-        for (index, m) in self.metrics.iter().enumerate() {
+        for (index, m) in self.shared.metrics.iter().enumerate() {
             stats.clients += m.clients.load(Ordering::Relaxed);
             stats.refills += m.refills.load(Ordering::Relaxed);
             stats.words += m.words.load(Ordering::Relaxed);
@@ -228,7 +437,7 @@ impl Pool {
     /// instruments; [`hprng_telemetry::Registry::snapshot`] is cheap
     /// enough to call per dashboard frame.
     pub fn registry(&self) -> Option<Registry> {
-        self.obs.as_ref().map(|o| o.registry.clone())
+        self.shared.obs.as_ref().map(|o| o.registry.clone())
     }
 
     /// One [`Recorder`] holding everything observable about the pool
@@ -238,7 +447,7 @@ impl Pool {
     /// [`hprng_telemetry::prometheus::exposition`] or
     /// [`hprng_telemetry::chrome_trace`].
     pub fn telemetry_snapshot(&self) -> Recorder {
-        let mut recorder = match &self.obs {
+        let mut recorder = match &self.shared.obs {
             Some(o) => o.registry.snapshot(),
             None => Recorder::new(),
         };
@@ -256,10 +465,10 @@ impl Pool {
     fn shutdown_impl(&mut self) {
         // Flag before close: a client that observes a disconnect after
         // this point classifies it as an orderly shutdown, not a crash.
-        if !self.shutdown.request() {
+        if !self.shared.shutdown.request() {
             return;
         }
-        for tx in &self.txs {
+        for tx in &self.shared.txs {
             // Blocking send: the worker always drains its queue, and a
             // dead worker disconnects the ring, so this cannot hang.
             let _ = tx.send(Request::Shutdown);
@@ -281,10 +490,11 @@ impl std::fmt::Debug for Pool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pool")
             .field("seed", &self.seed)
-            .field("shards", &self.txs.len())
+            .field("shards", &self.shared.txs.len())
             .field("kind", &self.kind)
             .field("policy", &self.policy)
             .field("prefetch_words", &self.prefetch_words)
+            .field("failover", &self.failover)
             .finish_non_exhaustive()
     }
 }
@@ -326,6 +536,12 @@ pub struct PoolStats {
     /// Words clients served from their inline fallback generator
     /// ([`FullPolicy::Degrade`]).
     pub degraded_words: u64,
+    /// Clients that automatically reattached to a healthy shard after
+    /// their shard was poisoned ([`PoolBuilder::failover`]).
+    pub failovers: u64,
+    /// Clients moved between live shards by [`Pool::rebalance`] /
+    /// [`PoolClient::migrate_to`].
+    pub migrations: u64,
     /// Indices of shards whose worker died by panic.
     pub poisoned_shards: Vec<usize>,
 }
@@ -340,6 +556,8 @@ impl PoolStats {
         recorder.add(names::POOL_WORDS, self.words as f64);
         recorder.add(names::POOL_ERRORS, self.errors as f64);
         recorder.add(names::POOL_DEGRADED_WORDS, self.degraded_words as f64);
+        recorder.add(names::POOL_FAILOVERS, self.failovers as f64);
+        recorder.add(names::POOL_MIGRATIONS, self.migrations as f64);
         recorder.set_gauge(names::POOL_SHARDS, self.shards as f64);
         recorder.set_gauge(names::POOL_CLIENTS, self.clients as f64);
         recorder.set_gauge(

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use hprng_core::{HprngError, OnDemandRng};
+use hprng_core::{HprngError, OnDemandRng, StreamState};
 use hprng_telemetry::Stage;
 use hprng_transport::{BlockPool, PoisonFlag, PoisonGuard, RingReceiver, RingSender, SendError};
 
@@ -17,6 +17,10 @@ use crate::obs::ShardObs;
 /// checked out of the shard's [`BlockPool`] arena and given back by the
 /// client once drained.
 pub(crate) type Reply = Result<Vec<u64>, HprngError>;
+
+/// The answer to a [`Request::Checkpoint`]: the session's resumable state
+/// at its produced-stream position.
+pub(crate) type StateReply = Result<StreamState, HprngError>;
 
 /// The shard request protocol. Clients own a clone of the shard's
 /// bounded request-[`RingSender`]; the ring bound is the backpressure
@@ -31,6 +35,24 @@ pub(crate) enum Request {
         /// prefetch blocks a client keeps in flight — so the worker's
         /// reply sends never block on a live client.
         reply: RingSender<Reply>,
+        /// When present, the freshly built session is fast-forwarded onto
+        /// this checkpointed state before it serves its first refill —
+        /// the failover / migration / restore-from-disk admission path.
+        /// Boxed to keep the enqueued request small.
+        resume: Option<Box<StreamState>>,
+    },
+    /// Capture the client's session state
+    /// ([`hprng_core::Checkpoint`]) and send it back on `reply`.
+    ///
+    /// The state is positioned at the words the *session produced*, which
+    /// leads the words the client consumed by up to two prefetch blocks;
+    /// callers that need the consumer-exact resume point use the client's
+    /// own acked counters ([`crate::PoolClient::checkpoint`]) instead.
+    Checkpoint {
+        /// Which client's session to capture.
+        client: u64,
+        /// Where the captured state goes (capacity 1 is enough).
+        reply: RingSender<StateReply>,
     },
     /// Refill one prefetch block of `client`'s stream — checked out of
     /// the shared arena shard-side, sent back on the client's reply
@@ -82,6 +104,73 @@ struct ClientSlot {
     chunk: usize,
 }
 
+/// Builds (and, on resume, fast-forwards) one client session.
+///
+/// The shard only ever serves full-lane-width rounds, so a resume
+/// fast-forwards by `session_words / lanes` *whole* rounds; the client
+/// skips the `session_words % lanes` remainder from the first block it
+/// installs. The fast path hands the rounded state to the session's own
+/// [`hprng_core::Restore`] implementation (O(feed cursor) for the
+/// expander walk, replay for engines); if the session declines — e.g. a
+/// minimal client-side state whose label the provider does not recognize
+/// — the worker falls back to draw-and-discard replay on a fresh
+/// session, which is always exact because the stream is a pure function
+/// of the lane seed and the full-width request history.
+fn build_session(
+    kind: &SessionKind,
+    pool_seed: u64,
+    prefetch_words: usize,
+    client: u64,
+    resume: Option<&StreamState>,
+) -> Result<(Box<dyn OnDemandRng + Send>, usize), HprngError> {
+    let seed = hprng_core::seeding::lane_seed(pool_seed, client);
+    let mut session = kind.build(seed)?;
+    // The session must be as wide as the kind advertises:
+    // `PoolClient::lanes()` and the client's block sizing are both derived
+    // from the advertised count, so a `Custom` factory that lies about its
+    // width would silently desync them.
+    if session.lanes() != kind.lanes() {
+        return Err(HprngError::InvalidParam {
+            field: "session.lanes",
+            reason: "session factory produced a lane count different \
+                     from the advertised SessionKind lanes",
+        });
+    }
+    let lanes = session.lanes();
+    let chunk = prefetch_words.div_ceil(lanes) * lanes;
+    if let Some(state) = resume {
+        if state.seed != seed {
+            return Err(HprngError::RestoreMismatch {
+                field: "seed",
+                reason: "state seed is not the lane seed of this pool seed and client id",
+            });
+        }
+        if state.lanes != lanes {
+            return Err(HprngError::RestoreMismatch {
+                field: "lanes",
+                reason: "state lane count disagrees with the session kind",
+            });
+        }
+        let full = state.session_words - state.session_words % lanes as u64;
+        if full > 0 {
+            let mut rounded = state.clone();
+            rounded.session_words = full;
+            rounded.words_served = full;
+            rounded.degraded_words = 0;
+            if session.try_restore(&rounded).is_err() {
+                // A declined (or partially applied) restore leaves the
+                // session unusable; replay from a fresh one.
+                session = kind.build(seed)?;
+                let mut scratch = vec![0u64; lanes];
+                for _ in 0..full / lanes as u64 {
+                    session.try_next_batch_into(&mut scratch)?;
+                }
+            }
+        }
+    }
+    Ok((session, chunk))
+}
+
 /// The worker loop. Runs on its own thread until [`Request::Shutdown`]
 /// arrives or every request sender is gone.
 #[allow(clippy::too_many_arguments)]
@@ -104,24 +193,13 @@ pub(crate) fn run(
 
     while let Some(request) = rx.recv() {
         match request {
-            Request::Attach { client, reply } => {
-                let seed = hprng_core::seeding::lane_seed(pool_seed, client);
-                match kind.build(seed) {
-                    // The session must be as wide as the kind advertises:
-                    // `PoolClient::lanes()` and the client's block sizing
-                    // are both derived from the advertised count, so a
-                    // `Custom` factory that lies about its width would
-                    // silently desync them.
-                    Ok(session) if session.lanes() != kind.lanes() => {
-                        let _ = reply.send(Err(HprngError::InvalidParam {
-                            field: "session.lanes",
-                            reason: "session factory produced a lane count different \
-                                     from the advertised SessionKind lanes",
-                        }));
-                    }
-                    Ok(session) => {
-                        let lanes = session.lanes();
-                        let chunk = prefetch_words.div_ceil(lanes) * lanes;
+            Request::Attach {
+                client,
+                reply,
+                resume,
+            } => {
+                match build_session(&kind, pool_seed, prefetch_words, client, resume.as_deref()) {
+                    Ok((session, chunk)) => {
                         slots.insert(
                             client,
                             ClientSlot {
@@ -138,6 +216,35 @@ pub(crate) fn run(
                         let _ = reply.send(Err(e));
                     }
                 }
+            }
+            Request::Checkpoint { client, reply } => {
+                let response = match slots.get_mut(&client) {
+                    Some(slot) => match slot.session.try_checkpoint() {
+                        Ok(mut state) => {
+                            // Sessions do not know their pool identity;
+                            // the worker stamps it so the state is
+                            // directly resumable via the pool.
+                            state.id = client;
+                            Ok(state)
+                        }
+                        // A session without rich state is still resumable
+                        // by replay: counters alone are a valid
+                        // (minimal) checkpoint.
+                        Err(HprngError::CheckpointUnsupported { .. }) => Ok(StreamState::minimal(
+                            slot.session.label(),
+                            client,
+                            hprng_core::seeding::lane_seed(pool_seed, client),
+                            slot.session.lanes().max(1),
+                            slot.session.words_served(),
+                        )),
+                        Err(e) => Err(e),
+                    },
+                    None => Err(HprngError::InvalidParam {
+                        field: "client",
+                        reason: "checkpoint requested for a client this shard does not host",
+                    }),
+                };
+                let _ = reply.send(response);
             }
             Request::Refill {
                 client,

@@ -1,0 +1,505 @@
+//! Checkpoint, migration, and shard-failover suite: golden bit-identity
+//! of resumed streams across shard counts, mid-fill migration, automatic
+//! reattachment after a worker panic, and the id-claim lifecycle.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hprng_core::seeding::lane_seed;
+use hprng_core::{ExpanderWalkRng, HprngError, HybridParams, OnDemandRng};
+use hprng_pool::{FullPolicy, Pool, SessionKind, StreamState};
+
+/// The single-lane reference stream for client `id` of a pool over `seed`
+/// with [`SessionKind::ExpanderWalk`] sessions.
+fn golden_expander(seed: u64, id: u64, n: usize) -> Vec<u64> {
+    let mut lane = ExpanderWalkRng::from_seed_u64(lane_seed(seed, id));
+    (0..n)
+        .map(|_| OnDemandRng::get_next_rand(&mut lane))
+        .collect()
+}
+
+/// Serves `n` words off `client` in deliberately ragged request sizes, so
+/// checkpoints and failovers land mid-`fill_words`, mid-block, and
+/// mid-round rather than on tidy boundaries.
+fn drain_ragged(client: &mut hprng_pool::PoolClient, n: usize) -> Vec<u64> {
+    let chunks = [1usize, 7, 13, 64, 3, 29];
+    let mut out = Vec::with_capacity(n);
+    let mut c = 0;
+    while out.len() < n {
+        let take = chunks[c % chunks.len()].min(n - out.len());
+        c += 1;
+        let mut buf = vec![0u64; take];
+        client.fill_words(&mut buf).unwrap();
+        out.extend_from_slice(&buf);
+    }
+    out
+}
+
+/// The golden acceptance path: a client checkpointed mid-fill, serialized
+/// to JSON, and restored on a pool with a *different* shard count (so a
+/// different shard) produces a bit-identical stream.
+#[test]
+fn checkpoint_json_restore_is_bit_identical_across_shard_counts_1_2_8() {
+    const SEED: u64 = 42;
+    const ID: u64 = 3;
+    const CUT: usize = 137; // mid-block, mid-request
+    const TAIL: usize = 300;
+    let golden = golden_expander(SEED, ID, CUT + TAIL);
+    for (shards_before, shards_after) in [(1usize, 2usize), (2, 8), (8, 1)] {
+        let before = Pool::builder(SEED)
+            .shards(shards_before)
+            .prefetch_words(64)
+            .build()
+            .unwrap();
+        let mut client = before.try_client_with_id(ID).unwrap();
+        assert_eq!(drain_ragged(&mut client, CUT), &golden[..CUT]);
+        let json = client.checkpoint().to_json();
+        drop(client);
+        before.shutdown();
+
+        // A different process, a different pool shape: only the JSON and
+        // the pool seed cross the boundary.
+        let state = StreamState::from_json(&json).unwrap();
+        assert!(state.accounting_is_consistent());
+        let after = Pool::builder(SEED)
+            .shards(shards_after)
+            .prefetch_words(64)
+            .build()
+            .unwrap();
+        let mut resumed = after.try_client_resumed(&state).unwrap();
+        assert_eq!(resumed.words_served(), CUT as u64);
+        assert_eq!(
+            drain_ragged(&mut resumed, TAIL),
+            &golden[CUT..],
+            "resumed stream diverged moving {shards_before} -> {shards_after} shards"
+        );
+        drop(resumed);
+        after.shutdown();
+    }
+}
+
+/// Restoring onto an explicitly pinned shard — not the id's home shard —
+/// serves the same stream: restores are shard-agnostic.
+#[test]
+fn resume_pinned_to_a_foreign_shard_serves_the_same_stream() {
+    const SEED: u64 = 9;
+    const ID: u64 = 3; // home shard 3 of 8
+    let golden = golden_expander(SEED, ID, 200);
+    let pool = Pool::builder(SEED)
+        .shards(8)
+        .prefetch_words(32)
+        .build()
+        .unwrap();
+    let mut client = pool.try_client_with_id(ID).unwrap();
+    assert_eq!(drain_ragged(&mut client, 90), &golden[..90]);
+    let state = client.checkpoint();
+    drop(client);
+    let mut resumed = pool.try_client_resumed_on(&state, 5).unwrap();
+    assert_eq!(resumed.shard(), 5);
+    assert_eq!(drain_ragged(&mut resumed, 110), &golden[90..]);
+    drop(resumed);
+    pool.shutdown();
+}
+
+/// Engine-backed sessions resume too, including the sub-round remainder:
+/// 137 is not a multiple of 4 lanes, so the shard fast-forwards whole
+/// rounds and the client skips the remainder from its first block.
+#[test]
+fn engine_sessions_resume_mid_round_with_the_client_side_skip() {
+    const SEED: u64 = 7;
+    const LANES: usize = 4;
+    const CUT: usize = 137; // 137 % 4 == 1: exercises resume_skip
+    const TAIL: usize = 200;
+    let kind = || SessionKind::CpuEngine {
+        lanes: LANES,
+        params: HybridParams::default(),
+    };
+    // Reference: an unmigrated client serving the whole stream.
+    let reference_pool = Pool::builder(SEED)
+        .shards(2)
+        .prefetch_words(16)
+        .session(kind())
+        .build()
+        .unwrap();
+    let mut reference = reference_pool.try_client_with_id(1).unwrap();
+    let golden = drain_ragged(&mut reference, CUT + TAIL);
+    drop(reference);
+    reference_pool.shutdown();
+
+    let before = Pool::builder(SEED)
+        .shards(3)
+        .prefetch_words(16)
+        .session(kind())
+        .build()
+        .unwrap();
+    let mut client = before.try_client_with_id(1).unwrap();
+    assert_eq!(drain_ragged(&mut client, CUT), &golden[..CUT]);
+    let json = client.checkpoint().to_json();
+    drop(client);
+    before.shutdown();
+
+    let after = Pool::builder(SEED)
+        .shards(1)
+        .prefetch_words(16)
+        .session(kind())
+        .build()
+        .unwrap();
+    let state = StreamState::from_json(&json).unwrap();
+    let mut resumed = after.try_client_resumed(&state).unwrap();
+    assert_eq!(drain_ragged(&mut resumed, TAIL), &golden[CUT..]);
+    drop(resumed);
+    after.shutdown();
+}
+
+/// Live migration mid-fill: a rebalanced client continues bit-identically
+/// against an unmigrated twin, and the move shows up in the stats.
+#[test]
+fn rebalance_migrates_mid_fill_without_perturbing_the_stream() {
+    const SEED: u64 = 21;
+    const ID: u64 = 1; // home shard 1 of 4; rebalance sends it to shard 0
+    let golden = golden_expander(SEED, ID, 400);
+    let pool = Pool::builder(SEED)
+        .shards(4)
+        .prefetch_words(32)
+        .build()
+        .unwrap();
+    let mut client = pool.try_client_with_id(ID).unwrap();
+    assert_eq!(drain_ragged(&mut client, 37), &golden[..37]);
+    assert_eq!(client.shard(), 1);
+
+    let moved = pool.rebalance([&mut client]).unwrap();
+    assert_eq!(moved, 1);
+    assert_eq!(client.shard(), 0);
+    assert_eq!(drain_ragged(&mut client, 363), &golden[37..]);
+
+    let stats = pool.stats();
+    assert_eq!(stats.migrations, 1);
+    assert_eq!(stats.failovers, 0);
+    // Rebalancing a client already in place is a no-op.
+    let moved = pool.rebalance([&mut client]).unwrap();
+    assert_eq!(moved, 0);
+    assert_eq!(pool.stats().migrations, 1);
+    drop(client);
+    pool.shutdown();
+}
+
+/// Explicit migration hopping across every shard of the pool, each hop
+/// mid-stream, still golden end to end.
+#[test]
+fn migrate_to_every_shard_in_turn_stays_golden() {
+    const SEED: u64 = 5;
+    const ID: u64 = 0;
+    let golden = golden_expander(SEED, ID, 4 * 64);
+    let pool = Pool::builder(SEED)
+        .shards(4)
+        .prefetch_words(16)
+        .build()
+        .unwrap();
+    let mut client = pool.try_client_with_id(ID).unwrap();
+    let mut out = Vec::new();
+    for target in [1usize, 2, 3, 0] {
+        out.extend_from_slice(&drain_ragged(&mut client, 64));
+        client.migrate_to(target).unwrap();
+        assert_eq!(client.shard(), target);
+    }
+    assert_eq!(out, golden);
+    assert_eq!(pool.stats().migrations, 4);
+    drop(client);
+    pool.shutdown();
+}
+
+/// A session whose first build over the victim's lane seed panics after
+/// `fuse` more batches — exactly once pool-wide, so the session rebuilt
+/// during failover serves cleanly. The countdown is shared: it keeps
+/// falling below zero afterwards, which disarms every later build.
+fn panic_once_kind(pool_seed: u64, victim: u64, fuse: i64) -> SessionKind {
+    let countdown = Arc::new(AtomicI64::new(fuse));
+    SessionKind::Custom {
+        lanes: 1,
+        factory: Arc::new(move |seed| {
+            struct PanicOnce {
+                inner: ExpanderWalkRng,
+                countdown: Option<Arc<AtomicI64>>,
+            }
+            impl OnDemandRng for PanicOnce {
+                fn label(&self) -> &'static str {
+                    "panic-once"
+                }
+                fn lanes(&self) -> usize {
+                    1
+                }
+                fn try_next_batch_into(&mut self, out: &mut [u64]) -> Result<(), HprngError> {
+                    if let Some(countdown) = &self.countdown {
+                        if countdown.fetch_sub(1, Ordering::SeqCst) == 0 {
+                            panic!("injected one-shot worker failure");
+                        }
+                    }
+                    self.inner.try_next_batch_into(out)
+                }
+                fn words_served(&self) -> u64 {
+                    self.inner.words_served()
+                }
+            }
+            let armed = seed == lane_seed(pool_seed, victim);
+            Box::new(PanicOnce {
+                inner: ExpanderWalkRng::from_seed_u64(seed),
+                countdown: armed.then(|| Arc::clone(&countdown)),
+            })
+        }),
+    }
+}
+
+/// The headline failover guarantee: after a worker panic the affected
+/// client automatically reattaches to a healthy shard and its stream
+/// continues bit-identically — pure golden output, no gap, no repeats.
+#[test]
+fn failover_after_a_worker_panic_resumes_the_stream_bit_identically() {
+    const SEED: u64 = 1;
+    const VICTIM: u64 = 1; // home shard 1 of 2
+    const WORDS: usize = 500;
+    let golden = golden_expander(SEED, VICTIM, WORDS);
+    let pool = Pool::builder(SEED)
+        .shards(2)
+        .prefetch_words(8)
+        // The fuse is counted in full-width batches: 8-word blocks at one
+        // lane are 8 batches each, so the worker dies refilling the third
+        // block — after the client has consumed words from the first two.
+        .session(panic_once_kind(SEED, VICTIM, 20))
+        .failover(true)
+        .build()
+        .unwrap();
+    let mut client = pool.try_client_with_id(VICTIM).unwrap();
+    assert_eq!(client.shard(), 1);
+    assert_eq!(drain_ragged(&mut client, WORDS), golden);
+    assert_eq!(
+        client.shard(),
+        0,
+        "client should have moved to the healthy shard"
+    );
+    assert_eq!(client.session_words(), WORDS as u64);
+    assert_eq!(client.degraded_words(), 0, "Block policy never degrades");
+
+    let stats = pool.stats();
+    assert_eq!(stats.failovers, 1);
+    assert_eq!(stats.poisoned_shards, vec![1]);
+    drop(client);
+    pool.shutdown();
+}
+
+/// Without the opt-in, the pre-failover contract is unchanged: the
+/// poisoned shard permanently fails its client.
+#[test]
+fn failover_stays_opt_in() {
+    const SEED: u64 = 1;
+    const VICTIM: u64 = 1;
+    let pool = Pool::builder(SEED)
+        .shards(2)
+        .prefetch_words(8)
+        .session(panic_once_kind(SEED, VICTIM, 0))
+        .build()
+        .unwrap();
+    let mut client = pool.try_client_with_id(VICTIM).unwrap();
+    let mut buf = [0u64; 64];
+    let err = loop {
+        if let Err(e) = client.fill_words(&mut buf) {
+            break e;
+        }
+    };
+    assert!(matches!(err, HprngError::ShardPoisoned { shard: 1 }));
+    assert_eq!(pool.stats().failovers, 0);
+    drop(client);
+    pool.shutdown();
+}
+
+/// Degrade-policy failover: after the poison the client may serve a few
+/// fallback words while the new shard primes its prefetch, but then it
+/// returns to session-served words — the degrade counter stops growing —
+/// and the provenance invariant holds at every step.
+#[test]
+fn degrade_failover_returns_to_session_words_and_the_counter_stops() {
+    const SEED: u64 = 1;
+    const VICTIM: u64 = 1;
+    let pool = Pool::builder(SEED)
+        .shards(2)
+        .prefetch_words(8)
+        .session(panic_once_kind(SEED, VICTIM, 20))
+        .full_policy(FullPolicy::Degrade)
+        .failover(true)
+        .build()
+        .unwrap();
+    let mut client = pool.try_client_with_id(VICTIM).unwrap();
+    let invariant = |c: &hprng_pool::PoolClient| {
+        assert_eq!(
+            c.session_words() + c.degraded_words(),
+            c.words_served(),
+            "provenance accounting broke"
+        );
+    };
+    // Drive through the poison: the victim's worker dies somewhere inside
+    // the third refill. The pacing sleep matters — a Degrade client
+    // outruns its shard by design, so the worker needs scheduling time to
+    // reach the fuse and, later, to prime the new shard's prefetch.
+    let mut recovered = false;
+    for _ in 0..5_000 {
+        let mut buf = [0u64; 8];
+        client.fill_words(&mut buf).unwrap();
+        invariant(&client);
+        std::thread::sleep(Duration::from_micros(200));
+        if pool.stats().failovers == 1 {
+            let degraded_now = client.degraded_words();
+            let session_now = client.session_words();
+            // Recovery: a whole request served from the session stream
+            // again (degrade counter flat, session counter moving).
+            std::thread::sleep(Duration::from_millis(1));
+            let mut probe = [0u64; 8];
+            client.fill_words(&mut probe).unwrap();
+            invariant(&client);
+            if client.degraded_words() == degraded_now && client.session_words() > session_now {
+                recovered = true;
+                break;
+            }
+        }
+    }
+    assert!(recovered, "client never recovered onto the healthy shard");
+    // Stability: once recovered, and at a demand rate the shard can
+    // sustain, the degrade counter goes flat — 20 consecutive all-session
+    // requests. (Outrunning the prefetch still degrades — that is the
+    // Degrade contract, not a failover residue — so a scheduling hiccup
+    // resets the window instead of failing the test.)
+    let mut flat_window = 0;
+    let mut flat = client.degraded_words();
+    for _ in 0..500 {
+        let mut buf = [0u64; 8];
+        client.fill_words(&mut buf).unwrap();
+        invariant(&client);
+        std::thread::sleep(Duration::from_micros(500));
+        if client.degraded_words() == flat {
+            flat_window += 1;
+            if flat_window >= 20 {
+                break;
+            }
+        } else {
+            flat = client.degraded_words();
+            flat_window = 0;
+        }
+    }
+    assert!(
+        flat_window >= 20,
+        "degrade counter kept growing after failover"
+    );
+    assert_eq!(client.shard(), 0);
+    assert_eq!(pool.stats().failovers, 1);
+    drop(client);
+    pool.shutdown();
+}
+
+/// The worker-side checkpoint protocol: `Request::Checkpoint` answers
+/// with the session's rich state at its *produced* position, which — fed
+/// through JSON and a standalone [`ExpanderWalkRng::resume`] — continues
+/// the very same lane stream.
+#[test]
+fn session_checkpoint_round_trips_the_produced_position() {
+    const SEED: u64 = 33;
+    const ID: u64 = 2;
+    let pool = Pool::builder(SEED)
+        .shards(2)
+        .prefetch_words(32)
+        .build()
+        .unwrap();
+    let mut client = pool.try_client_with_id(ID).unwrap();
+    let mut buf = [0u64; 40];
+    client.fill_words(&mut buf).unwrap();
+
+    let state = client.session_checkpoint().unwrap();
+    assert_eq!(state.id, ID);
+    assert_eq!(state.seed, lane_seed(SEED, ID));
+    assert!(state.accounting_is_consistent());
+    // The session leads the consumer by the in-flight prefetch.
+    let produced = state.session_words;
+    assert!(produced >= client.words_served());
+
+    // The produced position continues the pure lane stream exactly.
+    let golden = golden_expander(SEED, ID, produced as usize + 50);
+    let json = state.to_json();
+    let mut resumed = ExpanderWalkRng::resume(&StreamState::from_json(&json).unwrap()).unwrap();
+    let next: Vec<u64> = (0..50)
+        .map(|_| OnDemandRng::get_next_rand(&mut resumed))
+        .collect();
+    assert_eq!(next, &golden[produced as usize..]);
+    drop(client);
+    pool.shutdown();
+}
+
+/// Resume admission rejects states that do not belong to this pool.
+#[test]
+fn resume_rejects_foreign_and_inconsistent_states() {
+    let pool = Pool::builder(4).shards(2).build().unwrap();
+    let mut client = pool.try_client_with_id(0).unwrap();
+    let mut buf = [0u64; 16];
+    client.fill_words(&mut buf).unwrap();
+    let good = client.checkpoint();
+    drop(client);
+
+    // Wrong pool seed: the lane-seed derivation no longer matches.
+    let other = Pool::builder(5).shards(2).build().unwrap();
+    assert!(matches!(
+        other.try_client_resumed(&good),
+        Err(HprngError::RestoreMismatch { field: "seed", .. })
+    ));
+    other.shutdown();
+
+    // Wrong lane count for the session kind.
+    let mut wrong_lanes = good.clone();
+    wrong_lanes.lanes = 3;
+    assert!(matches!(
+        pool.try_client_resumed(&wrong_lanes),
+        Err(HprngError::RestoreMismatch { field: "lanes", .. })
+    ));
+
+    // Broken provenance accounting.
+    let mut inconsistent = good.clone();
+    inconsistent.words_served += 1;
+    assert!(matches!(
+        pool.try_client_resumed(&inconsistent),
+        Err(HprngError::RestoreMismatch {
+            field: "words_served",
+            ..
+        })
+    ));
+
+    // No such shard.
+    assert!(matches!(
+        pool.try_client_resumed_on(&good, 9),
+        Err(HprngError::InvalidParam { field: "shard", .. })
+    ));
+    pool.shutdown();
+}
+
+/// Dropping a client releases its claimed id: explicitly claimed then
+/// dropped ids return to the auto-assignment space, while ids with any
+/// live holder stay skipped.
+#[test]
+fn dropped_clients_release_their_ids_for_reuse() {
+    let pool = Pool::builder(8).shards(1).build().unwrap();
+    let c0 = pool.try_client_with_id(0).unwrap();
+    let c1 = pool.try_client_with_id(1).unwrap();
+    let c2 = pool.try_client_with_id(2).unwrap();
+    let c2_twin = pool.try_client_with_id(2).unwrap(); // two live holders
+    drop(c0);
+    drop(c1);
+    drop(c2);
+    // 0 and 1 were released; 2 still has a live holder (the twin), so the
+    // auto-assigner hands out 0, 1, then skips 2 for 3.
+    let a = pool.try_client().unwrap();
+    let b = pool.try_client().unwrap();
+    let c = pool.try_client().unwrap();
+    assert_eq!((a.id(), b.id(), c.id()), (0, 1, 3));
+    // Releasing the last holder frees the id for explicit reuse and for
+    // the auto-assigner alike.
+    drop(c2_twin);
+    let d = pool.try_client_with_id(2).unwrap();
+    assert_eq!(d.id(), 2);
+    drop((a, b, c, d));
+    pool.shutdown();
+}

@@ -42,6 +42,7 @@
 //! [`ExpanderWalkRng`], [`HybridPrng`], [`HybridSession`], [`HprngError`],
 //! the [`WalkParams`]/[`HybridParams`]/[`DeviceConfig`] builders, the
 //! pool's [`Pool`]/[`PoolClient`]/[`FullPolicy`]/[`SessionKind`], the
+//! checkpoint vocabulary [`StreamState`]/[`Checkpoint`]/[`Restore`], the
 //! telemetry [`Recorder`], and the monitor's
 //! [`MonitorConfig`]/[`MonitorHandle`]/[`AlertSink`]. Applications that
 //! prefer a single import can `use hybrid_prng::prelude::*;`.
@@ -139,10 +140,10 @@ pub use hprng_telemetry as telemetry;
 pub use hprng_transport as transport;
 
 pub use hprng_core::{
-    Backend, BitFeed, CpuBackend, CpuParallelPrng, DeviceBackend, Engine, ExpanderLanes,
-    ExpanderWalkRng, GlibcFeed, HprngError, HybridParams, HybridParamsBuilder, HybridPrng,
-    HybridSession, OnDemandRng, PipelineMode, PipelineStats, ScalarRng, SharedDeviceBackend,
-    SplitOnDemand, WalkParams, WalkParamsBuilder,
+    Backend, BitFeed, Checkpoint, CpuBackend, CpuParallelPrng, DeviceBackend, Engine,
+    ExpanderLanes, ExpanderWalkRng, GlibcFeed, HprngError, HybridParams, HybridParamsBuilder,
+    HybridPrng, HybridSession, OnDemandRng, PipelineMode, PipelineStats, Restore, ScalarRng,
+    SharedDeviceBackend, SplitOnDemand, StreamState, WalkParams, WalkParamsBuilder,
 };
 pub use hprng_gpu_sim::{ConfigError, DeviceConfig, DeviceConfigBuilder};
 pub use hprng_monitor::{
@@ -221,9 +222,10 @@ pub type Result<T> = std::result::Result<T, Error>;
 pub mod prelude {
     pub use crate::{Error, Result};
     pub use hprng_core::{
-        CpuBackend, CpuParallelPrng, DeviceBackend, Engine, ExpanderLanes, ExpanderWalkRng,
-        GlibcFeed, HprngError, HybridParams, HybridPrng, HybridSession, OnDemandRng, PipelineMode,
-        ScalarRng, SharedDeviceBackend, SplitOnDemand, WalkParams,
+        Checkpoint, CpuBackend, CpuParallelPrng, DeviceBackend, Engine, ExpanderLanes,
+        ExpanderWalkRng, GlibcFeed, HprngError, HybridParams, HybridPrng, HybridSession,
+        OnDemandRng, PipelineMode, Restore, ScalarRng, SharedDeviceBackend, SplitOnDemand,
+        StreamState, WalkParams,
     };
     pub use hprng_gpu_sim::DeviceConfig;
     pub use hprng_monitor::{AlertSink, MonitorConfig, MonitorHandle};
