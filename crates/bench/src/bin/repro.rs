@@ -39,6 +39,13 @@
 //!                                     traced pool: queue depth, phase
 //!                                     latency quantiles, stall/degrade
 //!                                     rates; exports the final snapshot
+//! repro chaos [--schedules N] [--seed S] [--replay SEED]
+//!                                     deterministic fault-injection
+//!                                     soak over the sharded pool
+//!                                     (requires the `chaos` feature);
+//!                                     failing schedules print their
+//!                                     replay seed, exit 1 on any
+//!                                     failure
 //!
 //! Global flags: `--trace-out <path>` writes a merged Chrome-trace
 //! (Perfetto) JSON of an instrumented run; `--metrics-out <path>` writes
@@ -70,6 +77,8 @@ struct Args {
     shards: usize,
     clients: usize,
     policy: String,
+    schedules: usize,
+    replay: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -95,6 +104,8 @@ fn parse_args() -> Args {
         shards: 2,
         clients: 4,
         policy: "block".to_string(),
+        schedules: 64,
+        replay: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -222,6 +233,18 @@ fn parse_args() -> Args {
                     .get(i + 1)
                     .expect("--policy takes block|tryfor|degrade")
                     .clone();
+                i += 2;
+            }
+            "--schedules" => {
+                args.schedules = argv[i + 1].parse().expect("--schedules takes an integer");
+                i += 2;
+            }
+            "--replay" => {
+                args.replay = Some(
+                    argv[i + 1]
+                        .parse()
+                        .expect("--replay takes a schedule seed (u64)"),
+                );
                 i += 2;
             }
             other => {
@@ -486,6 +509,28 @@ fn main() {
                 println!("wrote metrics JSON to {path}");
             }
             None => {}
+        }
+    }
+
+    // Deterministic fault-injection soak (the `chaos` feature).
+    if args.cmd == "chaos" {
+        #[cfg(feature = "chaos")]
+        {
+            let code = hprng_bench::chaos_cmd::run_chaos(&hprng_bench::chaos_cmd::ChaosRunConfig {
+                seed: args.seed,
+                schedules: args.schedules,
+                replay: args.replay,
+            });
+            std::process::exit(code);
+        }
+        #[cfg(not(feature = "chaos"))]
+        {
+            let _ = (args.schedules, args.replay);
+            eprintln!(
+                "`repro chaos` needs the fault-injection hooks compiled in; \
+                 rebuild with `cargo run -p hprng-bench --features chaos --bin repro -- chaos`"
+            );
+            std::process::exit(2);
         }
     }
 

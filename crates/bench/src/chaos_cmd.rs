@@ -1,0 +1,63 @@
+//! `repro chaos` — the deterministic fault-injection soak as a CLI.
+//!
+//! A thin front-end over [`hprng_chaos::run_soak`]: derive `--schedules`
+//! fault schedules from `--seed`, run the sharded pool under each one,
+//! and assert the stack's invariants after every schedule (bit-identity
+//! to the unfaulted golden stream, conserved word accounting, no leaked
+//! client ids, no stranded ring peers). Every failing schedule is
+//! reported as a replayable seed; `--replay <seed>` re-runs exactly one
+//! schedule with its plan printed, for debugging a reported failure.
+
+use hprng_chaos::{run_schedule, run_soak, FaultPlan};
+
+/// Configuration for one `repro chaos` invocation.
+pub struct ChaosRunConfig {
+    /// Master seed the schedule batch derives from.
+    pub seed: u64,
+    /// Number of schedules to run.
+    pub schedules: usize,
+    /// Replay exactly this schedule seed instead of running a batch.
+    pub replay: Option<u64>,
+}
+
+/// Runs the soak (or a single replay) and returns the process exit code:
+/// zero when every schedule held every invariant.
+pub fn run_chaos(cfg: &ChaosRunConfig) -> i32 {
+    if let Some(seed) = cfg.replay {
+        let plan = FaultPlan::from_seed(seed);
+        println!("repro chaos — replaying schedule seed {seed}\n{plan}");
+        return match run_schedule(seed) {
+            Ok(()) => {
+                println!("OK: every invariant held");
+                0
+            }
+            Err(reason) => {
+                eprintln!("FAIL: {reason}");
+                1
+            }
+        };
+    }
+
+    println!(
+        "repro chaos — {} schedule(s) derived from seed {}",
+        cfg.schedules, cfg.seed
+    );
+    let report = run_soak(cfg.seed, cfg.schedules, |line| println!("{line}"));
+    if report.is_green() {
+        println!("OK: {} schedule(s), every invariant held", report.schedules);
+        0
+    } else {
+        for failure in &report.failures {
+            eprintln!(
+                "FAIL seed={} (replay with `repro chaos --replay {}`)\n  {}\n  {}",
+                failure.seed, failure.seed, failure.plan, failure.reason
+            );
+        }
+        eprintln!(
+            "FAIL: {} of {} schedule(s) broke an invariant",
+            report.failures.len(),
+            report.schedules
+        );
+        1
+    }
+}

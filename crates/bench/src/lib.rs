@@ -11,6 +11,8 @@
 
 pub mod ablations;
 pub mod benchjson;
+#[cfg(feature = "chaos")]
+pub mod chaos_cmd;
 pub mod figures;
 pub mod monitor_cmd;
 pub mod pooldash;

@@ -631,12 +631,17 @@ impl PoolClient {
                     Err(TrySendError::Disconnected(_)) => return Ok(()),
                 },
                 // Block — and any future policy, which waits by default.
-                _ => {
-                    if self.tx.send(request).is_err() {
-                        return Err(self.fail_disconnected());
-                    }
-                    self.pending_refills -= 1;
-                }
+                _ => match self.tx.send(request) {
+                    Ok(()) => self.pending_refills -= 1,
+                    // The shard vanished with this refill owed. Failing
+                    // here would skip failover entirely (and drop any
+                    // still-buffered replies); let the receive path
+                    // drain what is left, classify the disconnect, and
+                    // reattach when failover is enabled — reattachment
+                    // re-primes the prefetch, so the owed refill is
+                    // never missed.
+                    Err(_) => return Ok(()),
+                },
             }
         }
         Ok(())
@@ -672,9 +677,22 @@ impl OnDemandRng for PoolClient {
         self.fill_words(out)
     }
 
+    /// The infallible paper-shaped call. Retryable conditions are
+    /// retried through the configured policy instead of panicking:
+    /// [`HprngError::ShardStalled`] (a [`FullPolicy::TryFor`] patience
+    /// that elapsed with the refill still in flight) re-enters the wait,
+    /// so a slow shard costs latency, never the process. Only genuinely
+    /// unrecoverable stream failures (pool shut down, shard poisoned
+    /// with no failover, session error) panic — callers that need those
+    /// as values use [`PoolClient::try_next_u64`].
     fn get_next_rand(&mut self) -> u64 {
-        self.try_next_u64()
-            .expect("pool client stream failed; use try_next_u64 for recoverable handling")
+        loop {
+            match self.try_next_u64() {
+                Ok(word) => return word,
+                Err(HprngError::ShardStalled { .. }) => continue,
+                Err(e) => panic!("pool client stream failed irrecoverably: {e}"),
+            }
+        }
     }
 
     fn words_served(&self) -> u64 {

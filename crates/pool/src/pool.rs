@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 use hprng_core::{HprngError, SplitOnDemand, StreamState};
@@ -43,19 +43,30 @@ pub(crate) struct PoolShared {
 
 impl PoolShared {
     /// Registers one more live handle on `id`.
+    ///
+    /// The claimed-id lock is recovered from poisoning rather than
+    /// propagated: every mutation of the map is a single panic-safe
+    /// `HashMap` operation, so a thread that panicked while holding the
+    /// lock (a panicking client `Drop`, an unwinding admission) leaves
+    /// the map structurally valid. Propagating the poison instead would
+    /// permanently break *all* future admissions on an otherwise healthy
+    /// pool — the refcounts stay exact because the increment/decrement
+    /// either fully happened or never started.
     pub(crate) fn claim(&self, id: u64) {
-        *self
-            .claimed
-            .lock()
-            .expect("claimed-id map")
-            .entry(id)
-            .or_insert(0) += 1;
+        let mut claimed = self.claimed.lock().unwrap_or_else(PoisonError::into_inner);
+        #[cfg(feature = "chaos")]
+        hprng_transport::chaos::act(hprng_transport::chaos::FaultPoint::ClaimLock);
+        *claimed.entry(id).or_insert(0) += 1;
     }
 
     /// Releases one live handle on `id`; the id becomes auto-assignable
-    /// again once the last handle is gone.
+    /// again once the last handle is gone. Recovers a poisoned lock like
+    /// [`PoolShared::claim`].
     pub(crate) fn release(&self, id: u64) {
-        let mut claimed = self.claimed.lock().expect("claimed-id map");
+        // No chaos hook here: release runs inside `PoolClient::drop`,
+        // where an injected panic during an unwind would abort the
+        // process instead of testing anything.
+        let mut claimed = self.claimed.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(count) = claimed.get_mut(&id) {
             *count -= 1;
             if *count == 0 {
@@ -67,8 +78,16 @@ impl PoolShared {
     fn is_claimed(&self, id: u64) -> bool {
         self.claimed
             .lock()
-            .expect("claimed-id map")
+            .unwrap_or_else(PoisonError::into_inner)
             .contains_key(&id)
+    }
+
+    /// Ids currently claimed by at least one live handle.
+    pub(crate) fn live_claims(&self) -> usize {
+        self.claimed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// The first healthy shard at or after `id`'s home shard (wrapping);
@@ -244,12 +263,30 @@ impl Pool {
     /// home shard is authoritative and a poisoned one fails the
     /// admission.
     pub fn try_client_with_id(&self, id: u64) -> Result<PoolClient, HprngError> {
-        let shard = if self.failover {
-            self.shared.healthy_shard_for(id)
-        } else {
-            (id % self.shared.txs.len() as u64) as usize
-        };
-        self.admit(id, shard, None)
+        let shards = self.shared.txs.len();
+        let home = (id % shards as u64) as usize;
+        if !self.failover {
+            return self.admit(id, home, None);
+        }
+        // Route around poisoned shards like a live client would. The
+        // health probe alone is not enough: a shard can die between the
+        // probe and the attach (or its poison flag may not be visible
+        // yet), in which case the admission itself reports
+        // `ShardPoisoned` and the next shard takes the lane. Any other
+        // admission error is not a routing problem and propagates as is.
+        let mut last = HprngError::ShardPoisoned { shard: home };
+        for offset in 0..shards {
+            let shard = (home + offset) % shards;
+            if self.shared.metrics[shard].poisoned.is_poisoned() {
+                last = HprngError::ShardPoisoned { shard };
+                continue;
+            }
+            match self.admit(id, shard, None) {
+                Err(e @ HprngError::ShardPoisoned { .. }) => last = e,
+                other => return other,
+            }
+        }
+        Err(last)
     }
 
     /// Re-admits a client from a checkpointed [`StreamState`] — captured
@@ -409,6 +446,14 @@ impl Pool {
         Ok(moved)
     }
 
+    /// Lane ids currently claimed by at least one live client handle.
+    /// Every admitted client holds exactly one claim released on drop,
+    /// so a pool with no outstanding clients reports zero — the leak
+    /// invariant the chaos soak asserts after every fault schedule.
+    pub fn live_claims(&self) -> usize {
+        self.shared.live_claims()
+    }
+
     /// A point-in-time snapshot of the pool's serving counters.
     pub fn stats(&self) -> PoolStats {
         let mut stats = PoolStats {
@@ -506,13 +551,18 @@ impl SplitOnDemand for Pool {
         "pool"
     }
 
-    /// Lane `index` is the client with id `index`.
+    /// Lane `index` is the client with id `index`. With
+    /// [`PoolBuilder::failover`] enabled, admission routes around
+    /// poisoned shards (via [`Pool::try_client_with_id`]), so a lane can
+    /// be split as long as any shard is healthy.
     ///
     /// # Panics
     ///
-    /// Panics if the lane's shard is poisoned or the pool is shut down —
-    /// [`SplitOnDemand::lane`] is infallible by contract. Use
-    /// [`Pool::try_client_with_id`] for recoverable admission.
+    /// Panics if the pool is shut down, or if no shard can accept the
+    /// lane (without failover: its home shard is poisoned; with
+    /// failover: every shard is) — [`SplitOnDemand::lane`] is infallible
+    /// by contract. Use [`Pool::try_client_with_id`] for recoverable
+    /// admission.
     fn lane(&self, index: u64) -> PoolClient {
         self.try_client_with_id(index)
             .expect("pool shard unavailable while splitting a lane")

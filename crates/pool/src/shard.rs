@@ -259,6 +259,15 @@ pub(crate) fn run(
                 let Some(slot) = slots.get_mut(&client) else {
                     continue; // detached (or attach failed) — nothing to refill
                 };
+                // Chaos: a Panic here kills the worker mid-serve (the
+                // PoisonGuard above marks the shard during the unwind); a
+                // Stall models a slow session. Fired before the block is
+                // checked out so an injected panic leaks nothing from the
+                // arena.
+                #[cfg(feature = "chaos")]
+                hprng_transport::chaos::act(hprng_transport::chaos::FaultPoint::ShardRefill {
+                    shard,
+                });
                 let mut buf = blocks.checkout_zeroed(slot.chunk);
                 let lanes = slot.session.lanes().max(1);
                 let service_start = obs.as_ref().map(|o| o.now_ns());

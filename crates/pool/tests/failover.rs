@@ -152,6 +152,149 @@ fn engine_sessions_resume_mid_round_with_the_client_side_skip() {
     after.shutdown();
 }
 
+/// The client-side `resume_skip` remainder, swept across every residue
+/// of the lane width and both sides of the lane- and block-aligned
+/// cuts. The shard fast-forwards whole rounds only; the client must
+/// skip `session_words % lanes` words of its first block — a cut that
+/// is 0 mod lanes must skip nothing, and an off-by-one in either
+/// direction shifts the whole resumed stream.
+#[test]
+fn resume_skip_is_exact_for_every_cut_around_lane_and_block_boundaries() {
+    const SEED: u64 = 7;
+    const LANES: usize = 4;
+    const TAIL: usize = 50;
+    let kind = || SessionKind::CpuEngine {
+        lanes: LANES,
+        params: HybridParams::default(),
+    };
+    let reference_pool = Pool::builder(SEED)
+        .shards(1)
+        .prefetch_words(16)
+        .session(kind())
+        .build()
+        .unwrap();
+    let mut reference = reference_pool.try_client_with_id(1).unwrap();
+    let golden = drain_ragged(&mut reference, 67 + TAIL);
+    drop(reference);
+    reference_pool.shutdown();
+
+    // 15..17 straddle the first 16-word prefetch block; 64..67 cover
+    // every `cut % 4` residue while straddling a four-block boundary.
+    for cut in [15usize, 16, 17, 64, 65, 66, 67] {
+        let before = Pool::builder(SEED)
+            .shards(1)
+            .prefetch_words(16)
+            .session(kind())
+            .build()
+            .unwrap();
+        let mut client = before.try_client_with_id(1).unwrap();
+        assert_eq!(drain_ragged(&mut client, cut), &golden[..cut]);
+        let json = client.checkpoint().to_json();
+        drop(client);
+        before.shutdown();
+
+        let after = Pool::builder(SEED)
+            .shards(2)
+            .prefetch_words(16)
+            .session(kind())
+            .build()
+            .unwrap();
+        let state = StreamState::from_json(&json).unwrap();
+        let mut resumed = after.try_client_resumed(&state).unwrap();
+        assert_eq!(
+            drain_ragged(&mut resumed, TAIL),
+            &golden[cut..cut + TAIL],
+            "resumed stream diverged for cut {cut} (cut % lanes = {})",
+            cut % LANES
+        );
+        drop(resumed);
+        after.shutdown();
+    }
+}
+
+/// A pure-function session whose word at stream index `i` is
+/// `mix(seed, i)`, with an O(1) `try_restore` — the only way to place a
+/// checkpoint beyond 2^32 words without hours of replay.
+fn counting_kind(lanes: usize) -> SessionKind {
+    fn mix(seed: u64, i: u64) -> u64 {
+        (seed ^ i).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+    SessionKind::Custom {
+        lanes,
+        factory: Arc::new(move |seed| {
+            struct Counting {
+                seed: u64,
+                lanes: usize,
+                produced: u64,
+            }
+            impl OnDemandRng for Counting {
+                fn label(&self) -> &'static str {
+                    "counting"
+                }
+                fn lanes(&self) -> usize {
+                    self.lanes
+                }
+                fn try_next_batch_into(&mut self, out: &mut [u64]) -> Result<(), HprngError> {
+                    for word in out.iter_mut() {
+                        *word = mix(self.seed, self.produced);
+                        self.produced += 1;
+                    }
+                    Ok(())
+                }
+                fn words_served(&self) -> u64 {
+                    self.produced
+                }
+                fn try_restore(&mut self, state: &StreamState) -> Result<(), HprngError> {
+                    if state.seed != self.seed {
+                        return Err(HprngError::RestoreMismatch {
+                            field: "seed",
+                            reason: "counting session restored with a foreign seed",
+                        });
+                    }
+                    self.produced = state.session_words;
+                    Ok(())
+                }
+            }
+            Box::new(Counting {
+                seed,
+                lanes,
+                produced: 0,
+            })
+        }),
+    }
+}
+
+/// The `resume_skip` cast path at a checkpoint beyond u32::MAX words:
+/// `session_words % lanes` is computed in u64 and only then narrowed, so
+/// a (1 << 32) + 5 cut over 4 lanes must skip exactly one word — a
+/// 32-bit-sized truncation anywhere in the chain would misplace the
+/// resumed stream by a block or serve it from word zero.
+#[test]
+fn resume_skip_survives_checkpoints_beyond_u32_words() {
+    const SEED: u64 = 13;
+    const ID: u64 = 1;
+    const LANES: usize = 4;
+    const CUT: u64 = (1u64 << 32) + 5; // % 4 == 1
+    let mix = |i: u64| (lane_seed(SEED, ID) ^ i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let pool = Pool::builder(SEED)
+        .shards(2)
+        .prefetch_words(16)
+        .session(counting_kind(LANES))
+        .build()
+        .unwrap();
+    let state = StreamState::minimal("counting", ID, lane_seed(SEED, ID), LANES, CUT);
+    assert!(state.accounting_is_consistent());
+    let mut resumed = pool.try_client_resumed(&state).unwrap();
+    assert_eq!(resumed.words_served(), CUT);
+    let mut got = vec![0u64; 40];
+    resumed.fill_words(&mut got).unwrap();
+    let want: Vec<u64> = (0..40).map(|j| mix(CUT + j)).collect();
+    assert_eq!(got, want, "resumed stream misplaced after a 2^32+5 cut");
+    assert_eq!(resumed.words_served(), CUT + 40);
+    drop(resumed);
+    pool.shutdown();
+}
+
 /// Live migration mid-fill: a rebalanced client continues bit-identically
 /// against an unmigrated twin, and the move shows up in the stats.
 #[test]

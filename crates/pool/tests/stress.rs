@@ -337,6 +337,159 @@ fn poisoned_pool_rejects_new_admissions_to_the_dead_shard() {
     assert!(pool.try_client_with_id(4).is_ok());
 }
 
+/// Like [`panicking_kind`], but the fuse burns at most once per pool:
+/// the first victim session to reach it panics (killing its shard), and
+/// every later session for the same lane — e.g. the one built after a
+/// failover reattach — serves normally. `fuse` counts batches served
+/// before the panic (a refill of a `block_words`-word block over a
+/// single-lane session is `block_words` batches).
+fn one_shot_panicking_kind(
+    fuse: u64,
+    victim: u64,
+    armed: Arc<std::sync::atomic::AtomicBool>,
+) -> SessionKind {
+    SessionKind::Custom {
+        lanes: 1,
+        factory: Arc::new(move |seed| {
+            struct Fused {
+                inner: ExpanderWalkRng,
+                armed: Option<Arc<std::sync::atomic::AtomicBool>>,
+                remaining: u64,
+            }
+            impl OnDemandRng for Fused {
+                fn label(&self) -> &'static str {
+                    "fused-once"
+                }
+                fn lanes(&self) -> usize {
+                    1
+                }
+                fn try_next_batch_into(&mut self, out: &mut [u64]) -> Result<(), HprngError> {
+                    if let Some(armed) = &self.armed {
+                        if self.remaining == 0 && armed.swap(false, Ordering::SeqCst) {
+                            panic!("injected session failure");
+                        }
+                        self.remaining = self.remaining.saturating_sub(1);
+                    }
+                    self.inner.try_next_batch_into(out)
+                }
+                fn words_served(&self) -> u64 {
+                    self.inner.words_served()
+                }
+            }
+            let is_victim = seed == lane_seed(1, victim);
+            Box::new(Fused {
+                inner: ExpanderWalkRng::from_seed_u64(seed),
+                armed: is_victim.then(|| Arc::clone(&armed)),
+                remaining: fuse,
+            })
+        }),
+    }
+}
+
+/// Spin until the pool reports exactly `shards` poisoned, or panic after
+/// five seconds.
+fn wait_for_poison(pool: &Pool, shards: &[usize]) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while pool.stats().poisoned_shards != shards {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "poison flag never became visible; stats: {:?}",
+            pool.stats()
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn lane_creation_routes_around_a_poisoned_home_shard_under_failover() {
+    use hprng_core::SplitOnDemand;
+    // Pool seed 1, two shards: ids 1 and 3 home on shard 1. Admitting the
+    // victim (id 3) kills shard 1's worker on its first refill; the fuse
+    // is one-shot, so the shard the victim later fails over to survives.
+    let armed = Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let pool = Pool::builder(1)
+        .shards(2)
+        .prefetch_words(8)
+        .session(one_shot_panicking_kind(0, 3, armed))
+        .failover(true)
+        .build()
+        .unwrap();
+    let _casualty = pool.try_client_with_id(3).unwrap();
+    wait_for_poison(&pool, &[1]);
+    // The regression: `lane()` trusted admission to be infallible, but
+    // id 1's home shard is dead — with failover enabled the split must
+    // route to the healthy shard instead of panicking.
+    let mut lane = SplitOnDemand::lane(&pool, 1);
+    let mut got = vec![0u64; 64];
+    lane.fill_words(&mut got).unwrap();
+    assert_eq!(
+        got,
+        golden_expander(1, 1, 64),
+        "failed-over lane diverged from its golden"
+    );
+    assert_eq!(lane.degraded_words(), 0);
+}
+
+#[test]
+fn blocking_clients_fail_over_when_the_shard_dies_with_a_refill_owed() {
+    // The victim's shard serves one complete refill (a 4-word block is 4
+    // single-lane batches; the fuse allows exactly that many) and dies on
+    // the second — both are primed at admission, so by the time the
+    // client has drained the buffered block the worker is gone and a
+    // replacement refill is owed. The regression: the Block policy's
+    // owed-refill send hit the dead ring and permanently failed the
+    // client without attempting failover (the receive path, which does
+    // fail over, was never reached).
+    let armed = Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let pool = Pool::builder(1)
+        .shards(2)
+        .prefetch_words(4)
+        .session(one_shot_panicking_kind(4, 3, armed))
+        .full_policy(FullPolicy::Block)
+        .failover(true)
+        .build()
+        .unwrap();
+    let mut client = pool.try_client_with_id(3).unwrap();
+    wait_for_poison(&pool, &[1]);
+    let mut got = vec![0u64; 400];
+    client
+        .fill_words(&mut got)
+        .expect("failover must rescue a blocking client from a dead shard");
+    assert_eq!(
+        got,
+        golden_expander(1, 3, 400),
+        "failed-over stream diverged from its golden"
+    );
+    assert_eq!(client.degraded_words(), 0);
+}
+
+#[test]
+fn get_next_rand_retries_stalls_instead_of_panicking() {
+    // The infallible RngCore-style facade sits on top of a fallible
+    // serving path; under TryFor every refill slower than the patience
+    // surfaces ShardStalled. The regression: `get_next_rand` treated
+    // *every* error as fatal and panicked on the first stall. It must
+    // retry stalls (they serve nothing, so the stream stays gapless) and
+    // reserve the panic for unrecoverable failures.
+    let pool = Pool::builder(8)
+        .shards(1)
+        .prefetch_words(4)
+        .session(slow_kind(Duration::from_millis(30)))
+        .full_policy(FullPolicy::TryFor(Duration::from_millis(1)))
+        .build()
+        .unwrap();
+    let mut client = pool.try_client_with_id(0).unwrap();
+    let got: Vec<u64> = (0..12)
+        .map(|_| OnDemandRng::get_next_rand(&mut client))
+        .collect();
+    assert_eq!(
+        got,
+        golden_expander(8, 0, 12),
+        "retried stalls must not drop or reorder words"
+    );
+    assert_eq!(client.degraded_words(), 0, "TryFor never degrades");
+}
+
 /// A session whose every refill takes `delay` — the stall probe.
 fn slow_kind(delay: Duration) -> SessionKind {
     SessionKind::Custom {

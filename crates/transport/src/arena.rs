@@ -81,6 +81,12 @@ impl BlockPool {
     /// is available. The caller owns it until [`BlockPool::give_back`].
     pub fn checkout(&self) -> Vec<u64> {
         self.checkouts.fetch_add(1, Ordering::Relaxed);
+        // Chaos Deny models an exhausted arena: skip the free list so the
+        // checkout takes the allocator path, as if nothing were cached.
+        #[cfg(feature = "chaos")]
+        if crate::chaos::denies(crate::chaos::FaultPoint::ArenaCheckout) {
+            return Vec::with_capacity(self.block_words);
+        }
         let recycled = self
             .free
             .lock()
@@ -111,6 +117,13 @@ impl BlockPool {
     /// capacity ballooned past twice the nominal block size, and cached
     /// unless the free list is already at `max_retained` (then dropped).
     pub fn give_back(&self, mut block: Vec<u64>) {
+        // Chaos Deny collapses retention: the block is dropped (and
+        // counted discarded) instead of cached, as if the list were full.
+        #[cfg(feature = "chaos")]
+        if crate::chaos::denies(crate::chaos::FaultPoint::ArenaGiveBack) {
+            self.discarded.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         block.clear();
         if block.capacity() > self.block_words * 2 {
             block.shrink_to(self.block_words);

@@ -30,6 +30,10 @@
 //!   the disconnect as an orderly [`Disconnect::Shutdown`] rather than a
 //!   crash, and [`PoisonGuard`] marks a [`PoisonFlag`] if a worker
 //!   unwinds — a dead worker is observable state, not a silent hang.
+//! * `chaos` (feature `chaos`, off by default) — the deterministic
+//!   fault-injection registry: ring, arena, and pool-worker call sites
+//!   consult a process-wide hook that can stall, panic, or deny at a
+//!   named `FaultPoint`. Compiled out entirely without the feature.
 //!
 //! The pipeline engine's ring (`hprng-core::pipeline::ring`) and the
 //! sharded pool (`hprng-pool`) are both thin layers over these types;
@@ -42,6 +46,8 @@
 
 pub mod arena;
 pub mod backpressure;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod ring;
 pub mod shutdown;
 

@@ -194,6 +194,8 @@ impl<T> RingSender<T> {
     /// Delivers one block, blocking while every slot is occupied
     /// (backpressure). Returns the block if the consumer is gone.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        #[cfg(feature = "chaos")]
+        crate::chaos::act(crate::chaos::FaultPoint::RingSend);
         let mut inner = lock(&self.ring);
         while inner.slots.len() == inner.capacity && inner.consumer_alive {
             inner = self
@@ -214,6 +216,8 @@ impl<T> RingSender<T> {
 
     /// Delivers one block only if a slot is free right now; never blocks.
     pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        #[cfg(feature = "chaos")]
+        crate::chaos::act(crate::chaos::FaultPoint::RingSend);
         let mut inner = lock(&self.ring);
         if !inner.consumer_alive {
             return Err(TrySendError::Disconnected(value));
@@ -249,6 +253,8 @@ impl<T> RingReceiver<T> {
     /// producer is alive. `None` means every producer is gone *and* every
     /// in-flight block has been drained — the clean end-of-stream.
     pub fn recv(&self) -> Option<T> {
+        #[cfg(feature = "chaos")]
+        crate::chaos::act(crate::chaos::FaultPoint::RingRecv);
         let mut inner = lock(&self.ring);
         while inner.slots.is_empty() && inner.producers > 0 {
             inner = self
@@ -262,6 +268,8 @@ impl<T> RingReceiver<T> {
 
     /// Takes the oldest block if one is queued right now; never blocks.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        #[cfg(feature = "chaos")]
+        crate::chaos::act(crate::chaos::FaultPoint::RingRecv);
         let mut inner = lock(&self.ring);
         match self.take(&mut inner) {
             Some(value) => Ok(value),
@@ -274,6 +282,8 @@ impl<T> RingReceiver<T> {
     /// arrive. On [`RecvTimeoutError::Timeout`] the stream is intact —
     /// calling again resumes the wait for the same in-flight block.
     pub fn recv_timeout(&self, patience: Duration) -> Result<T, RecvTimeoutError> {
+        #[cfg(feature = "chaos")]
+        crate::chaos::act(crate::chaos::FaultPoint::RingRecv);
         let deadline = Instant::now() + patience;
         let mut inner = lock(&self.ring);
         while inner.slots.is_empty() && inner.producers > 0 {
